@@ -1,0 +1,188 @@
+"""Shared workloads for the benchmark suite.
+
+Every dataset the paper's evaluation section uses, regenerated with
+fixed seeds at laptop scale.  Paper-scale sizes are noted next to each
+constant; set ``REPRO_FULL_SCALE=1`` to run the original sizes (slow).
+
+All trajectories are normalized (the paper normalizes before
+everything) and the matching threshold follows the paper's heuristic:
+a quarter of the maximum standard deviation — which is 0.25 after
+normalization.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import numpy as np
+
+from repro import Trajectory, TrajectoryDatabase
+from repro.data import (
+    make_asl_like,
+    make_cameramouse_like,
+    make_fixed_length_set,
+    make_mixed_set,
+    make_nhl_like,
+    make_random_walk_set,
+)
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE") == "1"
+
+# name: (laptop size, paper size)
+SIZES = {
+    "slip": (120, 495),
+    "kungfu": (120, 495),
+    "rand": (300, 1000),
+    "nhl": (400, 5000),
+    "mixed": (150, 32768),
+    "randomwalk": (300, 100000),
+}
+
+
+def scale(name: str) -> int:
+    laptop, paper = SIZES[name]
+    return paper if FULL_SCALE else laptop
+
+
+def normalized(trajectories: List[Trajectory]) -> List[Trajectory]:
+    return [t.normalized() for t in trajectories]
+
+
+EPSILON = 0.25  # quarter of max std; std is 1 after normalization
+
+
+def build_database(
+    trajectories: List[Trajectory], epsilon: float = EPSILON
+) -> TrajectoryDatabase:
+    return TrajectoryDatabase(normalized(trajectories), epsilon)
+
+
+# ----------------------------------------------------------------------
+# The efficacy data sets (Tables 1-2)
+# ----------------------------------------------------------------------
+def cameramouse_set() -> List[Trajectory]:
+    """Cameramouse stand-in: 5 word classes x 3 instances."""
+    return make_cameramouse_like(seed=7)
+
+
+def asl_set() -> List[Trajectory]:
+    """ASL stand-in: 10 sign classes x 5 instances, lengths 60-140."""
+    return make_asl_like(seed=11)
+
+
+# ----------------------------------------------------------------------
+# The pruning-efficiency data sets (Table 3, Figures 7-13)
+# ----------------------------------------------------------------------
+def asl_database() -> TrajectoryDatabase:
+    """ASL retrieval set: the paper's pruning experiments combine all ten
+    word classes into one 710-trajectory set (Section 5.1).  We keep the
+    10-class structure at 24 instances per class by default (240
+    trajectories; 71 per class = 710 at full scale) with milder warping
+    than the efficacy set so same-sign neighbourhoods are dense, as in
+    the real recordings."""
+    from repro.data import make_labelled_set
+
+    per_class = 71 if FULL_SCALE else 24
+    return build_database(
+        make_labelled_set(
+            class_count=10, instances_per_class=per_class,
+            min_length=60, max_length=140, seed=11,
+            warp_strength=0.3, jitter=0.01,
+        )
+    )
+
+
+def slip_database() -> TrajectoryDatabase:
+    """Slip stand-in: equal-length (400 in the paper; 200 here) motion data."""
+    length = 400 if FULL_SCALE else 200
+    return build_database(
+        make_fixed_length_set(
+            count=scale("slip"), length=length, seed=5, drift_scale=0.02
+        )
+    )
+
+
+def kungfu_database() -> TrajectoryDatabase:
+    """Kungfu stand-in: equal-length (640 in the paper; 320 here) motion data."""
+    length = 640 if FULL_SCALE else 320
+    return build_database(
+        make_fixed_length_set(
+            count=scale("kungfu"), length=length, seed=6, drift_scale=0.02
+        )
+    )
+
+
+def rand_uniform_database() -> TrajectoryDatabase:
+    """RandU: random walks, uniformly distributed lengths 30-256."""
+    return build_database(
+        make_random_walk_set(
+            count=scale("rand"), min_length=30, max_length=256,
+            length_distribution="uniform", seed=8,
+        )
+    )
+
+
+def rand_normal_database() -> TrajectoryDatabase:
+    """RandN: random walks, normally distributed lengths 30-256."""
+    return build_database(
+        make_random_walk_set(
+            count=scale("rand"), min_length=30, max_length=256,
+            length_distribution="normal", seed=9,
+        )
+    )
+
+
+def nhl_database() -> TrajectoryDatabase:
+    """NHL stand-in: player movement, lengths 30-256.
+
+    ``play_pool`` scales with the database so each recurring play keeps
+    roughly the paper's neighbourhood density at laptop scale (k = 20
+    true neighbours need >= 20 instances per play)."""
+    count = scale("nhl")
+    return build_database(
+        make_nhl_like(count=count, seed=3, play_pool=max(5, count // 26))
+    )
+
+
+def mixed_database() -> TrajectoryDatabase:
+    """Mixed stand-in: heterogeneous families, wide length range."""
+    max_length = 2000 if FULL_SCALE else 600
+    count = scale("mixed")
+    return build_database(
+        make_mixed_set(
+            count=count, min_length=60, max_length=max_length, seed=4,
+            cluster_count=max(3, count // 25),
+        )
+    )
+
+
+def randomwalk_database() -> TrajectoryDatabase:
+    """Large random-walk set: lengths 30-1024 in the paper; 30-512 here."""
+    max_length = 1024 if FULL_SCALE else 512
+    return build_database(
+        make_random_walk_set(
+            count=scale("randomwalk"), min_length=30, max_length=max_length,
+            length_distribution="uniform", seed=10,
+            cluster_count=max(4, scale("randomwalk") // 25),
+        )
+    )
+
+
+def queries_for(database: TrajectoryDatabase, count: int = 3, seed: int = 99):
+    """Fresh query trajectories drawn from a random walk of typical length."""
+    rng = np.random.default_rng(seed)
+    mean_length = int(np.mean([len(t) for t in database.trajectories]))
+    queries = []
+    for _ in range(count):
+        points = np.cumsum(rng.normal(size=(mean_length, database.ndim)), axis=0)
+        queries.append(Trajectory(points).normalized())
+    return queries
+
+
+def member_queries(database: TrajectoryDatabase, count: int = 3, seed: int = 99):
+    """Queries drawn from the database's own distribution (its members),
+    which is how the paper issues probing k-NN queries."""
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(len(database), size=count, replace=False)
+    return [database.trajectories[int(i)] for i in indices]

@@ -1,0 +1,130 @@
+"""Shared fixtures and the paper-style report writer for the benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper.
+Besides the pytest-benchmark timings, every module emits a plain-text
+table (the "same rows/series the paper reports") through
+:func:`write_report`; the tables land in ``benchmarks/results/`` and are
+summarized into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Sequence
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))  # make _workloads importable
+
+import _workloads  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, title: str, lines: Sequence[str]) -> None:
+    """Persist one experiment's paper-style table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = "\n".join([title, "=" * len(title), *lines, ""])
+    (RESULTS_DIR / f"{name}.txt").write_text(body)
+    print(f"\n{body}", flush=True)
+
+
+@pytest.fixture(scope="session")
+def asl_database():
+    return _workloads.asl_database()
+
+
+@pytest.fixture(scope="session")
+def slip_database():
+    return _workloads.slip_database()
+
+
+@pytest.fixture(scope="session")
+def kungfu_database():
+    return _workloads.kungfu_database()
+
+
+@pytest.fixture(scope="session")
+def rand_uniform_database():
+    return _workloads.rand_uniform_database()
+
+
+@pytest.fixture(scope="session")
+def rand_normal_database():
+    return _workloads.rand_normal_database()
+
+
+@pytest.fixture(scope="session")
+def nhl_database():
+    return _workloads.nhl_database()
+
+
+@pytest.fixture(scope="session")
+def mixed_database():
+    return _workloads.mixed_database()
+
+
+@pytest.fixture(scope="session")
+def randomwalk_database():
+    return _workloads.randomwalk_database()
+
+
+# ----------------------------------------------------------------------
+# Expensive sweeps shared between figure pairs (power + speedup views)
+# ----------------------------------------------------------------------
+K = 20  # the paper reports k = 20
+
+
+@pytest.fixture(scope="session")
+def qgram_sweep(asl_database, slip_database, kungfu_database):
+    """Figures 7-8: PR/PB/PS2/PS1 x Q-gram sizes 1-4 on three data sets."""
+    import _sweeps
+
+    results = {}
+    for name, database in (
+        ("ASL", asl_database),
+        ("Slip", slip_database),
+        ("Kungfu", kungfu_database),
+    ):
+        queries = _workloads.member_queries(database, count=3, seed=41)
+        results[name] = _sweeps.run_sweep(
+            database, queries, K, _sweeps.qgram_engines(database, (1, 2, 3, 4))
+        )
+    return results
+
+
+@pytest.fixture(scope="session")
+def histogram_sweep(asl_database, slip_database, kungfu_database):
+    """Figures 9-10: HSE/HSR x {1HE, 2HE, 2H2E, 2H3E, 2H4E} on three sets."""
+    import _sweeps
+
+    results = {}
+    for name, database in (
+        ("ASL", asl_database),
+        ("Slip", slip_database),
+        ("Kungfu", kungfu_database),
+    ):
+        queries = _workloads.member_queries(database, count=3, seed=51)
+        results[name] = _sweeps.run_sweep(
+            database, queries, K, _sweeps.histogram_engines(database)
+        )
+    return results
+
+
+@pytest.fixture(scope="session")
+def combined_sweep(nhl_database, mixed_database, randomwalk_database):
+    """Figures 12-13: NTR / PS2 / HSR vs combined 1HPN / 2HPN on three sets."""
+    import _sweeps
+
+    results = {}
+    for name, database in (
+        ("NHL", nhl_database),
+        ("Mixed", mixed_database),
+        ("Randomwalk", randomwalk_database),
+    ):
+        queries = _workloads.member_queries(database, count=3, seed=61)
+        results[name] = _sweeps.run_sweep(
+            database, queries, K, _sweeps.combined_vs_single_engines(database)
+        )
+    return results

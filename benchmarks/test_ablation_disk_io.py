@@ -1,0 +1,79 @@
+"""Ablation — physical I/O saved by pruning on a disk-resident store.
+
+The paper's speedup ratios include I/O on disk-resident data.  This
+bench serializes the NHL-like set into a page file and compares the
+page reads of a sequential scan against the histogram + Q-gram pruned
+search: a pruned candidate's pages are never read, so pruning power
+translates into physical-I/O savings on top of the CPU savings.
+"""
+
+import pytest
+
+from conftest import write_report
+from _workloads import member_queries
+from repro import HistogramPruner, QgramMergeJoinPruner, TrajectoryDatabase
+from repro.storage import TrajectoryStore, disk_knn_scan, disk_knn_search
+
+K = 20
+SAMPLE = 200
+POOL_PAGES = 16  # a deliberately small buffer: misses reflect the workload
+
+
+@pytest.fixture(scope="module")
+def disk_setup(nhl_database, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("diskstore")
+    trajectories = nhl_database.trajectories[:SAMPLE]
+    database = TrajectoryDatabase(trajectories, nhl_database.epsilon)
+    path = directory / "nhl.pages"
+    TrajectoryStore.create(path, trajectories, pool_pages=POOL_PAGES).close()
+    return path, database
+
+
+@pytest.mark.benchmark(group="ablation-disk-io")
+def test_disk_io_report(benchmark, disk_setup):
+    path, database = disk_setup
+    queries = member_queries(database, count=3, seed=55)
+    pruners = [HistogramPruner(database), QgramMergeJoinPruner(database, q=1)]
+    rows = []
+    total_scan_reads = 0
+    total_pruned_reads = 0
+    for number, query in enumerate(queries):
+        scan_store = TrajectoryStore.open(path, pool_pages=POOL_PAGES)
+        scan_answer, scan_stats = disk_knn_scan(
+            scan_store, query, K, database.epsilon
+        )
+        scan_store.close()
+        pruned_store = TrajectoryStore.open(path, pool_pages=POOL_PAGES)
+        pruned_answer, pruned_stats = disk_knn_search(
+            pruned_store, database, query, K, pruners
+        )
+        pruned_store.close()
+        assert sorted(n.distance for n in scan_answer) == sorted(
+            n.distance for n in pruned_answer
+        )
+        total_scan_reads += scan_stats.page_reads
+        total_pruned_reads += pruned_stats.page_reads
+        rows.append(
+            f"query {number}: scan reads={scan_stats.page_reads:<5d} "
+            f"pruned reads={pruned_stats.page_reads:<5d} "
+            f"avoided={pruned_stats.pages_avoided:<5d} "
+            f"power={pruned_stats.pruning_power:.3f}"
+        )
+    rows.append("")
+    saved = 1.0 - total_pruned_reads / total_scan_reads
+    rows.append(f"physical reads saved by pruning: {saved:.1%}")
+    write_report(
+        "ablation_disk_io",
+        f"Ablation: page reads, disk-resident NHL subset (k={K})",
+        rows,
+    )
+    assert total_pruned_reads < total_scan_reads
+    query = queries[0]
+
+    def one_pruned_query():
+        store = TrajectoryStore.open(path, pool_pages=POOL_PAGES)
+        result = disk_knn_search(store, database, query, K, pruners)
+        store.close()
+        return result
+
+    benchmark.pedantic(one_pruned_query, rounds=2, iterations=1)

@@ -1,0 +1,50 @@
+"""Ablation — pruning power as k grows (the paper varies k from 1 to 20).
+
+Section 5 reports k = 20 after varying k from 1 to 20.  This ablation
+records the whole sweep for the best single method (HSR on trajectory
+histograms) on the Slip-like set: a larger k weakens the k-th best
+distance, so pruning power must fall monotonically (up to tie noise).
+"""
+
+import pytest
+
+from conftest import write_report
+from _workloads import member_queries
+from repro import HistogramPruner, knn_sorted_scan
+
+KS = (1, 5, 10, 20)
+
+
+@pytest.fixture(scope="module")
+def k_sweep(slip_database):
+    database = slip_database
+    pruner = HistogramPruner(database)
+    queries = member_queries(database, count=3, seed=85)
+    powers = {}
+    for k in KS:
+        values = []
+        for query in queries:
+            _, stats = knn_sorted_scan(database, query, k, pruner)
+            values.append(stats.pruning_power)
+        powers[k] = sum(values) / len(values)
+    return database, pruner, powers
+
+
+@pytest.mark.benchmark(group="ablation-k")
+def test_k_sweep_report(benchmark, k_sweep):
+    database, pruner, powers = k_sweep
+    write_report(
+        "ablation_k_sweep",
+        "Ablation: HSR-2HE pruning power vs k (Slip-like set)",
+        [f"k={k:<3d} power={power:.3f}" for k, power in powers.items()],
+    )
+    # Larger k can only weaken the k-th best distance.
+    values = [powers[k] for k in KS]
+    for tighter, looser in zip(values, values[1:]):
+        assert looser <= tighter + 0.02
+    query = member_queries(database, count=1, seed=86)[0]
+    benchmark.pedantic(
+        lambda: knn_sorted_scan(database, query, 20, pruner),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,81 @@
+"""Ablation — distance-kernel computation costs (Figure 2's cost column).
+
+The paper lists O(n) for Euclidean and O(n^2) for DTW/ERP/LCSS/EDR.
+These microbenchmarks time each kernel on a standard pair so the
+constants behind those asymptotics are visible, plus the vectorized EDR
+against its reference implementation and the early-abandoning variant.
+"""
+
+import numpy as np
+import pytest
+
+from repro import dtw, edr, erp, euclidean, lcss
+from repro.core.edr import edr_reference
+
+LENGTH = 128
+
+
+@pytest.fixture(scope="module")
+def pair():
+    rng = np.random.default_rng(0)
+    a = np.cumsum(rng.normal(size=(LENGTH, 2)), axis=0)
+    b = np.cumsum(rng.normal(size=(LENGTH, 2)), axis=0)
+    a = (a - a.mean(axis=0)) / a.std(axis=0)
+    b = (b - b.mean(axis=0)) / b.std(axis=0)
+    return a, b
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_euclidean(benchmark, pair):
+    a, b = pair
+    benchmark(lambda: euclidean(a, b))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_dtw(benchmark, pair):
+    a, b = pair
+    benchmark(lambda: dtw(a, b))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_erp(benchmark, pair):
+    a, b = pair
+    benchmark(lambda: erp(a, b))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_lcss(benchmark, pair):
+    a, b = pair
+    benchmark(lambda: lcss(a, b, 0.25))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_edr(benchmark, pair):
+    a, b = pair
+    benchmark(lambda: edr(a, b, 0.25))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_edr_reference(benchmark, pair):
+    """The naive full-matrix DP the vectorized kernel replaces."""
+    a, b = pair
+    benchmark.pedantic(lambda: edr_reference(a, b, 0.25), rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_edr_early_abandon(benchmark, pair):
+    """Early abandon with an unreachable bound quits after a few rows."""
+    a, b = pair
+    far = np.cumsum(np.full((LENGTH, 2), 5.0), axis=0)
+    benchmark(lambda: edr(a, far, 0.25, bound=3.0))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_edr_banded(benchmark, pair):
+    a, b = pair
+    benchmark(lambda: edr(a, b, 0.25, band=16))
+
+
+def test_vectorized_edr_matches_reference(pair):
+    a, b = pair
+    assert edr(a, b, 0.25) == edr_reference(a, b, 0.25)

@@ -1,0 +1,96 @@
+"""Baseline — the cluster-based index of [36] vs this library's pruning.
+
+The paper's conclusions argue that cluster-based indexing cannot serve
+non-metric distances: the triangle pruning bound is invalid for
+LCSS/EDR, so the index trades recall for speed, while the three pruning
+methods of Section 4 are exact.  This benchmark measures both sides on
+the ASL-like retrieval set under EDR: recall@k against the sequential
+scan, pruning power, and wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from _workloads import member_queries
+from repro import HistogramPruner, edr, knn_scan, knn_sorted_scan
+from repro.baselines import ClusterIndex
+
+K = 10
+CLUSTERS = 12
+
+
+@pytest.fixture(scope="module")
+def comparison(asl_database):
+    database = asl_database
+    distance = lambda a, b: edr(a, b, database.epsilon)
+    index = ClusterIndex(
+        database.trajectories, distance, cluster_count=CLUSTERS, seed=5
+    )
+    histogram = HistogramPruner(database)
+    queries = member_queries(database, count=5, seed=75)
+    rows = []
+    cluster_recalls = []
+    exact_recalls = []
+    cluster_powers = []
+    exact_powers = []
+    for number, query in enumerate(queries):
+        expected, _ = knn_scan(database, query, K)
+        expected_distances = sorted(n.distance for n in expected)
+
+        cluster_answer, cluster_stats = index.knn(query, K)
+        cluster_distances = sorted(value for _, value in cluster_answer)
+        cluster_recall = sum(
+            1 for a, b in zip(expected_distances, cluster_distances) if a == b
+        ) / K
+        cluster_recalls.append(cluster_recall)
+        cluster_powers.append(cluster_stats.pruning_power)
+
+        exact_answer, exact_stats = knn_sorted_scan(database, query, K, histogram)
+        exact_distances = sorted(n.distance for n in exact_answer)
+        exact_recall = sum(
+            1 for a, b in zip(expected_distances, exact_distances) if a == b
+        ) / K
+        exact_recalls.append(exact_recall)
+        exact_powers.append(exact_stats.pruning_power)
+        rows.append(
+            f"query {number}: cluster recall={cluster_recall:.2f} "
+            f"power={cluster_stats.pruning_power:.2f} | "
+            f"HSR recall={exact_recall:.2f} "
+            f"power={exact_stats.pruning_power:.2f}"
+        )
+    summary = {
+        "cluster_recall": float(np.mean(cluster_recalls)),
+        "exact_recall": float(np.mean(exact_recalls)),
+        "cluster_power": float(np.mean(cluster_powers)),
+        "exact_power": float(np.mean(exact_powers)),
+    }
+    return rows, summary, database, index, queries
+
+
+@pytest.mark.benchmark(group="baseline-clustertree")
+def test_clustertree_report(benchmark, comparison):
+    rows, summary, database, index, queries = comparison
+    write_report(
+        "baseline_clustertree",
+        f"Baseline: cluster index [36] vs exact pruning under EDR (k={K})",
+        rows
+        + [
+            "",
+            f"mean recall: cluster={summary['cluster_recall']:.3f} "
+            f"exact-pruning={summary['exact_recall']:.3f}",
+            f"mean power:  cluster={summary['cluster_power']:.3f} "
+            f"exact-pruning={summary['exact_power']:.3f}",
+            "",
+            "paper's point: the cluster index's triangle bound is invalid",
+            "for EDR, so its recall is not guaranteed; Section 4's pruning",
+            "achieves its power with recall 1 by construction.",
+        ],
+    )
+    # Our pruning is exact by construction.
+    assert summary["exact_recall"] == 1.0
+    # The cluster index can never *beat* perfect recall.
+    assert summary["cluster_recall"] <= 1.0
+    benchmark.pedantic(
+        lambda: index.knn(queries[0], K), rounds=2, iterations=1
+    )

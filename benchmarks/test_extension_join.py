@@ -1,0 +1,69 @@
+"""Extension — similarity self-join with the pruning framework.
+
+The Q-gram filter's original application was approximate string joins
+([10]); this bench measures how much of a trajectory self-join the
+histogram + Q-gram chain avoids at various radii on the NHL-like set.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro import HistogramPruner, QgramMergeJoinPruner
+from repro.core.join import similarity_join
+
+RADII = (5.0, 15.0, 30.0)
+SAMPLE = 120  # self-join is quadratic; join a slice of the NHL set
+
+
+@pytest.fixture(scope="module")
+def join_reports(nhl_database):
+    from repro import TrajectoryDatabase
+
+    subset = TrajectoryDatabase(
+        nhl_database.trajectories[:SAMPLE], nhl_database.epsilon
+    )
+    pruners = [HistogramPruner(subset), QgramMergeJoinPruner(subset, q=1)]
+    reports = {}
+    for radius in RADII:
+        pairs, stats = similarity_join(subset, None, radius, pruners)
+        baseline_pairs, baseline_stats = similarity_join(subset, None, radius, [])
+        assert {(p.first_index, p.second_index) for p in pairs} == {
+            (p.first_index, p.second_index) for p in baseline_pairs
+        }
+        reports[radius] = (len(pairs), stats, baseline_stats)
+    return reports
+
+
+@pytest.mark.benchmark(group="extension-join")
+def test_join_report(benchmark, join_reports, nhl_database):
+    lines = []
+    for radius, (pair_count, stats, baseline_stats) in join_reports.items():
+        speedup = (
+            baseline_stats.elapsed_seconds / stats.elapsed_seconds
+            if stats.elapsed_seconds > 0
+            else float("inf")
+        )
+        lines.append(
+            f"radius={radius:<6g} pairs={pair_count:<6d} "
+            f"power={stats.pruning_power:6.3f}  speedup={speedup:5.2f}"
+        )
+    write_report(
+        "extension_join",
+        f"Extension: pruned similarity self-join ({SAMPLE} trajectories)",
+        lines,
+    )
+    # Tighter radii must prune at least as hard as looser ones.
+    powers = [join_reports[r][1].pruning_power for r in RADII]
+    for tighter, looser in zip(powers, powers[1:]):
+        assert tighter >= looser - 1e-9
+    from repro import TrajectoryDatabase
+
+    subset = TrajectoryDatabase(
+        nhl_database.trajectories[:40], nhl_database.epsilon
+    )
+    pruners = [HistogramPruner(subset), QgramMergeJoinPruner(subset, q=1)]
+    benchmark.pedantic(
+        lambda: similarity_join(subset, None, 10.0, pruners),
+        rounds=1,
+        iterations=1,
+    )

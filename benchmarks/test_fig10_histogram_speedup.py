@@ -1,0 +1,46 @@
+"""Figure 10 — speedup ratio of histogram variants.
+
+Same sweep as Figure 9 (shared fixture), reported as speedup over the
+sequential scan.
+
+Paper shapes to reproduce:
+  * HSR beats HSE in speedup as well as power — the extra sort pays off;
+  * 1HE's speedup is close to (or above) 2HE's despite lower power,
+    because per-axis histogram distances are much cheaper to compute;
+  * histograms beat mean-value Q-grams overall (checked in fig12/13).
+"""
+
+import pytest
+
+from conftest import write_report
+from _workloads import member_queries
+from _sweeps import format_report_rows, histogram_engines
+
+K = 20
+VARIANTS = ("1HE", "2HE", "2H2E", "2H3E", "2H4E")
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_report(benchmark, histogram_sweep, kungfu_database):
+    lines = []
+    for dataset, reports in histogram_sweep.items():
+        lines.append(f"[{dataset}]")
+        lines.extend(format_report_rows(reports))
+        lines.append("")
+    write_report(
+        "fig10_histogram_speedup",
+        f"Figure 10: speedup ratio of histograms (k={K})",
+        lines,
+    )
+    for dataset, reports in histogram_sweep.items():
+        # Shape: the best HSR variant beats the best HSE variant (10 %
+        # wall-clock tolerance — when neither prunes, the two engines do
+        # identical work and timing noise decides the comparison).
+        best_hsr = max(reports[f"HSR-{v}"].speedup_ratio for v in VARIANTS)
+        best_hse = max(reports[f"HSE-{v}"].speedup_ratio for v in VARIANTS)
+        assert best_hsr >= best_hse * 0.9, dataset
+    engines = histogram_engines(kungfu_database)
+    query = member_queries(kungfu_database, count=1, seed=53)[0]
+    benchmark.pedantic(
+        lambda: engines["HSR-1HE"](kungfu_database, query, K), rounds=2, iterations=1
+    )

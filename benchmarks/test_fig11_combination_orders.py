@@ -1,0 +1,61 @@
+"""Figure 11 — all six application orders of the three pruning methods.
+
+On the NHL-like set, combine trajectory-histogram pruning (H), mean-value
+Q-gram filtering (P), and near triangle inequality (N) in every order.
+
+Paper shapes to reproduce:
+  * every order achieves the same pruning power (the methods are
+    independent filters — order cannot change *what* survives);
+  * the paper's governing principle: "applying a pruning method with
+    more pruning power and less expensive computation cost first"
+    minimizes total time.  In the paper's disk-based stack the 2-D
+    histogram filter was the cheapest, making 2HPN fastest; in this
+    vectorized in-memory stack the Q-gram merge join is the cheapest
+    strong filter and the 2-D histogram flow the priciest, so the same
+    principle favours Q-gram-first orders — which is what we assert.
+"""
+
+import pytest
+
+from conftest import write_report
+from _workloads import member_queries
+from _sweeps import combination_engines, format_report_rows, run_sweep
+
+K = 20
+ORDERS = ("2HPN", "2HNP", "P2HN", "PN2H", "N2HP", "NP2H")
+
+
+@pytest.fixture(scope="module")
+def order_sweep(nhl_database):
+    queries = member_queries(nhl_database, count=3, seed=71)
+    return run_sweep(nhl_database, queries, K, combination_engines(nhl_database))
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_report(benchmark, order_sweep, nhl_database):
+    write_report(
+        "fig11_combination_orders",
+        f"Figure 11: speedup of the six pruning orders on NHL (k={K})",
+        format_report_rows(order_sweep),
+    )
+    for report in order_sweep.values():
+        assert report.all_answers_match, report.method
+    # Shape: identical pruning power for every order.
+    powers = [order_sweep[o].mean_pruning_power for o in ORDERS]
+    assert max(powers) - min(powers) < 1e-9
+    # Shape (the paper's principle, applied to this stack's filter
+    # costs): orders that run the cheap strong filter (Q-grams) before
+    # the expensive one (2-D histogram flow) are at least as fast as
+    # orders that pay the expensive filter on every candidate first.
+    qgram_before_histogram = min(
+        order_sweep[o].mean_method_seconds for o in ("P2HN", "PN2H", "NP2H")
+    )
+    histogram_before_qgram = min(
+        order_sweep[o].mean_method_seconds for o in ("2HPN", "2HNP", "N2HP")
+    )
+    assert qgram_before_histogram <= histogram_before_qgram * 1.1
+    engines = combination_engines(nhl_database)
+    query = member_queries(nhl_database, count=1, seed=72)[0]
+    benchmark.pedantic(
+        lambda: engines["2HPN"](nhl_database, query, K), rounds=2, iterations=1
+    )

@@ -1,0 +1,60 @@
+"""Figure 12 — pruning power: combined methods vs each method alone.
+
+On the three large sets (NHL-like, mixed, random walk): near triangle
+inequality alone (NTR), mean-value Q-grams alone (PS2), trajectory
+histograms alone (HSR-2HE), and the combinations 1HPN (per-axis
+histograms -> Q-grams -> NTI) and 2HPN (trajectory histograms -> Q-grams
+-> NTI).
+
+Paper shapes to reproduce:
+  * each combined method prunes at least as much as any of its parts;
+  * NTR alone is by far the weakest filter.
+"""
+
+import pytest
+
+from conftest import write_report
+from _workloads import member_queries
+from _sweeps import combined_vs_single_engines, format_report_rows
+
+K = 20
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_report(benchmark, combined_sweep, nhl_database):
+    lines = []
+    for dataset, reports in combined_sweep.items():
+        lines.append(f"[{dataset}]")
+        lines.extend(format_report_rows(reports))
+        lines.append("")
+    write_report(
+        "fig12_combined_power",
+        f"Figure 12: pruning power of combined methods (k={K})",
+        lines,
+    )
+    for dataset, reports in combined_sweep.items():
+        for report in reports.values():
+            assert report.all_answers_match, f"{dataset}/{report.method}"
+        # Shape: combining never prunes less than the strongest part.
+        parts_max = max(
+            reports[name].mean_pruning_power for name in ("NTR", "PS2")
+        )
+        assert reports["2HPN"].mean_pruning_power >= parts_max - 1e-9
+        # 2HPN orders candidates by the *quick* histogram bound (cheap),
+        # so its sorted-break can skip slightly fewer candidates than
+        # pure HSR with exact bounds; allow that small gap.
+        assert (
+            reports["2HPN"].mean_pruning_power
+            >= reports["HSR-2HE"].mean_pruning_power - 0.05
+        )
+        # Shape: NTR alone is the weakest method.
+        weakest = min(
+            reports[name].mean_pruning_power
+            for name in ("PS2", "HSR-2HE", "1HPN", "2HPN")
+        )
+        assert reports["NTR"].mean_pruning_power <= weakest + 1e-9
+    engines = combined_vs_single_engines(nhl_database)
+    query = member_queries(nhl_database, count=1, seed=62)[0]
+    benchmark.pedantic(
+        lambda: engines["2HPN"](nhl_database, query, K), rounds=2, iterations=1
+    )

@@ -1,0 +1,60 @@
+"""Figure 7 — pruning power of mean-value Q-gram variants.
+
+Four implementations (PR: R-tree on 2-D means, PB: B+-tree on 1-D means,
+PS2: merge join on 2-D means, PS1: merge join on 1-D means) across
+Q-gram sizes 1-4 on the ASL-like, Slip-like, and Kungfu-like sets.
+
+Paper shapes to reproduce:
+  * pruning power decreases as the Q-gram size grows (size 1 is best);
+  * two-dimensional variants (PR, PS2) beat one-dimensional (PB, PS1);
+  * PR >= PS2 (index counting over-matches less than it under-counts).
+"""
+
+import pytest
+
+from conftest import write_report
+from _workloads import member_queries
+from _sweeps import format_report_rows, qgram_engines
+
+K = 20
+SIZES = (1, 2, 3, 4)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_report(benchmark, qgram_sweep, asl_database):
+    lines = []
+    for dataset, reports in qgram_sweep.items():
+        lines.append(f"[{dataset}]")
+        lines.extend(format_report_rows(reports))
+        lines.append("")
+    write_report(
+        "fig7_qgram_power",
+        f"Figure 7: pruning power of mean-value Q-grams (k={K})",
+        lines,
+    )
+    for dataset, reports in qgram_sweep.items():
+        for report in reports.values():
+            assert report.all_answers_match, f"{dataset}/{report.method}"
+        # Shape: size-1 Q-grams dominate size-4 for every method.
+        for method in ("PR", "PB", "PS2", "PS1"):
+            assert (
+                reports[f"{method}-q1"].mean_pruning_power
+                >= reports[f"{method}-q4"].mean_pruning_power - 1e-9
+            )
+        # Shape: 2-D variants at size 1 are at least as strong as 1-D.
+        assert (
+            reports["PS2-q1"].mean_pruning_power
+            >= reports["PS1-q1"].mean_pruning_power - 1e-9
+        )
+        assert (
+            reports["PR-q1"].mean_pruning_power
+            >= reports["PB-q1"].mean_pruning_power - 1e-9
+        )
+    # time one representative PS2 query
+    queries = member_queries(asl_database, count=1, seed=42)
+    engines = qgram_engines(asl_database, sizes=(1,))
+    benchmark.pedantic(
+        lambda: engines["PS2-q1"](asl_database, queries[0], K),
+        rounds=2,
+        iterations=1,
+    )

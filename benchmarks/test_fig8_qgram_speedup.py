@@ -1,0 +1,62 @@
+"""Figure 8 — speedup ratio of mean-value Q-gram variants.
+
+Same sweep as Figure 7 (the ``qgram_sweep`` fixture is shared), reported
+as speedup ratio over sequential scan.
+
+Paper shapes to reproduce:
+  * merge-join variants (PS2/PS1) beat index-based variants (PR/PB) in
+    speedup despite lower pruning power — per-Q-gram index probes cost
+    more than they save;
+  * speedups are larger on long-trajectory data (Kungfu) than short
+    (ASL), because each avoided EDR is worth more;
+  * PS2 at Q-gram size 1 is the overall best Q-gram method.
+"""
+
+import pytest
+
+from conftest import write_report
+from _workloads import member_queries
+from _sweeps import format_report_rows, qgram_engines
+
+K = 20
+SIZES = (1, 2, 3, 4)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_report(benchmark, qgram_sweep, kungfu_database):
+    lines = []
+    for dataset, reports in qgram_sweep.items():
+        lines.append(f"[{dataset}]")
+        lines.extend(format_report_rows(reports))
+        lines.append("")
+    write_report(
+        "fig8_qgram_speedup",
+        f"Figure 8: speedup ratio of mean-value Q-grams (k={K})",
+        lines,
+    )
+    # Shape: each avoided EDR is worth more on long trajectories, so the
+    # best Q-gram speedup on the long sets beats the best on short ASL.
+    def best_speedup(reports):
+        return max(
+            reports[f"{m}-q{q}"].speedup_ratio
+            for m in ("PR", "PB", "PS2", "PS1")
+            for q in SIZES
+        )
+
+    assert best_speedup(qgram_sweep["Slip"]) >= best_speedup(qgram_sweep["ASL"]) * 0.9
+    # Note: the paper additionally observes merge join beating the
+    # index-based variants in wall-clock; that finding reflects its
+    # disk-resident R-tree probes and does not transfer to this
+    # in-memory reproduction (see EXPERIMENTS.md), so it is reported in
+    # the table above but not asserted.
+    for dataset, reports in qgram_sweep.items():
+        for report in reports.values():
+            assert report.all_answers_match, f"{dataset}/{report.method}"
+    # time a representative PS2 query on the long-trajectory set
+    engines = qgram_engines(kungfu_database, sizes=(1,))
+    query = member_queries(kungfu_database, count=1, seed=43)[0]
+    benchmark.pedantic(
+        lambda: engines["PS2-q1"](kungfu_database, query, K),
+        rounds=2,
+        iterations=1,
+    )

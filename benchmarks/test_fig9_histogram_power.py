@@ -1,0 +1,59 @@
+"""Figure 9 — pruning power of histogram variants.
+
+Variants: per-axis one-dimensional histograms with bin size ε (1HE) and
+trajectory (2-D) histograms with bin sizes ε, 2ε, 3ε, 4ε (2HE..2H4E),
+each scanned sequentially (HSE) or in sorted lower-bound order (HSR), on
+the ASL-like, Slip-like, and Kungfu-like sets.
+
+Paper shapes to reproduce:
+  * 2HE (trajectory histograms at bin size ε) has the highest power;
+  * shrinking resolution (larger δ) loses power; 1HE sits between 2HE
+    and the coarse 2-D variants;
+  * HSR's power is at least HSE's for every variant.
+"""
+
+import pytest
+
+from conftest import write_report
+from _workloads import member_queries
+from _sweeps import format_report_rows, histogram_engines
+
+K = 20
+VARIANTS = ("1HE", "2HE", "2H2E", "2H3E", "2H4E")
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_report(benchmark, histogram_sweep, asl_database):
+    lines = []
+    for dataset, reports in histogram_sweep.items():
+        lines.append(f"[{dataset}]")
+        lines.extend(format_report_rows(reports))
+        lines.append("")
+    write_report(
+        "fig9_histogram_power",
+        f"Figure 9: pruning power of histograms (k={K})",
+        lines,
+    )
+    for dataset, reports in histogram_sweep.items():
+        for report in reports.values():
+            assert report.all_answers_match, f"{dataset}/{report.method}"
+        # Shape: fine-grained 2-D histograms dominate every other variant.
+        top = reports["HSR-2HE"].mean_pruning_power
+        for variant in VARIANTS:
+            assert top >= reports[f"HSR-{variant}"].mean_pruning_power - 1e-9
+        # Shape: HSR never prunes less than HSE.
+        for variant in VARIANTS:
+            assert (
+                reports[f"HSR-{variant}"].mean_pruning_power
+                >= reports[f"HSE-{variant}"].mean_pruning_power - 1e-9
+            )
+        # Shape: power decreases monotonically with bin size delta.
+        assert (
+            reports["HSR-2HE"].mean_pruning_power
+            >= reports["HSR-2H4E"].mean_pruning_power - 1e-9
+        )
+    engines = histogram_engines(asl_database)
+    query = member_queries(asl_database, count=1, seed=52)[0]
+    benchmark.pedantic(
+        lambda: engines["HSR-2HE"](asl_database, query, K), rounds=2, iterations=1
+    )

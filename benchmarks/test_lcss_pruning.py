@@ -1,0 +1,94 @@
+"""Extension — the pruning framework applied to LCSS.
+
+Section 4 of the paper claims its pruning techniques "can also be
+applied to LCSS" but omits the details; this library implements them
+(histogram match-capacity and Q-gram upper bounds, see
+``repro.core.lcss_search``).  This bench measures the resulting pruning
+power and speedup on the ASL-like and NHL-like sets, against an LCSS
+sequential scan.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from _workloads import member_queries
+from repro.core.lcss_search import (
+    LcssHistogramBound,
+    LcssQgramBound,
+    knn_lcss_scan,
+    knn_lcss_search,
+)
+from repro.eval import EfficiencyReport
+
+K = 20
+
+
+def run_lcss_sweep(database, queries):
+    scans = [knn_lcss_scan(database, query, K) for query in queries]
+    scan_seconds = float(np.mean([stats.elapsed_seconds for _, stats in scans]))
+    bounds = {
+        "lcss-histogram": [LcssHistogramBound(database)],
+        "lcss-qgram": [LcssQgramBound(database, q=1)],
+        "lcss-combined": [
+            LcssHistogramBound(database),
+            LcssQgramBound(database, q=1),
+        ],
+    }
+    reports = {}
+    for name, bound_set in bounds.items():
+        powers, seconds = [], []
+        all_match = True
+        for query, (scan_matches, _) in zip(queries, scans):
+            matches, stats = knn_lcss_search(database, query, K, bound_set)
+            powers.append(stats.pruning_power)
+            seconds.append(stats.elapsed_seconds)
+            if sorted(m.score for m in matches) != sorted(
+                m.score for m in scan_matches
+            ):
+                all_match = False
+        reports[name] = EfficiencyReport(
+            method=name,
+            query_count=len(queries),
+            mean_pruning_power=float(np.mean(powers)),
+            mean_scan_seconds=scan_seconds,
+            mean_method_seconds=float(np.mean(seconds)),
+            all_answers_match=all_match,
+        )
+    return reports
+
+
+@pytest.fixture(scope="module")
+def lcss_sweep(asl_database, nhl_database):
+    return {
+        "ASL": run_lcss_sweep(asl_database, member_queries(asl_database, 3, 91)),
+        "NHL": run_lcss_sweep(nhl_database, member_queries(nhl_database, 3, 92)),
+    }
+
+
+@pytest.mark.benchmark(group="lcss-pruning")
+def test_lcss_pruning_report(benchmark, lcss_sweep, asl_database):
+    lines = []
+    for dataset, reports in lcss_sweep.items():
+        lines.append(f"[{dataset}]")
+        lines.extend(report.row() for report in reports.values())
+        lines.append("")
+    write_report(
+        "extension_lcss_pruning",
+        f"Extension: the pruning framework applied to LCSS (k={K})",
+        lines,
+    )
+    for dataset, reports in lcss_sweep.items():
+        for report in reports.values():
+            assert report.all_answers_match, f"{dataset}/{report.method}"
+        # Combining both bounds prunes at least as much as either alone.
+        combined = reports["lcss-combined"].mean_pruning_power
+        assert combined >= reports["lcss-histogram"].mean_pruning_power - 1e-9
+        assert combined >= reports["lcss-qgram"].mean_pruning_power - 1e-9
+    query = member_queries(asl_database, count=1, seed=93)[0]
+    bounds = [LcssHistogramBound(asl_database), LcssQgramBound(asl_database, q=1)]
+    benchmark.pedantic(
+        lambda: knn_lcss_search(asl_database, query, K, bounds),
+        rounds=2,
+        iterations=1,
+    )

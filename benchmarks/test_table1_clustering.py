@@ -1,0 +1,65 @@
+"""Table 1 — clustering efficacy of the five distance functions.
+
+Protocol: for each pair of classes in the Cameramouse-like (10 pairs)
+and ASL-like (45 pairs) sets, cluster into two complete-linkage clusters
+and count perfect partitions.  Paper result: Euclidean far behind
+(CM 2/10, ASL 4/45); DTW/ERP/LCSS/EDR comparable and much better
+(CM 10/10, ASL 20-21/45).
+
+Expected reproduced shape: Euclidean worst; the four elastic measures
+clustered together at the top.
+"""
+
+import pytest
+
+from conftest import write_report
+from _workloads import asl_set, cameramouse_set, EPSILON
+
+from repro import dtw, edr, erp, euclidean, lcss_distance
+from repro.eval import clustering_score
+
+
+def distance_functions():
+    return {
+        "Eu": lambda a, b: euclidean(a, b),
+        "DTW": lambda a, b: dtw(a, b),
+        "ERP": lambda a, b: erp(a, b),
+        "LCSS": lambda a, b: lcss_distance(a, b, EPSILON),
+        "EDR": lambda a, b: edr(a, b, EPSILON),
+    }
+
+
+def run_table1():
+    rows = []
+    scores = {}
+    for dataset_name, raw in (("CM", cameramouse_set()), ("ASL", asl_set())):
+        trajectories = [t.normalized() for t in raw]
+        results = {}
+        for name, fn in distance_functions().items():
+            correct, total = clustering_score(trajectories, fn)
+            results[name] = (correct, total)
+        scores[dataset_name] = results
+        total = next(iter(results.values()))[1]
+        cells = "  ".join(f"{name}={c}/{total}" for name, (c, _) in results.items())
+        rows.append(f"{dataset_name:<5} (total {total} correct): {cells}")
+    return scores, rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_clustering_efficacy(benchmark):
+    scores, rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    write_report(
+        "table1_clustering",
+        "Table 1: clustering results of five distance functions",
+        rows
+        + [
+            "",
+            "paper: CM  Eu=2/10  DTW=10/10 ERP=10/10 LCSS=10/10 EDR=10/10",
+            "paper: ASL Eu=4/45  DTW=20/45 ERP=21/45 LCSS=21/45 EDR=21/45",
+        ],
+    )
+    for dataset in ("CM", "ASL"):
+        results = scores[dataset]
+        elastic_worst = min(results[n][0] for n in ("DTW", "ERP", "LCSS", "EDR"))
+        # The paper's shape: Euclidean never beats the elastic measures.
+        assert results["Eu"][0] <= elastic_worst

@@ -1,0 +1,63 @@
+"""Scenario: clustering animal migration tracks (the Table 1 protocol).
+
+The paper's introduction motivates trajectory similarity with mining
+animal migration patterns from remote-sensing data.  This example
+simulates tracks of several herds (each herd follows its own seasonal
+route, sampled at varying rates with jitter) and checks which distance
+functions can tell the herds apart with complete-linkage hierarchical
+clustering — the exact evaluation behind Table 1.
+
+Run:  python examples/animal_migration_clustering.py
+"""
+
+from repro import dtw, edr, erp, euclidean, lcss_distance, suggest_epsilon
+from repro.data import make_labelled_set
+from repro.eval import clustering_score
+
+HERDS = 5
+TRACKS_PER_HERD = 3
+
+
+def main():
+    print(
+        f"simulating {HERDS} herds x {TRACKS_PER_HERD} migration tracks "
+        "(shared routes, individual speed variation)..."
+    )
+    tracks = make_labelled_set(
+        class_count=HERDS,
+        instances_per_class=TRACKS_PER_HERD,
+        min_length=80,
+        max_length=160,
+        seed=21,
+        warp_strength=0.8,  # strong local time shifting between animals
+    )
+    normalized = [t.normalized() for t in tracks]
+    epsilon = suggest_epsilon(normalized)
+    print(f"matching threshold eps = {epsilon:.3f}\n")
+
+    distances = {
+        "euclidean": lambda a, b: euclidean(a, b),
+        "dtw": lambda a, b: dtw(a, b),
+        "erp": lambda a, b: erp(a, b),
+        "lcss": lambda a, b: lcss_distance(a, b, epsilon),
+        "edr": lambda a, b: edr(a, b, epsilon),
+    }
+
+    total_pairs = HERDS * (HERDS - 1) // 2
+    print(
+        "herd-pair partitions recovered by complete-linkage clustering "
+        f"(out of {total_pairs}):"
+    )
+    for name, fn in distances.items():
+        correct, total = clustering_score(normalized, fn)
+        bar = "#" * correct + "." * (total - correct)
+        print(f"  {name:<10} {correct:>2}/{total}  {bar}")
+
+    print(
+        "\nthe elastic measures (DTW/ERP/LCSS/EDR) handle the speed "
+        "variation; Euclidean's rigid alignment usually cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification run: test suite, complete benchmark suite, and the
+# assembled EXPERIMENTS.md.  Writes test_output.txt / bench_output.txt
+# at the repository root.
+set -u
+cd "$(dirname "$0")/.."
+
+python -m pytest tests/ 2>&1 | tee test_output.txt
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+python benchmarks/make_experiments_md.py
+echo "run_all: done" >> bench_output.txt

@@ -1,0 +1,5 @@
+"""Related-work baselines the paper compares against conceptually."""
+
+from .clustertree import Cluster, ClusterIndex, ClusterSearchStats
+
+__all__ = ["Cluster", "ClusterIndex", "ClusterSearchStats"]

@@ -1,0 +1,385 @@
+"""Command-line interface for trajectory similarity search.
+
+Usage (also available as ``python -m repro``):
+
+    repro-trajectory generate --kind random-walk --count 500 --out db.npz
+    repro-trajectory info db.npz
+    repro-trajectory distance db.npz 3 17 --function edr --epsilon 0.25
+    repro-trajectory knn db.npz --query-index 0 --k 10 --pruners histogram,qgram
+    repro-trajectory range db.npz --query-index 0 --radius 20
+    repro-trajectory join db.npz --radius 10
+    repro-trajectory find-pattern db.npz --pattern-index 0 --pattern-end 20
+    repro-trajectory align db.npz 0 6
+    repro-trajectory classify db.npz --functions euclidean,dtw,erp,lcss,edr
+
+Files are the NPZ/CSV formats of :mod:`repro.data.io`; labelled
+generators attach class labels that ``classify`` and ``cluster`` use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .core.alignment import edr_alignment, subtrajectory_edr
+from .core.database import TrajectoryDatabase
+from .core.join import similarity_join
+from .core.rangequery import range_search
+from .core.search import (
+    HistogramPruner,
+    NearTrianglePruning,
+    Pruner,
+    QgramMergeJoinPruner,
+    knn_search,
+)
+from .core.matching import suggest_epsilon
+from .core.trajectory import Trajectory
+from .data import (
+    load_csv,
+    load_npz,
+    make_asl_like,
+    make_cameramouse_like,
+    make_mixed_set,
+    make_nhl_like,
+    make_random_walk_set,
+    save_csv,
+    save_npz,
+)
+from .distances.base import available_distances, get_distance
+from .eval.classification import leave_one_out_error
+from .eval.clustering import clustering_score
+
+__all__ = ["main", "build_parser"]
+
+GENERATORS = {
+    "random-walk": lambda count, seed: make_random_walk_set(count=count, seed=seed),
+    "asl": lambda count, seed: make_asl_like(seed=seed),
+    "cameramouse": lambda count, seed: make_cameramouse_like(seed=seed),
+    "nhl": lambda count, seed: make_nhl_like(count=count, seed=seed),
+    "mixed": lambda count, seed: make_mixed_set(count=count, seed=seed),
+}
+
+EPSILON_FUNCTIONS = {"edr", "lcss", "lcss_distance"}
+
+
+def _load(path: str) -> List[Trajectory]:
+    if path.endswith(".csv"):
+        return load_csv(path)
+    return load_npz(path)
+
+
+def _save(path: str, trajectories: List[Trajectory]) -> None:
+    if path.endswith(".csv"):
+        save_csv(path, trajectories)
+    else:
+        save_npz(path, trajectories)
+
+
+def _epsilon(argument: Optional[float], trajectories: List[Trajectory]) -> float:
+    if argument is not None:
+        return argument
+    return suggest_epsilon(trajectories)
+
+
+def _distance_callable(name: str, epsilon: float):
+    function = get_distance(name)
+    if name.lower() in EPSILON_FUNCTIONS:
+        return lambda a, b: function(a, b, epsilon)
+    return lambda a, b: function(a, b)
+
+
+def _build_pruners(
+    names: str, database: TrajectoryDatabase
+) -> List[Pruner]:
+    pruners: List[Pruner] = []
+    for name in filter(None, (part.strip() for part in names.split(","))):
+        if name == "histogram":
+            pruners.append(HistogramPruner(database))
+        elif name == "histogram-1d":
+            pruners.append(HistogramPruner(database, per_axis=True))
+        elif name == "qgram":
+            pruners.append(QgramMergeJoinPruner(database, q=1))
+        elif name == "nti":
+            pruners.append(NearTrianglePruning(database, max_triangle=50))
+        elif name == "none":
+            continue
+        else:
+            raise SystemExit(
+                f"unknown pruner {name!r}; "
+                "choose from histogram, histogram-1d, qgram, nti, none"
+            )
+    return pruners
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    generator = GENERATORS[args.kind]
+    trajectories = generator(args.count, args.seed)
+    if args.normalize:
+        trajectories = [t.normalized() for t in trajectories]
+    _save(args.out, trajectories)
+    print(f"wrote {len(trajectories)} trajectories to {args.out}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    lengths = np.array([len(t) for t in trajectories])
+    labels = {t.label for t in trajectories if t.label is not None}
+    print(f"trajectories: {len(trajectories)}")
+    print(f"arity: {trajectories[0].ndim if trajectories else '-'}")
+    print(
+        "lengths: "
+        f"min={lengths.min()} median={int(np.median(lengths))} max={lengths.max()}"
+    )
+    print(f"labelled classes: {len(labels) if labels else 'none'}")
+    print(f"suggested epsilon: {suggest_epsilon(trajectories):.4f}")
+    return 0
+
+
+def cmd_distance(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    epsilon = _epsilon(args.epsilon, trajectories)
+    function = _distance_callable(args.function, epsilon)
+    first = trajectories[args.first]
+    second = trajectories[args.second]
+    value = function(first, second)
+    print(f"{args.function}({args.first}, {args.second}) = {value}")
+    return 0
+
+
+def cmd_knn(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    epsilon = _epsilon(args.epsilon, trajectories)
+    database = TrajectoryDatabase(trajectories, epsilon)
+    query = trajectories[args.query_index]
+    pruners = _build_pruners(args.pruners, database)
+    neighbors, stats = knn_search(database, query, args.k, pruners)
+    print(f"epsilon = {epsilon:.4f}; pruning power = {stats.pruning_power:.3f}")
+    for neighbor in neighbors:
+        label = trajectories[neighbor.index].label or ""
+        print(f"  {neighbor.index:>6}  EDR = {neighbor.distance:<8.1f} {label}")
+    return 0
+
+
+def cmd_range(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    epsilon = _epsilon(args.epsilon, trajectories)
+    database = TrajectoryDatabase(trajectories, epsilon)
+    query = trajectories[args.query_index]
+    pruners = _build_pruners(args.pruners, database)
+    results, stats = range_search(database, query, args.radius, pruners)
+    print(
+        f"epsilon = {epsilon:.4f}; {len(results)} trajectories within "
+        f"EDR {args.radius} (pruning power {stats.pruning_power:.3f})"
+    )
+    for neighbor in sorted(results, key=lambda n: n.distance):
+        print(f"  {neighbor.index:>6}  EDR = {neighbor.distance:.1f}")
+    return 0
+
+
+def cmd_join(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    epsilon = _epsilon(args.epsilon, trajectories)
+    database = TrajectoryDatabase(trajectories, epsilon)
+    pruners = _build_pruners(args.pruners, database)
+    pairs, stats = similarity_join(database, None, args.radius, pruners)
+    print(
+        f"epsilon = {epsilon:.4f}; {len(pairs)} pairs within EDR "
+        f"{args.radius} (pruning power {stats.pruning_power:.3f})"
+    )
+    for pair in sorted(pairs, key=lambda p: p.distance)[: args.limit]:
+        print(
+            f"  ({pair.first_index:>5}, {pair.second_index:>5})  "
+            f"EDR = {pair.distance:.1f}"
+        )
+    if len(pairs) > args.limit:
+        print(f"  ... and {len(pairs) - args.limit} more")
+    return 0
+
+
+def cmd_find_pattern(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    epsilon = _epsilon(args.epsilon, trajectories)
+    pattern_source = trajectories[args.pattern_index]
+    end = args.pattern_end if args.pattern_end is not None else len(pattern_source)
+    pattern = pattern_source.points[args.pattern_start : end]
+    print(
+        f"pattern: trajectory {args.pattern_index}"
+        f"[{args.pattern_start}:{end}] ({len(pattern)} samples), "
+        f"epsilon = {epsilon:.4f}"
+    )
+    hits = []
+    for index, trajectory in enumerate(trajectories):
+        distance, window = subtrajectory_edr(pattern, trajectory, epsilon)
+        hits.append((distance, index, window))
+    hits.sort()
+    for distance, index, (start, stop) in hits[: args.limit]:
+        print(
+            f"  trajectory {index:>5}  window [{start:>4}, {stop:>4})  "
+            f"EDR = {distance:.0f}"
+        )
+    return 0
+
+
+def cmd_align(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    epsilon = _epsilon(args.epsilon, trajectories)
+    first = trajectories[args.first]
+    second = trajectories[args.second]
+    distance, operations = edr_alignment(first, second, epsilon)
+    matched = sum(op.kind == "match" for op in operations)
+    print(
+        f"EDR({args.first}, {args.second}) = {distance:.0f} "
+        f"({matched} free matches, {len(operations) - matched} edits)"
+    )
+    runs = []
+    for op in operations:
+        if not runs or runs[-1][0] != op.kind:
+            runs.append([op.kind, 0])
+        runs[-1][1] += 1
+    print("script:", ", ".join(f"{count}x{kind}" for kind, count in runs))
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    if not any(t.label for t in trajectories):
+        raise SystemExit("classify needs a labelled data set")
+    epsilon = _epsilon(args.epsilon, trajectories)
+    print(f"epsilon = {epsilon:.4f}")
+    for name in args.functions.split(","):
+        name = name.strip()
+        function = _distance_callable(name, epsilon)
+        error = leave_one_out_error(trajectories, function)
+        print(f"  {name:<14} leave-one-out error = {error:.3f}")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    if not any(t.label for t in trajectories):
+        raise SystemExit("cluster needs a labelled data set")
+    epsilon = _epsilon(args.epsilon, trajectories)
+    print(f"epsilon = {epsilon:.4f}")
+    for name in args.functions.split(","):
+        name = name.strip()
+        function = _distance_callable(name, epsilon)
+        correct, total = clustering_score(trajectories, function)
+        print(f"  {name:<14} correct class-pair partitions = {correct}/{total}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trajectory",
+        description="EDR trajectory similarity search (SIGMOD 2005 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic data set")
+    generate.add_argument("--kind", choices=sorted(GENERATORS), default="random-walk")
+    generate.add_argument("--count", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--normalize", action="store_true")
+    generate.add_argument("--out", required=True, help="output .npz or .csv path")
+    generate.set_defaults(handler=cmd_generate)
+
+    info = commands.add_parser("info", help="summarize a trajectory file")
+    info.add_argument("file")
+    info.set_defaults(handler=cmd_info)
+
+    distance = commands.add_parser("distance", help="distance between two members")
+    distance.add_argument("file")
+    distance.add_argument("first", type=int)
+    distance.add_argument("second", type=int)
+    distance.add_argument(
+        "--function", default="edr", choices=available_distances()
+    )
+    distance.add_argument("--epsilon", type=float, default=None)
+    distance.set_defaults(handler=cmd_distance)
+
+    knn = commands.add_parser("knn", help="k-NN search under EDR")
+    knn.add_argument("file")
+    knn.add_argument("--query-index", type=int, default=0)
+    knn.add_argument("--k", type=int, default=10)
+    knn.add_argument("--epsilon", type=float, default=None)
+    knn.add_argument(
+        "--pruners",
+        default="histogram,qgram",
+        help="comma list: histogram, histogram-1d, qgram, nti, none",
+    )
+    knn.set_defaults(handler=cmd_knn)
+
+    range_command = commands.add_parser("range", help="range query under EDR")
+    range_command.add_argument("file")
+    range_command.add_argument("--query-index", type=int, default=0)
+    range_command.add_argument("--radius", type=float, required=True)
+    range_command.add_argument("--epsilon", type=float, default=None)
+    range_command.add_argument("--pruners", default="histogram,qgram")
+    range_command.set_defaults(handler=cmd_range)
+
+    join = commands.add_parser("join", help="similarity self-join under EDR")
+    join.add_argument("file")
+    join.add_argument("--radius", type=float, required=True)
+    join.add_argument("--epsilon", type=float, default=None)
+    join.add_argument("--pruners", default="histogram,qgram")
+    join.add_argument("--limit", type=int, default=20)
+    join.set_defaults(handler=cmd_join)
+
+    find_pattern = commands.add_parser(
+        "find-pattern", help="locate a sub-trajectory pattern in every member"
+    )
+    find_pattern.add_argument("file")
+    find_pattern.add_argument("--pattern-index", type=int, required=True)
+    find_pattern.add_argument("--pattern-start", type=int, default=0)
+    find_pattern.add_argument("--pattern-end", type=int, default=None)
+    find_pattern.add_argument("--epsilon", type=float, default=None)
+    find_pattern.add_argument("--limit", type=int, default=10)
+    find_pattern.set_defaults(handler=cmd_find_pattern)
+
+    align = commands.add_parser(
+        "align", help="show the EDR edit script between two members"
+    )
+    align.add_argument("file")
+    align.add_argument("first", type=int)
+    align.add_argument("second", type=int)
+    align.add_argument("--epsilon", type=float, default=None)
+    align.set_defaults(handler=cmd_align)
+
+    classify = commands.add_parser(
+        "classify", help="leave-one-out 1-NN evaluation of distance functions"
+    )
+    classify.add_argument("file")
+    classify.add_argument("--functions", default="euclidean,dtw,erp,lcss_distance,edr")
+    classify.add_argument("--epsilon", type=float, default=None)
+    classify.set_defaults(handler=cmd_classify)
+
+    cluster = commands.add_parser(
+        "cluster", help="complete-linkage class-pair clustering evaluation"
+    )
+    cluster.add_argument("file")
+    cluster.add_argument("--functions", default="euclidean,dtw,erp,lcss_distance,edr")
+    cluster.add_argument("--epsilon", type=float, default=None)
+    cluster.set_defaults(handler=cmd_cluster)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""The paper's primary contribution: EDR and its exact k-NN pruning framework."""
+
+from .database import TrajectoryDatabase
+from .edr import edr, edr_matrix, edr_reference
+from .histogram import HistogramSpace, histogram_distance
+from .matching import elements_match, match_matrix, suggest_epsilon
+from .alignment import EditOperation, edr_alignment, subtrajectory_edr
+from .cse import CseReport, analyze_cse, cse_constant
+from .join import JoinPair, JoinStats, similarity_join
+from .lcss_search import (
+    LcssHistogramBound,
+    LcssQgramBound,
+    knn_lcss_scan,
+    knn_lcss_search,
+)
+from .neartriangle import NearTrianglePruner, near_triangle_lower_bound
+from .rangequery import range_scan, range_search
+from .qgram import (
+    can_prune_by_qgrams,
+    common_qgram_lower_bound,
+    count_common_qgrams,
+    mean_value_qgrams,
+    qgram_windows,
+)
+from .trajectory import Trajectory
+
+__all__ = [
+    "Trajectory",
+    "EditOperation",
+    "edr_alignment",
+    "subtrajectory_edr",
+    "CseReport",
+    "analyze_cse",
+    "cse_constant",
+    "JoinPair",
+    "JoinStats",
+    "similarity_join",
+    "TrajectoryDatabase",
+    "edr",
+    "edr_matrix",
+    "edr_reference",
+    "HistogramSpace",
+    "histogram_distance",
+    "elements_match",
+    "match_matrix",
+    "suggest_epsilon",
+    "LcssHistogramBound",
+    "LcssQgramBound",
+    "knn_lcss_scan",
+    "knn_lcss_search",
+    "range_scan",
+    "range_search",
+    "NearTrianglePruner",
+    "near_triangle_lower_bound",
+    "can_prune_by_qgrams",
+    "common_qgram_lower_bound",
+    "count_common_qgrams",
+    "mean_value_qgrams",
+    "qgram_windows",
+]

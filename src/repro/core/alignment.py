@@ -1,0 +1,175 @@
+"""EDR alignments: the edit script behind the distance.
+
+``edr`` reports only the minimum number of edit operations; applications
+like the paper's motivating examples (where did two players' movements
+coincide? which part of a gesture deviated?) also need the *alignment* —
+which elements matched for free and which were inserted, deleted, or
+replaced.  This module materializes the full DP matrix and backtracks
+the optimal edit script.
+
+``subtrajectory_edr`` additionally solves the semi-global variant (the
+approximate-string-matching setting Theorem 1 originates from): find the
+window of a long trajectory that a short pattern matches best, with the
+text's prefix and suffix free of charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .matching import match_matrix
+from .trajectory import Trajectory
+
+__all__ = ["EditOperation", "edr_alignment", "subtrajectory_edr"]
+
+
+@dataclass(frozen=True)
+class EditOperation:
+    """One step of an EDR edit script.
+
+    ``kind`` is ``"match"`` (free), ``"replace"``, ``"delete"`` (drops
+    ``first_index`` of the first trajectory), or ``"insert"`` (adds
+    ``second_index`` of the second).  Indices are ``None`` on the side
+    an operation does not touch.
+    """
+
+    kind: str
+    first_index: Union[int, None]
+    second_index: Union[int, None]
+
+    @property
+    def cost(self) -> int:
+        return 0 if self.kind == "match" else 1
+
+
+def _full_table(
+    a: np.ndarray, b: np.ndarray, epsilon: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    m, n = len(a), len(b)
+    matches = match_matrix(a, b, epsilon) if m and n else np.zeros((m, n), bool)
+    table = np.zeros((m + 1, n + 1), dtype=np.float64)
+    table[:, 0] = np.arange(m + 1)
+    table[0, :] = np.arange(n + 1)
+    for i in range(1, m + 1):
+        subcost = np.where(matches[i - 1], 0.0, 1.0)
+        row = table[i]
+        previous = table[i - 1]
+        row[1:] = np.minimum(previous[:-1] + subcost, previous[1:] + 1.0)
+        # Left-propagation with unit cost (running minimum trick).
+        indices = np.arange(n + 1, dtype=np.float64)
+        table[i] = indices + np.minimum.accumulate(row - indices)
+    return table, matches
+
+
+def edr_alignment(
+    first: Union[Trajectory, np.ndarray, Sequence],
+    second: Union[Trajectory, np.ndarray, Sequence],
+    epsilon: float,
+) -> Tuple[float, List[EditOperation]]:
+    """The EDR distance together with one optimal edit script.
+
+    Returns ``(distance, operations)``; the operations transform
+    ``first`` into ``second`` reading left to right, and the number of
+    non-match operations equals the distance.  Ties between equal-cost
+    scripts are broken in favour of match/replace, then delete.
+    """
+    if epsilon < 0.0:
+        raise ValueError("matching threshold epsilon must be non-negative")
+    a = first.points if isinstance(first, Trajectory) else np.atleast_2d(
+        np.asarray(first, dtype=np.float64).reshape(len(first), -1)
+        if len(first) else np.empty((0, 1))
+    )
+    b = second.points if isinstance(second, Trajectory) else np.atleast_2d(
+        np.asarray(second, dtype=np.float64).reshape(len(second), -1)
+        if len(second) else np.empty((0, 1))
+    )
+    if len(a) and len(b) and a.shape[1] != b.shape[1]:
+        raise ValueError("trajectories must have the same spatial arity")
+    table, matches = _full_table(a, b, epsilon)
+    operations: List[EditOperation] = []
+    i, j = len(a), len(b)
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            subcost = 0.0 if matches[i - 1, j - 1] else 1.0
+            if table[i, j] == table[i - 1, j - 1] + subcost:
+                kind = "match" if subcost == 0.0 else "replace"
+                operations.append(EditOperation(kind, i - 1, j - 1))
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and table[i, j] == table[i - 1, j] + 1.0:
+            operations.append(EditOperation("delete", i - 1, None))
+            i -= 1
+            continue
+        operations.append(EditOperation("insert", None, j - 1))
+        j -= 1
+    operations.reverse()
+    distance = float(table[len(a), len(b)])
+    assert sum(op.cost for op in operations) == distance
+    return distance, operations
+
+
+def subtrajectory_edr(
+    pattern: Union[Trajectory, np.ndarray, Sequence],
+    text: Union[Trajectory, np.ndarray, Sequence],
+    epsilon: float,
+) -> Tuple[float, Tuple[int, int]]:
+    """Best-matching window: min EDR between ``pattern`` and any window of ``text``.
+
+    Semi-global alignment — deletions of the text's prefix and suffix
+    are free: ``D[0, j] = 0`` and the answer is the minimum of the last
+    row.  Returns ``(distance, (start, end))`` with ``text[start:end]``
+    the best-aligned window (empty when the pattern aligns to nothing).
+
+    This is the trajectory form of the approximate string matching
+    problem ([17], [31], [10]) that Theorem 1's Q-gram filter was
+    invented for, and serves the paper's surveillance/sports motivation:
+    find where a short movement pattern occurs inside a long recording.
+    """
+    if epsilon < 0.0:
+        raise ValueError("matching threshold epsilon must be non-negative")
+    def _coerce(value):
+        if isinstance(value, Trajectory):
+            return value.points
+        array = np.asarray(value, dtype=np.float64)
+        if array.size == 0:
+            return array.reshape(0, 1)
+        return array.reshape(len(array), -1)
+
+    p = _coerce(pattern)
+    t = _coerce(text)
+    m, n = len(p), len(t)
+    if m == 0:
+        return 0.0, (0, 0)
+    if n == 0:
+        return float(m), (0, 0)
+
+    matches = match_matrix(p, t, epsilon)
+    # table[i, j] = best cost of aligning pattern[:i] against a window of
+    # text ending at j; start[i, j] tracks the window's left edge.
+    previous = np.zeros(n + 1)
+    previous_start = np.arange(n + 1)  # window starting at j itself
+    for i in range(1, m + 1):
+        current = np.empty(n + 1)
+        current_start = np.empty(n + 1, dtype=np.int64)
+        current[0] = float(i)
+        current_start[0] = 0
+        for j in range(1, n + 1):
+            subcost = 0.0 if matches[i - 1, j - 1] else 1.0
+            best = previous[j - 1] + subcost
+            best_start = previous_start[j - 1]
+            if previous[j] + 1.0 < best:
+                best = previous[j] + 1.0
+                best_start = previous_start[j]
+            if current[j - 1] + 1.0 < best:
+                best = current[j - 1] + 1.0
+                best_start = current_start[j - 1]
+            current[j] = best
+            current_start[j] = best_start
+        previous = current
+        previous_start = current_start
+    end = int(np.argmin(previous))
+    return float(previous[end]), (int(previous_start[end]), end)

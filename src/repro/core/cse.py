@@ -1,0 +1,130 @@
+"""Constant Shift Embedding analysis — the paper's Section 4.2 negative result.
+
+CSE ([30]) converts a non-metric distance ``dist`` into a metric
+``dist'(x, y) = dist(x, y) + c`` for a large enough constant ``c``; the
+paper considers it as an alternative to near-triangle pruning and
+rejects it for two reasons:
+
+1. the required ``c`` (derived from the smallest eigenvalue of the
+   centred pairwise distance matrix) is so large that the triangle lower
+   bound ``dist(x, z) - dist(y, z) - c`` becomes useless, and
+2. ``c`` is derived from the database only, so query-to-database
+   distances may still violate the shifted triangle inequality.
+
+This module makes that argument reproducible: it computes the CSE
+constant for a trajectory database, the fraction of triangles the raw
+EDR violates, and the pruning potential of the CSE-shifted bound — the
+numbers behind the paper's "very few distance computations can be
+saved".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .edr import edr_matrix
+from .trajectory import Trajectory
+
+__all__ = ["CseReport", "cse_constant", "analyze_cse"]
+
+
+def cse_constant(distance_matrix: np.ndarray) -> float:
+    """The CSE shift constant for a pairwise distance matrix.
+
+    Following [30]: with ``D`` the pairwise matrix and
+    ``S = -0.5 * J D J`` its centred similarity form (J the centring
+    matrix), the minimum shift making the space embeddable (and the
+    shifted distance metric) is twice the magnitude of the smallest
+    negative eigenvalue of ``S``.  A matrix that is already metric and
+    embeddable yields zero.
+    """
+    matrix = np.asarray(distance_matrix, dtype=np.float64)
+    count = len(matrix)
+    if matrix.shape != (count, count):
+        raise ValueError("distance matrix must be square")
+    centering = np.eye(count) - np.full((count, count), 1.0 / count)
+    similarity = -0.5 * centering @ matrix @ centering
+    smallest = float(np.linalg.eigvalsh(similarity)[0])
+    return max(0.0, -2.0 * smallest)
+
+
+@dataclass
+class CseReport:
+    """Outcome of the Section 4.2 analysis on one database sample."""
+
+    sample_size: int
+    constant: float
+    mean_distance: float
+    triangle_violation_rate: float
+    raw_prunable_rate: float
+    shifted_prunable_rate: float
+
+    def summary(self) -> str:
+        return (
+            f"CSE constant c = {self.constant:.1f} "
+            f"(mean EDR = {self.mean_distance:.1f}); "
+            f"raw triangle violations: {self.triangle_violation_rate:.1%}; "
+            f"usable triangle bounds raw/shifted: "
+            f"{self.raw_prunable_rate:.1%} / {self.shifted_prunable_rate:.1%}"
+        )
+
+
+def analyze_cse(
+    trajectories: Sequence[Trajectory],
+    epsilon: float,
+    sample_size: Optional[int] = 60,
+    threshold_quantile: float = 0.25,
+    seed: int = 0,
+) -> CseReport:
+    """Quantify how (un)helpful CSE-shifted triangle pruning would be.
+
+    For a sample of the database, computes for every ordered triangle
+    ``(x, y, z)`` the raw lower bound ``D(x,z) - D(y,z)`` and the
+    CSE-shifted bound ``D(x,z) - D(y,z) - c``; a bound is *usable* when
+    it exceeds the ``threshold_quantile`` of the pairwise distances
+    (standing in for a typical k-NN ``bestSoFar``).  The paper's
+    finding is that the shifted usable rate collapses to ~zero because
+    ``c`` dwarfs the distances themselves.
+    """
+    trajectories = list(trajectories)
+    if sample_size is not None and len(trajectories) > sample_size:
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(trajectories), size=sample_size, replace=False)
+        trajectories = [trajectories[int(i)] for i in chosen]
+    count = len(trajectories)
+    if count < 3:
+        raise ValueError("need at least three trajectories for triangles")
+    matrix = edr_matrix(trajectories, epsilon)
+    constant = cse_constant(matrix)
+    upper = np.triu_indices(count, k=1)
+    pairwise = matrix[upper]
+    threshold = float(np.quantile(pairwise, threshold_quantile))
+
+    violations = 0
+    raw_usable = 0
+    shifted_usable = 0
+    triangles = 0
+    for x, y, z in combinations(range(count), 3):
+        for a, b, via in ((x, z, y), (x, y, z), (y, z, x)):
+            triangles += 1
+            direct = matrix[a, b]
+            detour = matrix[a, via] + matrix[via, b]
+            if detour < direct:
+                violations += 1
+            raw_bound = matrix[a, via] - matrix[via, b]
+            if raw_bound > threshold:
+                raw_usable += 1
+            if raw_bound - constant > threshold:
+                shifted_usable += 1
+    return CseReport(
+        sample_size=count,
+        constant=constant,
+        mean_distance=float(pairwise.mean()),
+        triangle_violation_rate=violations / triangles,
+        raw_prunable_rate=raw_usable / triangles,
+        shifted_prunable_rate=shifted_usable / triangles,
+    )

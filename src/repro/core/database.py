@@ -1,0 +1,298 @@
+"""Trajectory database with prebuilt pruning artifacts.
+
+:class:`TrajectoryDatabase` owns a list of trajectories, a matching
+threshold ε, and lazily-built, cached artifacts for each pruning method
+of Section 4:
+
+* sorted mean-value Q-grams (2-D pairs and per-axis 1-D projections),
+* an R-tree over all 2-D Q-gram means and a B+-tree over 1-D means,
+* trajectory histograms for any bin-size multiple δ·ε and per-axis 1-D
+  histograms,
+* near-triangle reference distance columns.
+
+Everything is built once and shared across queries, which is how the
+paper's speedup-ratio experiments are framed (index build time is
+offline; query time is what is measured).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..index.bptree import BPlusTree
+from ..index.mergejoin import sort_means_1d, sort_means_2d
+from ..index.rtree import RTree
+from .histogram import HistogramSpace, TrajectoryHistogram
+from .neartriangle import build_reference_columns
+from .qgram import mean_value_qgrams
+from .trajectory import Trajectory
+
+__all__ = ["TrajectoryDatabase"]
+
+
+class TrajectoryDatabase:
+    """A searchable collection of trajectories under one matching threshold.
+
+    Parameters
+    ----------
+    trajectories:
+        The database contents.  Normalization is the caller's choice (the
+        paper normalizes before everything else); the database stores
+        what it is given.
+    epsilon:
+        The matching threshold ε used by EDR and by every pruning
+        artifact derived from it.
+    """
+
+    def __init__(self, trajectories: Sequence[Trajectory], epsilon: float) -> None:
+        if epsilon < 0.0:
+            raise ValueError("matching threshold epsilon must be non-negative")
+        self.trajectories: List[Trajectory] = list(trajectories)
+        if not self.trajectories:
+            raise ValueError("a trajectory database cannot be empty")
+        arities = {t.ndim for t in self.trajectories}
+        if len(arities) != 1:
+            raise ValueError(f"mixed trajectory arities in database: {arities}")
+        self.ndim = arities.pop()
+        self.epsilon = float(epsilon)
+        self.lengths = np.array([len(t) for t in self.trajectories])
+
+        self._sorted_means_2d: Dict[int, List[np.ndarray]] = {}
+        self._sorted_means_1d: Dict[Tuple[int, int], List[np.ndarray]] = {}
+        self._rtrees: Dict[int, RTree] = {}
+        self._bptrees: Dict[Tuple[int, int], BPlusTree] = {}
+        self._histograms: Dict[
+            Tuple[float, Optional[int]], Tuple[HistogramSpace, List[TrajectoryHistogram]]
+        ] = {}
+        self._reference_columns: Dict[Tuple[int, str], Dict[int, np.ndarray]] = {}
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max())
+
+    # ------------------------------------------------------------------
+    # Q-gram artifacts
+    # ------------------------------------------------------------------
+    def sorted_qgram_means(self, q: int) -> List[np.ndarray]:
+        """Per-trajectory mean value pairs sorted on axis 0 (PS2 input)."""
+        if q not in self._sorted_means_2d:
+            self._sorted_means_2d[q] = [
+                sort_means_2d(mean_value_qgrams(t, q)) for t in self.trajectories
+            ]
+        return self._sorted_means_2d[q]
+
+    def sorted_qgram_means_1d(self, q: int, axis: int = 0) -> List[np.ndarray]:
+        """Per-trajectory single-axis Q-gram means, sorted (PS1 input)."""
+        key = (q, axis)
+        if key not in self._sorted_means_1d:
+            self._sorted_means_1d[key] = [
+                sort_means_1d(mean_value_qgrams(t.projection(axis), q))
+                for t in self.trajectories
+            ]
+        return self._sorted_means_1d[key]
+
+    def qgram_rtree(self, q: int) -> RTree:
+        """R-tree over every 2-D Q-gram mean; payload = trajectory index (PR)."""
+        if q not in self._rtrees:
+            tree = RTree(ndim=self.ndim)
+            for index, trajectory in enumerate(self.trajectories):
+                for mean in mean_value_qgrams(trajectory, q):
+                    tree.insert(mean, index)
+            self._rtrees[q] = tree
+        return self._rtrees[q]
+
+    def qgram_bptree(self, q: int, axis: int = 0) -> BPlusTree:
+        """B+-tree over single-axis Q-gram means; payload = trajectory index (PB)."""
+        key = (q, axis)
+        if key not in self._bptrees:
+            tree = BPlusTree()
+            for index, trajectory in enumerate(self.trajectories):
+                means = mean_value_qgrams(trajectory.projection(axis), q)
+                for mean in means.ravel():
+                    tree.insert(float(mean), index)
+            self._bptrees[key] = tree
+        return self._bptrees[key]
+
+    def qgram_count(self, trajectory_index: int, q: int) -> int:
+        """Number of Q-grams (``n - q + 1``, floored at zero) of one trajectory."""
+        return max(0, int(self.lengths[trajectory_index]) - q + 1)
+
+    # ------------------------------------------------------------------
+    # Histogram artifacts
+    # ------------------------------------------------------------------
+    def histograms(
+        self, delta: float = 1.0, axis: Optional[int] = None
+    ) -> Tuple[HistogramSpace, List[TrajectoryHistogram]]:
+        """Histogram space and per-trajectory histograms.
+
+        ``delta`` scales the bin size to ``delta * epsilon`` (Theorem 7 /
+        Corollary 1 require ``delta >= 1``); ``axis`` selects the 1-D
+        per-axis variant of Corollary 1 (bin size stays ``delta * eps``).
+        """
+        if delta < 1.0:
+            raise ValueError(
+                "bin size below epsilon breaks the HD lower bound (Corollary 1)"
+            )
+        key = (float(delta), axis)
+        if key not in self._histograms:
+            bin_size = delta * self.epsilon
+            if bin_size <= 0.0:
+                raise ValueError("histograms need a positive epsilon")
+            space = HistogramSpace.for_trajectories(
+                self.trajectories, bin_size, axis=axis
+            )
+            built = [
+                space.histogram(t if axis is None else t.projection(axis))
+                for t in self.trajectories
+            ]
+            self._histograms[key] = (space, built)
+        return self._histograms[key]
+
+    # ------------------------------------------------------------------
+    # Near-triangle artifacts
+    # ------------------------------------------------------------------
+    def reference_columns(
+        self, max_references: int = 400, policy: str = "first"
+    ) -> Dict[int, np.ndarray]:
+        """Precomputed EDR columns for ``max_references`` reference trajectories.
+
+        ``policy`` selects which trajectories become references:
+
+        * ``"first"`` — the first trajectories in database order, the
+          paper's own selection;
+        * ``"short"`` — the shortest trajectories.  Theorem 5's bound is
+          capped at ``len(query) - len(reference)`` (because
+          ``EDR(R, S) >= |R| - |S|``), so short references are the only
+          ones that can ever produce a strong bound — an improvement the
+          paper leaves as future work ("finding a smaller suitable
+          value").
+        """
+        count = min(max_references, len(self.trajectories))
+        key = (count, policy)
+        if key not in self._reference_columns:
+            if policy == "first":
+                indices = range(count)
+            elif policy == "short":
+                indices = [int(i) for i in np.argsort(self.lengths, kind="stable")[:count]]
+            else:
+                raise ValueError(f"unknown reference policy {policy!r}")
+            self._reference_columns[key] = build_reference_columns(
+                self.trajectories, self.epsilon, indices
+            )
+        return self._reference_columns[key]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the database and its built pruning artifacts to ``.npz``.
+
+        Saved: trajectories (points + labels), ε, sorted Q-gram means
+        (2-D and 1-D, per built size), histograms (per built variant),
+        and near-triangle reference columns.  The R-tree and B+-tree are
+        *not* serialized — they rebuild from the trajectories in linear
+        time and their layout carries no information beyond that.
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "epsilon": np.array(self.epsilon),
+            "count": np.array(len(self.trajectories)),
+        }
+        labels = [t.label or "" for t in self.trajectories]
+        arrays["labels"] = np.array(labels)
+        for index, trajectory in enumerate(self.trajectories):
+            arrays[f"points_{index}"] = trajectory.points
+
+        manifest = {
+            "means2d": sorted(self._sorted_means_2d),
+            "means1d": sorted(self._sorted_means_1d),
+            "histograms": sorted(
+                (delta, axis if axis is not None else -1)
+                for delta, axis in self._histograms
+            ),
+            "references": sorted(self._reference_columns),
+        }
+        arrays["manifest"] = np.array(json.dumps(manifest))
+
+        for q, per_trajectory in self._sorted_means_2d.items():
+            for index, means in enumerate(per_trajectory):
+                arrays[f"m2d_{q}_{index}"] = means
+        for (q, axis), per_trajectory in self._sorted_means_1d.items():
+            for index, means in enumerate(per_trajectory):
+                arrays[f"m1d_{q}_{axis}_{index}"] = means
+        for (delta, axis), (space, histograms) in self._histograms.items():
+            tag = f"{delta:g}_{-1 if axis is None else axis}"
+            arrays[f"horigin_{tag}"] = space.origin
+            arrays[f"hbin_{tag}"] = np.array(space.bin_size)
+            for index, histogram in enumerate(histograms):
+                keys = np.array(sorted(histogram), dtype=np.int64).reshape(
+                    len(histogram), -1
+                )
+                counts = np.array(
+                    [histogram[tuple(key)] for key in keys.tolist()],
+                    dtype=np.int64,
+                )
+                arrays[f"hkeys_{tag}_{index}"] = keys
+                arrays[f"hcounts_{tag}_{index}"] = counts
+        for (count, policy), columns in self._reference_columns.items():
+            tag = f"{count}_{policy}"
+            arrays[f"refids_{tag}"] = np.array(sorted(columns), dtype=np.int64)
+            for reference_index in sorted(columns):
+                arrays[f"refcol_{tag}_{reference_index}"] = columns[reference_index]
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TrajectoryDatabase":
+        """Load a database saved with :meth:`save`, artifacts included."""
+        with np.load(path, allow_pickle=False) as archive:
+            count = int(archive["count"])
+            labels = [str(value) or None for value in archive["labels"]]
+            trajectories = [
+                Trajectory(
+                    archive[f"points_{index}"],
+                    label=labels[index] if labels[index] else None,
+                    trajectory_id=index,
+                )
+                for index in range(count)
+            ]
+            database = cls(trajectories, float(archive["epsilon"]))
+            manifest = json.loads(str(archive["manifest"]))
+            for q in manifest["means2d"]:
+                database._sorted_means_2d[q] = [
+                    archive[f"m2d_{q}_{index}"] for index in range(count)
+                ]
+            for q, axis in manifest["means1d"]:
+                database._sorted_means_1d[(q, axis)] = [
+                    archive[f"m1d_{q}_{axis}_{index}"] for index in range(count)
+                ]
+            for delta, axis_flag in manifest["histograms"]:
+                axis = None if axis_flag == -1 else axis_flag
+                tag = f"{delta:g}_{axis_flag}"
+                space = HistogramSpace(
+                    archive[f"horigin_{tag}"], float(archive[f"hbin_{tag}"])
+                )
+                histograms = []
+                for index in range(count):
+                    keys = archive[f"hkeys_{tag}_{index}"]
+                    counts = archive[f"hcounts_{tag}_{index}"]
+                    histograms.append(
+                        {
+                            tuple(map(int, key)): int(value)
+                            for key, value in zip(keys.tolist(), counts.tolist())
+                        }
+                    )
+                database._histograms[(float(delta), axis)] = (space, histograms)
+            for reference_count, policy in manifest["references"]:
+                tag = f"{reference_count}_{policy}"
+                reference_ids = archive[f"refids_{tag}"]
+                database._reference_columns[(int(reference_count), policy)] = {
+                    int(reference_index): archive[f"refcol_{tag}_{reference_index}"]
+                    for reference_index in reference_ids
+                }
+        return database

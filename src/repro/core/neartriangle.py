@@ -1,0 +1,147 @@
+"""Near-triangle-inequality pruning for EDR (paper Section 4.2, Theorem 5).
+
+EDR is not a metric — the ε quantization breaks the triangle inequality —
+but a weakened form survives:
+
+    ``EDR(Q, S) + EDR(S, R) + |S| >= EDR(Q, R)``
+
+Rearranged, ``EDR(Q, R) - EDR(R, S) - |S|`` is a lower bound on
+``EDR(Q, S)`` whenever ``EDR(Q, R)`` (computed earlier in this query) and
+``EDR(R, S)`` (precomputed) are known.  The search keeps up to
+``max_triangle`` *reference trajectories* — in the paper, simply the
+first trajectories whose true distance the query computes — together with
+their precomputed distance column to the whole database.
+
+The ``|S|`` slack makes this a weak filter: with equal-length databases
+it never prunes (the paper observes the same), which Table 3 reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .edr import edr
+from .trajectory import Trajectory
+
+__all__ = [
+    "near_triangle_lower_bound",
+    "NearTrianglePruner",
+    "build_reference_columns",
+]
+
+
+def near_triangle_lower_bound(
+    distance_q_to_reference: float,
+    distance_reference_to_candidate: float,
+    candidate_length: int,
+) -> float:
+    """``EDR(Q, R) - EDR(R, S) - |S|``, a lower bound of ``EDR(Q, S)``."""
+    return (
+        distance_q_to_reference
+        - distance_reference_to_candidate
+        - candidate_length
+    )
+
+
+class NearTrianglePruner:
+    """Query-time state for near-triangle pruning.
+
+    Parameters
+    ----------
+    reference_columns:
+        Map from a database trajectory index (a potential reference) to
+        its precomputed EDR distance column — ``column[j] = EDR(R, S_j)``
+        for every database trajectory ``S_j``.  Built once per database
+        by :class:`repro.core.database.TrajectoryDatabase`.
+    max_triangle:
+        Maximum number of reference trajectories to retain, mirroring the
+        paper's buffer-bounded ``maxTriangle``.
+    """
+
+    def __init__(
+        self,
+        reference_columns: Dict[int, np.ndarray],
+        max_triangle: int = 400,
+    ) -> None:
+        if max_triangle < 0:
+            raise ValueError("max_triangle must be non-negative")
+        self._reference_columns = reference_columns
+        self._max_triangle = max_triangle
+        self._active: List[int] = []  # the paper's procArray
+        self._query_distances: Dict[int, float] = {}
+
+    @property
+    def reference_count(self) -> int:
+        """Number of reference trajectories currently in use."""
+        return len(self._active)
+
+    def record(self, database_index: int, true_distance: float) -> None:
+        """Register ``EDR(Q, S_index)`` computed during this query.
+
+        The trajectory becomes a reference when a precomputed column for
+        it exists and the reference buffer is not full — the paper's
+        "first maxTriangle trajectories that fill up procArray" policy.
+        """
+        if not np.isfinite(true_distance):
+            return
+        if len(self._active) >= self._max_triangle:
+            return
+        if database_index not in self._reference_columns:
+            return
+        if database_index in self._query_distances:
+            return
+        self._active.append(database_index)
+        self._query_distances[database_index] = true_distance
+
+    def lower_bound(self, candidate_index: int, candidate_length: int) -> float:
+        """Best available lower bound of ``EDR(Q, S_candidate)``.
+
+        The maximum of Theorem 5's bound over all active references
+        (``maxPruneDist`` in the paper's pseudo-code); zero when no
+        reference applies, since EDR is never negative.
+        """
+        best = 0.0
+        for reference_index in self._active:
+            column = self._reference_columns[reference_index]
+            bound = near_triangle_lower_bound(
+                self._query_distances[reference_index],
+                float(column[candidate_index]),
+                candidate_length,
+            )
+            if bound > best:
+                best = bound
+        return best
+
+    def can_prune(
+        self, candidate_index: int, candidate_length: int, best_so_far: float
+    ) -> bool:
+        """True when the candidate provably cannot beat ``best_so_far``."""
+        if not np.isfinite(best_so_far):
+            return False
+        return self.lower_bound(candidate_index, candidate_length) > best_so_far
+
+
+def build_reference_columns(
+    trajectories: Sequence[Trajectory],
+    epsilon: float,
+    reference_indices: Optional[Sequence[int]] = None,
+    max_references: int = 400,
+) -> Dict[int, np.ndarray]:
+    """Precompute ``EDR(R, S_j)`` columns for the chosen references.
+
+    ``reference_indices`` defaults to the first ``max_references``
+    database trajectories, matching the paper's selection policy.  The
+    cost is ``len(references) * N`` EDR computations, paid once offline.
+    """
+    if reference_indices is None:
+        reference_indices = range(min(max_references, len(trajectories)))
+    columns: Dict[int, np.ndarray] = {}
+    for reference_index in reference_indices:
+        reference = trajectories[reference_index]
+        column = np.array(
+            [edr(reference, candidate, epsilon) for candidate in trajectories]
+        )
+        columns[reference_index] = column
+    return columns

@@ -1,0 +1,657 @@
+"""Exact k-NN search over EDR with the paper's pruning methods.
+
+All engines return the same answers as a sequential scan (the
+no-false-dismissal guarantee of Section 4); they differ in how many true
+EDR computations they avoid and therefore in speed.  Each engine reports
+a :class:`SearchStats` with the two quantities the paper's experiments
+measure: *pruning power* (fraction of database trajectories whose true
+distance was never computed) and wall-clock time (from which the bench
+harness derives *speedup ratio* against the sequential scan).
+
+The pruning methods share one interface: a :class:`Pruner` bound to a
+database produces, per query, a :class:`QueryPruner` exposing
+``lower_bound(candidate_index)``; a candidate is skipped when its lower
+bound exceeds the current k-th best distance.  Three pruner families are
+provided (histograms, mean-value Q-grams, near triangle inequality) plus
+two specialized engines: :func:`knn_sorted_scan` (the paper's HSR —
+visit candidates in ascending lower-bound order and stop at the first
+bound that cannot beat the k-th distance) and :func:`knn_qgram_index`
+(Figure 3 — probe a Q-gram index, then visit candidates in descending
+common-count order).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..index.mergejoin import (
+    count_common_sorted_1d,
+    count_common_sorted_2d,
+    sort_means_1d,
+    sort_means_2d,
+)
+from .database import TrajectoryDatabase
+from .edr import edr
+from .histogram import histogram_distance, histogram_distance_quick
+from .neartriangle import NearTrianglePruner as _NearTriangleState
+from .qgram import mean_value_qgrams
+from .trajectory import Trajectory
+
+__all__ = [
+    "Neighbor",
+    "SearchStats",
+    "SearchResult",
+    "Pruner",
+    "QueryPruner",
+    "HistogramPruner",
+    "QgramMergeJoinPruner",
+    "QgramIndexPruner",
+    "NearTrianglePruning",
+    "knn_scan",
+    "knn_search",
+    "knn_sorted_scan",
+    "knn_sorted_search",
+    "knn_qgram_index",
+]
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One k-NN answer: database index and its true EDR distance."""
+
+    index: int
+    distance: float
+
+
+@dataclass
+class SearchStats:
+    """Counters for one k-NN query, in the paper's Section 5 vocabulary."""
+
+    database_size: int
+    true_distance_computations: int = 0
+    pruned_by: Dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def pruning_power(self) -> float:
+        """Fraction of trajectories whose true EDR was never computed."""
+        if self.database_size == 0:
+            return 0.0
+        avoided = self.database_size - self.true_distance_computations
+        return avoided / self.database_size
+
+    def credit(self, pruner_name: str) -> None:
+        self.pruned_by[pruner_name] = self.pruned_by.get(pruner_name, 0) + 1
+
+
+SearchResult = Tuple[List[Neighbor], SearchStats]
+
+
+class _ResultList:
+    """The paper's ``result`` array: k best (index, distance), sorted."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self._items: List[Neighbor] = []
+
+    @property
+    def best_so_far(self) -> float:
+        """The current k-th distance — infinite until k answers exist."""
+        if len(self._items) < self.k:
+            return float("inf")
+        return self._items[-1].distance
+
+    def offer(self, index: int, distance: float) -> None:
+        if not np.isfinite(distance):
+            return
+        if len(self._items) >= self.k and distance >= self.best_so_far:
+            return
+        position = 0
+        while (
+            position < len(self._items)
+            and self._items[position].distance <= distance
+        ):
+            position += 1
+        self._items.insert(position, Neighbor(index, distance))
+        del self._items[self.k :]
+
+    def neighbors(self) -> List[Neighbor]:
+        return list(self._items)
+
+
+# ----------------------------------------------------------------------
+# Pruner interface and implementations
+# ----------------------------------------------------------------------
+class QueryPruner:
+    """Per-query pruning state; see :class:`Pruner`."""
+
+    name: str = "base"
+
+    def lower_bound(
+        self, candidate_index: int, threshold: float = float("inf")
+    ) -> float:
+        """A proven lower bound of ``EDR(query, candidate)``.
+
+        ``threshold`` is the value the caller will compare against (the
+        current k-th best distance, or a range radius).  Pruners with a
+        cheap-but-weak bound may return it as soon as it already exceeds
+        the threshold, skipping their expensive exact bound; any
+        returned value must still be a sound lower bound.
+        """
+        raise NotImplementedError
+
+    def record(self, candidate_index: int, true_distance: float) -> None:
+        """Hook called after a true distance is computed (NTI uses it)."""
+
+    def quick_lower_bound(self, candidate_index: int) -> float:
+        """A cheaper (possibly weaker) sound lower bound.
+
+        Sorted-access engines use it to order candidates without paying
+        the exact bound for the whole database; the default simply
+        defers to :meth:`lower_bound`.
+        """
+        return self.lower_bound(candidate_index)
+
+
+class Pruner:
+    """A pruning method bound to a database.
+
+    ``for_query`` performs the per-query precomputation (query histogram,
+    query Q-gram means, index probes...) and returns a
+    :class:`QueryPruner` whose ``lower_bound`` is consulted per candidate.
+    """
+
+    name: str = "base"
+
+    def for_query(self, query: Trajectory) -> QueryPruner:
+        raise NotImplementedError
+
+
+class _HistogramQuery(QueryPruner):
+    def __init__(
+        self,
+        name: str,
+        query_histograms: List[dict],
+        database_histograms: List[List[dict]],
+    ) -> None:
+        self.name = name
+        self._query = query_histograms
+        self._database = database_histograms
+
+    def lower_bound(
+        self, candidate_index: int, threshold: float = float("inf")
+    ) -> float:
+        # Stage 1: the cheap neighbourhood bound — when it already beats
+        # the threshold the exact flow computation is unnecessary.
+        if np.isfinite(threshold):
+            quick = max(
+                histogram_distance_quick(
+                    query_histogram, per_axis[candidate_index]
+                )
+                for query_histogram, per_axis in zip(self._query, self._database)
+            )
+            if quick > threshold:
+                return float(quick)
+        # Stage 2: the exact HD.  With several projections (the 1-D
+        # per-axis variant) every HD is a lower bound, so the max is the
+        # tightest combination.
+        return float(
+            max(
+                histogram_distance(query_histogram, per_axis[candidate_index])
+                for query_histogram, per_axis in zip(self._query, self._database)
+            )
+        )
+
+    def quick_lower_bound(self, candidate_index: int) -> float:
+        return float(
+            max(
+                histogram_distance_quick(
+                    query_histogram, per_axis[candidate_index]
+                )
+                for query_histogram, per_axis in zip(self._query, self._database)
+            )
+        )
+
+
+class HistogramPruner(Pruner):
+    """Trajectory-histogram pruning (Section 4.3).
+
+    ``delta`` scales the bin size to δ·ε (the paper's 2HE/2H2E/... series);
+    ``per_axis=True`` switches to the 1-D per-axis histograms of
+    Corollary 1 (the paper's 1HE), taking the max of the per-axis HDs.
+    """
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        delta: float = 1.0,
+        per_axis: bool = False,
+    ) -> None:
+        self._database = database
+        self._delta = float(delta)
+        self._per_axis = per_axis
+        if per_axis:
+            self.name = f"histogram-1d(delta={delta:g})"
+            self._variants = [
+                database.histograms(delta=delta, axis=axis)
+                for axis in range(database.ndim)
+            ]
+        else:
+            self.name = f"histogram-2d(delta={delta:g})"
+            self._variants = [database.histograms(delta=delta)]
+
+    def for_query(self, query: Trajectory) -> QueryPruner:
+        query_histograms = []
+        database_histograms = []
+        for axis, (space, built) in enumerate(self._variants):
+            projected = query.projection(axis) if self._per_axis else query
+            query_histograms.append(space.histogram(projected))
+            database_histograms.append(built)
+        return _HistogramQuery(self.name, query_histograms, database_histograms)
+
+
+class _QgramMergeJoinQuery(QueryPruner):
+    def __init__(
+        self,
+        name: str,
+        query_sorted: np.ndarray,
+        candidates_sorted: List[np.ndarray],
+        query_length: int,
+        lengths: np.ndarray,
+        q: int,
+        epsilon: float,
+        two_dimensional: bool,
+    ) -> None:
+        self.name = name
+        self._query_sorted = query_sorted
+        self._candidates = candidates_sorted
+        self._query_length = query_length
+        self._lengths = lengths
+        self._q = q
+        self._epsilon = epsilon
+        self._two_dimensional = two_dimensional
+
+    def lower_bound(
+        self, candidate_index: int, threshold: float = float("inf")
+    ) -> float:
+        candidate = self._candidates[candidate_index]
+        if self._two_dimensional:
+            common = count_common_sorted_2d(
+                self._query_sorted, candidate, self._epsilon
+            )
+        else:
+            common = count_common_sorted_1d(
+                self._query_sorted, candidate, self._epsilon
+            )
+        longest = max(self._query_length, int(self._lengths[candidate_index]))
+        # Theorem 1 rearranged: EDR >= (max(m, n) - q + 1 - common) / q.
+        return max(0.0, (longest - self._q + 1 - common) / self._q)
+
+
+class QgramMergeJoinPruner(Pruner):
+    """Mean-value Q-gram pruning via merge join — PS2 (2-D) / PS1 (1-D)."""
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        q: int = 1,
+        two_dimensional: bool = True,
+        axis: int = 0,
+    ) -> None:
+        self._database = database
+        self._q = q
+        self._two_dimensional = two_dimensional
+        self._axis = axis
+        if two_dimensional:
+            self.name = f"qgram-ps2(q={q})"
+            self._candidates = database.sorted_qgram_means(q)
+        else:
+            self.name = f"qgram-ps1(q={q})"
+            self._candidates = database.sorted_qgram_means_1d(q, axis)
+
+    def for_query(self, query: Trajectory) -> QueryPruner:
+        if self._two_dimensional:
+            query_sorted = sort_means_2d(mean_value_qgrams(query, self._q))
+        else:
+            query_sorted = sort_means_1d(
+                mean_value_qgrams(query.projection(self._axis), self._q)
+            )
+        return _QgramMergeJoinQuery(
+            self.name,
+            query_sorted,
+            self._candidates,
+            len(query),
+            self._database.lengths,
+            self._q,
+            self._database.epsilon,
+            self._two_dimensional,
+        )
+
+
+class _QgramIndexQuery(QueryPruner):
+    def __init__(
+        self,
+        name: str,
+        counters: np.ndarray,
+        query_length: int,
+        lengths: np.ndarray,
+        q: int,
+    ) -> None:
+        self.name = name
+        self.counters = counters
+        self._query_length = query_length
+        self._lengths = lengths
+        self._q = q
+
+    def lower_bound(
+        self, candidate_index: int, threshold: float = float("inf")
+    ) -> float:
+        common = int(self.counters[candidate_index])
+        longest = max(self._query_length, int(self._lengths[candidate_index]))
+        return max(0.0, (longest - self._q + 1 - common) / self._q)
+
+
+class QgramIndexPruner(Pruner):
+    """Mean-value Q-gram pruning via index probes — PR (R-tree) / PB (B+-tree).
+
+    ``for_query`` probes the index once per query Q-gram and accumulates
+    per-trajectory common counters (each query Q-gram counts one match
+    per trajectory at most), after which the lower bound is O(1) per
+    candidate.
+    """
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        q: int = 1,
+        structure: str = "rtree",
+        axis: int = 0,
+    ) -> None:
+        if structure not in ("rtree", "bptree"):
+            raise ValueError("structure must be 'rtree' or 'bptree'")
+        self._database = database
+        self._q = q
+        self._structure = structure
+        self._axis = axis
+        self.name = f"qgram-{'pr' if structure == 'rtree' else 'pb'}(q={q})"
+        if structure == "rtree":
+            self._index = database.qgram_rtree(q)
+        else:
+            self._index = database.qgram_bptree(q, axis)
+
+    def for_query(self, query: Trajectory) -> QueryPruner:
+        counters = np.zeros(len(self._database), dtype=np.int64)
+        epsilon = self._database.epsilon
+        if self._structure == "rtree":
+            means = mean_value_qgrams(query, self._q)
+            probe = lambda mean: self._index.match_search(mean, epsilon)
+        else:
+            means = mean_value_qgrams(query.projection(self._axis), self._q).ravel()
+            probe = lambda mean: self._index.match_search(float(mean), epsilon)
+        for mean in means:
+            matched = set(probe(mean))
+            for trajectory_index in matched:
+                counters[trajectory_index] += 1
+        return _QgramIndexQuery(
+            self.name, counters, len(query), self._database.lengths, self._q
+        )
+
+
+class _NearTriangleQuery(QueryPruner):
+    def __init__(self, name: str, state: _NearTriangleState, lengths: np.ndarray):
+        self.name = name
+        self._state = state
+        self._lengths = lengths
+
+    def lower_bound(
+        self, candidate_index: int, threshold: float = float("inf")
+    ) -> float:
+        return self._state.lower_bound(
+            candidate_index, int(self._lengths[candidate_index])
+        )
+
+    def record(self, candidate_index: int, true_distance: float) -> None:
+        self._state.record(candidate_index, true_distance)
+
+
+class NearTrianglePruning(Pruner):
+    """Near-triangle-inequality pruning (Section 4.2, Theorem 5)."""
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        max_triangle: int = 400,
+        policy: str = "first",
+    ) -> None:
+        self._database = database
+        self._max_triangle = max_triangle
+        self.name = f"near-triangle(max={max_triangle}, {policy})"
+        self._columns = database.reference_columns(max_triangle, policy=policy)
+
+    def for_query(self, query: Trajectory) -> QueryPruner:
+        state = _NearTriangleState(self._columns, self._max_triangle)
+        return _NearTriangleQuery(self.name, state, self._database.lengths)
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+def _true_distance(
+    database: TrajectoryDatabase,
+    query: Trajectory,
+    candidate_index: int,
+    stats: SearchStats,
+    bound: Optional[float] = None,
+) -> float:
+    stats.true_distance_computations += 1
+    return edr(
+        query, database.trajectories[candidate_index], database.epsilon, bound=bound
+    )
+
+
+def knn_scan(
+    database: TrajectoryDatabase, query: Trajectory, k: int
+) -> SearchResult:
+    """Sequential scan: the pruning-free baseline every speedup is measured against."""
+    start = time.perf_counter()
+    result = _ResultList(k)
+    stats = SearchStats(database_size=len(database))
+    for candidate_index in range(len(database)):
+        distance = _true_distance(database, query, candidate_index, stats)
+        result.offer(candidate_index, distance)
+    stats.elapsed_seconds = time.perf_counter() - start
+    return result.neighbors(), stats
+
+
+def knn_search(
+    database: TrajectoryDatabase,
+    query: Trajectory,
+    k: int,
+    pruners: Sequence[Pruner],
+    early_abandon: bool = False,
+) -> SearchResult:
+    """Sequential k-NN with a chain of pruners (Figure 6's skeleton).
+
+    Candidates are visited in database order.  The first k candidates
+    initialize the result with true distances; afterwards each pruner is
+    consulted in the given order and the first one whose lower bound
+    exceeds the current k-th distance prunes the candidate (and is
+    credited in the stats).  With ``early_abandon=True`` the EDR dynamic
+    program itself stops as soon as the k-th distance is unreachable;
+    abandoned candidates still count as true-distance computations.
+    """
+    start = time.perf_counter()
+    result = _ResultList(k)
+    stats = SearchStats(database_size=len(database))
+    query_pruners = [pruner.for_query(query) for pruner in pruners]
+
+    for candidate_index in range(len(database)):
+        best = result.best_so_far
+        pruned = False
+        if np.isfinite(best):
+            for query_pruner in query_pruners:
+                if query_pruner.lower_bound(candidate_index, best) > best:
+                    stats.credit(query_pruner.name)
+                    pruned = True
+                    break
+        if pruned:
+            continue
+        bound = best if early_abandon and np.isfinite(best) else None
+        distance = _true_distance(database, query, candidate_index, stats, bound)
+        if np.isfinite(distance):
+            for query_pruner in query_pruners:
+                query_pruner.record(candidate_index, distance)
+        result.offer(candidate_index, distance)
+    stats.elapsed_seconds = time.perf_counter() - start
+    return result.neighbors(), stats
+
+
+def knn_sorted_scan(
+    database: TrajectoryDatabase,
+    query: Trajectory,
+    k: int,
+    pruner: Pruner,
+    early_abandon: bool = False,
+) -> SearchResult:
+    """Sorted scan (the paper's HSR): visit in ascending lower-bound order.
+
+    All lower bounds are computed up front and sorted; the scan stops at
+    the first candidate whose bound exceeds the current k-th distance,
+    because every later bound is at least as large.
+    """
+    start = time.perf_counter()
+    result = _ResultList(k)
+    stats = SearchStats(database_size=len(database))
+    query_pruner = pruner.for_query(query)
+    bounds = np.array(
+        [query_pruner.lower_bound(index) for index in range(len(database))]
+    )
+    order = np.argsort(bounds, kind="stable")
+    for rank, candidate_index in enumerate(map(int, order)):
+        best = result.best_so_far
+        if np.isfinite(best) and bounds[candidate_index] > best:
+            remaining = len(order) - rank
+            stats.pruned_by[query_pruner.name] = (
+                stats.pruned_by.get(query_pruner.name, 0) + remaining
+            )
+            break
+        bound = best if early_abandon and np.isfinite(best) else None
+        distance = _true_distance(database, query, candidate_index, stats, bound)
+        if np.isfinite(distance):
+            query_pruner.record(candidate_index, distance)
+        result.offer(candidate_index, distance)
+    stats.elapsed_seconds = time.perf_counter() - start
+    return result.neighbors(), stats
+
+
+def knn_qgram_index(
+    database: TrajectoryDatabase,
+    query: Trajectory,
+    k: int,
+    q: int = 1,
+    structure: str = "rtree",
+    axis: int = 0,
+) -> SearchResult:
+    """The Qgramk-NN-index algorithm of Figure 3.
+
+    Probe the Q-gram index to build per-trajectory common counters, seed
+    the result with the k highest-counter trajectories, then visit the
+    rest in descending counter order, skipping candidates whose counter
+    fails Theorem 1's bound.  The descending walk stops entirely once a
+    counter falls below the *query-length-only* bound
+    ``l_Q - q + 1 - bestSoFar*q``: that bound is a floor of every
+    candidate's individual bound, so all remaining (smaller) counters
+    must fail too — the length-safe version of the paper's line 16 break.
+    """
+    start = time.perf_counter()
+    result = _ResultList(k)
+    stats = SearchStats(database_size=len(database))
+    pruner = QgramIndexPruner(database, q=q, structure=structure, axis=axis)
+    query_pruner = pruner.for_query(query)
+    counters = query_pruner.counters
+    order = np.argsort(-counters, kind="stable")
+
+    for rank, candidate_index in enumerate(map(int, order)):
+        best = result.best_so_far
+        if np.isfinite(best):
+            floor_bound = len(query) - q + 1 - best * q
+            if counters[candidate_index] < floor_bound:
+                remaining = len(order) - rank
+                stats.pruned_by[query_pruner.name] = (
+                    stats.pruned_by.get(query_pruner.name, 0) + remaining
+                )
+                break
+            if query_pruner.lower_bound(candidate_index) > best:
+                stats.credit(query_pruner.name)
+                continue
+        distance = _true_distance(database, query, candidate_index, stats)
+        result.offer(candidate_index, distance)
+    stats.elapsed_seconds = time.perf_counter() - start
+    return result.neighbors(), stats
+
+
+def knn_sorted_search(
+    database: TrajectoryDatabase,
+    query: Trajectory,
+    k: int,
+    primary: Pruner,
+    secondary: Sequence[Pruner] = (),
+    early_abandon: bool = False,
+) -> SearchResult:
+    """Combined search with sorted access on the primary pruner.
+
+    The paper's combined methods (Section 5.4) run the histogram stage
+    in HSR form: all primary lower bounds are computed up front and
+    candidates are visited in ascending order, so the scan stops at the
+    first bound that cannot beat the k-th distance; the remaining
+    pruners filter the candidates that are actually visited.  This is
+    that engine with any pruner in the primary role.
+    """
+    start = time.perf_counter()
+    result = _ResultList(k)
+    stats = SearchStats(database_size=len(database))
+    primary_query = primary.for_query(query)
+    secondary_queries = [pruner.for_query(query) for pruner in secondary]
+    # Order by the primary's *quick* bound: sound, so the sorted break
+    # stays exact, but cheap enough to evaluate for the whole database.
+    bounds = np.array(
+        [primary_query.quick_lower_bound(index) for index in range(len(database))]
+    )
+    order = np.argsort(bounds, kind="stable")
+    for rank, candidate_index in enumerate(map(int, order)):
+        best = result.best_so_far
+        if np.isfinite(best) and bounds[candidate_index] > best:
+            remaining = len(order) - rank
+            stats.pruned_by[primary_query.name] = (
+                stats.pruned_by.get(primary_query.name, 0) + remaining
+            )
+            break
+        pruned = False
+        if np.isfinite(best):
+            # Staged exact primary bound, then the secondary pruners.
+            if primary_query.lower_bound(candidate_index, best) > best:
+                stats.credit(primary_query.name)
+                pruned = True
+            else:
+                for query_pruner in secondary_queries:
+                    if query_pruner.lower_bound(candidate_index, best) > best:
+                        stats.credit(query_pruner.name)
+                        pruned = True
+                        break
+        if pruned:
+            continue
+        bound = best if early_abandon and np.isfinite(best) else None
+        distance = _true_distance(database, query, candidate_index, stats, bound)
+        if np.isfinite(distance):
+            primary_query.record(candidate_index, distance)
+            for query_pruner in secondary_queries:
+                query_pruner.record(candidate_index, distance)
+        result.offer(candidate_index, distance)
+    stats.elapsed_seconds = time.perf_counter() - start
+    return result.neighbors(), stats

@@ -1,0 +1,223 @@
+"""Trajectory model for moving-object similarity search.
+
+A trajectory is a sequence of sampled positions of a moving object,
+``S = [(t_1, s_1), ..., (t_n, s_n)]`` where each ``s_i`` is a d-dimensional
+vector (d is usually 2 or 3).  For similarity-based retrieval the paper
+ignores the time component and works with the sequence of sampled vectors
+only, so :class:`Trajectory` stores the positions as an ``(n, d)`` float
+array and keeps the timestamps as optional metadata.
+
+The paper (Section 2) recommends normalizing each coordinate axis by its
+mean and standard deviation so that distances are invariant to spatial
+scaling and shifting; :meth:`Trajectory.normalized` implements this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Trajectory"]
+
+
+ArrayLike = Union[np.ndarray, Sequence[Sequence[float]], Sequence[float]]
+
+
+def _as_points(points: ArrayLike) -> np.ndarray:
+    """Coerce input into a float64 ``(n, d)`` array.
+
+    One-dimensional input of n scalars becomes an ``(n, 1)`` array so that
+    one-dimensional time series (used in several of the paper's worked
+    examples) are first-class trajectories.
+    """
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim == 0:
+        raise ValueError("a trajectory needs at least a sequence of points")
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(
+            f"trajectory points must be an (n, d) array, got shape {array.shape}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise ValueError("trajectory points must be finite numbers")
+    return array
+
+
+class Trajectory:
+    """An immutable sequence of d-dimensional sampled positions.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array-like of sampled positions.  A flat sequence of n
+        scalars is treated as a one-dimensional trajectory of length n.
+    timestamps:
+        Optional length-n sequence of sample times.  Timestamps play no
+        role in any distance computation (the paper discards them for
+        similarity search) but are preserved for provenance and I/O.
+    label:
+        Optional class label, used by the clustering / classification
+        efficacy experiments (Tables 1 and 2).
+    trajectory_id:
+        Optional stable identifier used by search engines and indexes.
+    """
+
+    __slots__ = ("_points", "_timestamps", "label", "trajectory_id")
+
+    def __init__(
+        self,
+        points: ArrayLike,
+        timestamps: Optional[Sequence[float]] = None,
+        label: Optional[str] = None,
+        trajectory_id: Optional[int] = None,
+    ) -> None:
+        self._points = _as_points(points)
+        self._points.setflags(write=False)
+        if timestamps is not None:
+            stamps = np.asarray(timestamps, dtype=np.float64)
+            if stamps.shape != (len(self._points),):
+                raise ValueError(
+                    "timestamps must be a flat sequence with one entry per point"
+                )
+            stamps.setflags(write=False)
+            self._timestamps = stamps
+        else:
+            self._timestamps = None
+        self.label = label
+        self.trajectory_id = trajectory_id
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """The ``(n, d)`` read-only array of sampled positions."""
+        return self._points
+
+    @property
+    def timestamps(self) -> Optional[np.ndarray]:
+        """Sample times, or ``None`` when the source had no time column."""
+        return self._timestamps
+
+    @property
+    def ndim(self) -> int:
+        """Spatial arity d of each sampled vector (2 for x-y trajectories)."""
+        return self._points.shape[1]
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    def __getitem__(self, index):
+        return self._points[index]
+
+    def __iter__(self) -> Iterable[np.ndarray]:
+        return iter(self._points)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return (
+            self._points.shape == other._points.shape
+            and bool(np.array_equal(self._points, other._points))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._points.shape, self._points.tobytes()))
+
+    def __repr__(self) -> str:
+        parts = [f"n={len(self)}", f"d={self.ndim}"]
+        if self.label is not None:
+            parts.append(f"label={self.label!r}")
+        if self.trajectory_id is not None:
+            parts.append(f"id={self.trajectory_id}")
+        return f"Trajectory({', '.join(parts)})"
+
+    # ------------------------------------------------------------------
+    # Derived trajectories
+    # ------------------------------------------------------------------
+    def normalized(self) -> "Trajectory":
+        """Return the axis-wise z-normalized trajectory (paper Section 2).
+
+        Each coordinate axis is shifted by its mean and scaled by its
+        standard deviation: ``Norm(S)_i = (s_i - mu) / sigma``.  An axis
+        with zero variance is left centred at zero rather than divided by
+        zero.  Normalization makes every distance in this library invariant
+        to spatial scaling and shifting of the raw data.
+        """
+        mean = self._points.mean(axis=0)
+        std = self._points.std(axis=0)
+        safe_std = np.where(std > 0.0, std, 1.0)
+        return self.with_points((self._points - mean) / safe_std)
+
+    def with_points(self, points: ArrayLike) -> "Trajectory":
+        """Build a trajectory with new points but this one's metadata."""
+        stamps = None
+        new_points = _as_points(points)
+        if self._timestamps is not None and len(new_points) == len(self):
+            stamps = self._timestamps
+        return Trajectory(
+            new_points,
+            timestamps=stamps,
+            label=self.label,
+            trajectory_id=self.trajectory_id,
+        )
+
+    def rest(self) -> "Trajectory":
+        """``Rest(S)``: the sub-trajectory without the first element.
+
+        Provided for parity with the paper's recurrences; the dynamic
+        programming implementations never materialize it.
+        """
+        if len(self) == 0:
+            raise ValueError("Rest() of an empty trajectory is undefined")
+        return self.with_points(self._points[1:])
+
+    def projection(self, axis: int) -> "Trajectory":
+        """The one-dimensional data sequence of a single coordinate axis.
+
+        Used by the 1-D Q-gram (Theorem 4) and 1-D histogram
+        (Corollary 1) pruning variants.
+        """
+        if not 0 <= axis < self.ndim:
+            raise IndexError(f"axis {axis} out of range for d={self.ndim}")
+        return self.with_points(self._points[:, axis].reshape(-1, 1))
+
+    def resampled(self, length: int) -> "Trajectory":
+        """Linearly resample to ``length`` points along the path.
+
+        The sliding-window Euclidean strategy needs equal lengths only in
+        window comparisons, but resampling is a common preprocessing step
+        for other consumers of the library.
+        """
+        if length < 1:
+            raise ValueError("resampled length must be positive")
+        if len(self) == 0:
+            raise ValueError("cannot resample an empty trajectory")
+        if len(self) == 1:
+            return self.with_points(np.repeat(self._points, length, axis=0))
+        old_positions = np.linspace(0.0, 1.0, num=len(self))
+        new_positions = np.linspace(0.0, 1.0, num=length)
+        columns = [
+            np.interp(new_positions, old_positions, self._points[:, axis])
+            for axis in range(self.ndim)
+        ]
+        return self.with_points(np.column_stack(columns))
+
+    # ------------------------------------------------------------------
+    # Summary statistics used by pruning structures
+    # ------------------------------------------------------------------
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-axis ``(minimum, maximum)`` of the sampled positions."""
+        if len(self) == 0:
+            raise ValueError("bounds of an empty trajectory are undefined")
+        return self._points.min(axis=0), self._points.max(axis=0)
+
+    def max_std(self) -> float:
+        """The maximum per-axis standard deviation.
+
+        The paper sets the matching threshold ε to a quarter of the
+        maximum standard deviation of the trajectories under comparison.
+        """
+        return float(self._points.std(axis=0).max())

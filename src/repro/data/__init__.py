@@ -1,0 +1,40 @@
+"""Workload generators, distortion injection, and persistence."""
+
+from .generators import (
+    make_fixed_length_set,
+    make_mixed_set,
+    make_random_walk_set,
+    random_walk,
+)
+from .io import load_csv, load_npz, save_csv, save_npz
+from .noise import (
+    add_interpolated_noise,
+    add_local_time_shift,
+    distort,
+    make_distorted_sets,
+)
+from .synthetic import (
+    make_asl_like,
+    make_cameramouse_like,
+    make_labelled_set,
+    make_nhl_like,
+)
+
+__all__ = [
+    "make_fixed_length_set",
+    "make_mixed_set",
+    "make_random_walk_set",
+    "random_walk",
+    "load_csv",
+    "load_npz",
+    "save_csv",
+    "save_npz",
+    "add_interpolated_noise",
+    "add_local_time_shift",
+    "distort",
+    "make_distorted_sets",
+    "make_asl_like",
+    "make_cameramouse_like",
+    "make_labelled_set",
+    "make_nhl_like",
+]

@@ -1,0 +1,106 @@
+"""Trajectory persistence: NPZ (lossless, fast) and CSV (interchange).
+
+A saved set round-trips points, timestamps, and labels.  NPZ stores each
+trajectory's arrays under indexed keys; CSV uses the long format
+``trajectory_id,label,t,x,y,...`` that trajectory tools commonly accept.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+
+__all__ = ["save_npz", "load_npz", "save_csv", "load_csv"]
+
+PathLike = Union[str, Path]
+
+
+def save_npz(path: PathLike, trajectories: List[Trajectory]) -> None:
+    """Save a trajectory set losslessly to a ``.npz`` archive."""
+    arrays = {"count": np.array(len(trajectories))}
+    for index, trajectory in enumerate(trajectories):
+        arrays[f"points_{index}"] = trajectory.points
+        if trajectory.timestamps is not None:
+            arrays[f"timestamps_{index}"] = trajectory.timestamps
+        if trajectory.label is not None:
+            arrays[f"label_{index}"] = np.array(trajectory.label)
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: PathLike) -> List[Trajectory]:
+    """Load a trajectory set saved by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as archive:
+        count = int(archive["count"])
+        trajectories = []
+        for index in range(count):
+            points = archive[f"points_{index}"]
+            timestamps = (
+                archive[f"timestamps_{index}"]
+                if f"timestamps_{index}" in archive
+                else None
+            )
+            label = (
+                str(archive[f"label_{index}"])
+                if f"label_{index}" in archive
+                else None
+            )
+            trajectories.append(
+                Trajectory(points, timestamps=timestamps, label=label,
+                           trajectory_id=index)
+            )
+    return trajectories
+
+
+def save_csv(path: PathLike, trajectories: List[Trajectory]) -> None:
+    """Save as long-format CSV: one row per sampled point."""
+    if not trajectories:
+        raise ValueError("nothing to save")
+    arity = trajectories[0].ndim
+    header = ["trajectory_id", "label", "t"] + [f"c{axis}" for axis in range(arity)]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for index, trajectory in enumerate(trajectories):
+            stamps = (
+                trajectory.timestamps
+                if trajectory.timestamps is not None
+                else np.arange(len(trajectory), dtype=np.float64)
+            )
+            label = trajectory.label if trajectory.label is not None else ""
+            for stamp, point in zip(stamps, trajectory.points):
+                writer.writerow([index, label, stamp] + [repr(float(v)) for v in point])
+
+
+def load_csv(path: PathLike) -> List[Trajectory]:
+    """Load a long-format CSV saved by :func:`save_csv`."""
+    rows_by_id = {}
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        coordinate_columns = len(header) - 3
+        for row in reader:
+            trajectory_id = int(row[0])
+            label = row[1] or None
+            stamp = float(row[2])
+            point = [float(v) for v in row[3 : 3 + coordinate_columns]]
+            rows_by_id.setdefault(trajectory_id, {"label": label, "rows": []})
+            rows_by_id[trajectory_id]["rows"].append((stamp, point))
+    trajectories = []
+    for trajectory_id in sorted(rows_by_id):
+        record = rows_by_id[trajectory_id]
+        stamps = [stamp for stamp, _ in record["rows"]]
+        points = [point for _, point in record["rows"]]
+        trajectories.append(
+            Trajectory(
+                points,
+                timestamps=stamps,
+                label=record["label"],
+                trajectory_id=trajectory_id,
+            )
+        )
+    return trajectories

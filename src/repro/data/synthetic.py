@@ -1,0 +1,248 @@
+"""Labelled synthetic stand-ins for the paper's proprietary data sets.
+
+The efficacy experiments (Tables 1 and 2) use the Cameramouse finger-tip
+set (5 words x 3 instances) and an Australian Sign Language sample
+(10 signs x 5 instances); the combination experiments use 5,000 NHL
+player trajectories.  None of these are redistributable, so this module
+generates *structurally equivalent* labelled sets:
+
+* each class is a smooth parametric 2-D curve (a "word" or "sign"),
+* instances of a class share the curve but differ in sampling rate,
+  speed profile (local time shifting), spatial offset/scale, and jitter,
+* lengths fall in the ranges the paper reports (e.g. 60-140 for ASL).
+
+What the experiments measure — can a distance function recognize the
+same shape under time shifting and noise — depends only on this
+structure, not on the original sensor values, which is why the
+substitution preserves the evaluation's meaning (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+
+__all__ = [
+    "make_class_curve",
+    "make_labelled_set",
+    "make_cameramouse_like",
+    "make_asl_like",
+    "make_nhl_like",
+]
+
+
+def make_class_curve(
+    class_seed: int, harmonics: int = 4
+) -> Callable[[np.ndarray], np.ndarray]:
+    """A smooth closed-form 2-D curve parameterized on [0, 1].
+
+    Random Fourier coefficients drawn from ``class_seed`` make each class
+    a distinct, reproducible shape.
+    """
+    rng = np.random.default_rng(class_seed)
+    decay = 1.0 / np.arange(1, harmonics + 1)
+    coefficients = rng.normal(size=(2, harmonics, 2)) * decay[None, :, None]
+
+    def curve(positions: np.ndarray) -> np.ndarray:
+        angle = 2.0 * np.pi * positions[:, None] * np.arange(1, harmonics + 1)
+        x = coefficients[0, :, 0] * np.sin(angle) + coefficients[0, :, 1] * np.cos(angle)
+        y = coefficients[1, :, 0] * np.sin(angle) + coefficients[1, :, 1] * np.cos(angle)
+        return np.column_stack([x.sum(axis=1), y.sum(axis=1)])
+
+    return curve
+
+
+def _sample_instance(
+    curve: Callable[[np.ndarray], np.ndarray],
+    length: int,
+    rng: np.random.Generator,
+    jitter: float,
+    warp_strength: float,
+) -> np.ndarray:
+    """Draw one instance: warped sampling positions + spatial variation.
+
+    The monotone random warp of the sampling positions is what gives
+    instances of the same class genuine *local time shifting*, the
+    phenomenon DTW/ERP/LCSS/EDR must handle and Euclidean cannot.
+    """
+    increments = rng.gamma(shape=1.0 / max(warp_strength, 1e-6), size=length)
+    positions = np.cumsum(increments)
+    positions = (positions - positions[0]) / (positions[-1] - positions[0])
+    points = curve(positions)
+    scale = rng.uniform(0.8, 1.2)
+    offset = rng.normal(scale=0.2, size=2)
+    points = points * scale + offset
+    if jitter > 0.0:
+        points = points + rng.normal(scale=jitter, size=points.shape)
+    return points
+
+
+def make_labelled_set(
+    class_count: int,
+    instances_per_class: int,
+    min_length: int,
+    max_length: int,
+    seed: int = 0,
+    jitter: float = 0.02,
+    warp_strength: float = 1.0,
+    strokes_per_class: int = 4,
+    stroke_library_size: Optional[int] = None,
+) -> List[Trajectory]:
+    """A labelled gesture-like data set of stroke-composed 2-D classes.
+
+    Real gesture vocabularies (written words, sign languages) compose a
+    small library of *strokes*: different words share letters, different
+    signs share hand movements.  Each class here is a sequence of
+    ``strokes_per_class`` strokes drawn from a shared library, so
+    distinct classes share long common subsequences and differ in the
+    connecting parts — exactly the regime where gap-blind LCSS confuses
+    classes while EDR's gap penalties keep them apart.
+
+    Each class has a base duration (performing the same gesture takes a
+    similar time); instance lengths vary around it by about ±10 %, with
+    the class base durations spanning ``[min_length, max_length]``.
+    """
+    rng = np.random.default_rng(seed)
+    library_size = (
+        stroke_library_size
+        if stroke_library_size is not None
+        else max(3, class_count // 2 + 2)
+    )
+    strokes = [
+        make_class_curve(seed * 1000 + 7919 * index, harmonics=3)
+        for index in range(library_size)
+    ]
+    trajectories: List[Trajectory] = []
+    seen_stroke_orders = set()
+    for class_index in range(class_count):
+        while True:
+            order = tuple(rng.integers(0, library_size, size=strokes_per_class))
+            if order not in seen_stroke_orders:
+                seen_stroke_orders.add(order)
+                break
+        base_length = int(rng.integers(min_length, max_length + 1))
+        for _ in range(instances_per_class):
+            length = int(
+                np.clip(
+                    round(base_length * rng.uniform(0.9, 1.1)),
+                    min_length,
+                    max_length,
+                )
+            )
+            points = _sample_stroke_instance(
+                [strokes[i] for i in order], length, rng, jitter, warp_strength
+            )
+            trajectories.append(Trajectory(points, label=f"class-{class_index}"))
+    return trajectories
+
+
+def _sample_stroke_instance(
+    stroke_curves,
+    length: int,
+    rng: np.random.Generator,
+    jitter: float,
+    warp_strength: float,
+) -> np.ndarray:
+    """One instance of a stroke-composed gesture.
+
+    Strokes receive randomly varying shares of the total duration (the
+    per-stroke speed variation that causes local time shifting), each is
+    sampled with a warped clock, and consecutive strokes are translated
+    to chain continuously.
+    """
+    shares = rng.dirichlet(np.full(len(stroke_curves), 8.0))
+    lengths = np.maximum(2, np.round(shares * length).astype(int))
+    # Adjust the longest stroke so the pieces sum exactly to `length`.
+    lengths[int(np.argmax(lengths))] += length - int(lengths.sum())
+    pieces = []
+    cursor = np.zeros(2)
+    for curve, stroke_length in zip(stroke_curves, lengths):
+        increments = rng.gamma(shape=1.0 / max(warp_strength, 1e-6), size=int(stroke_length))
+        positions = np.cumsum(increments)
+        positions = (positions - positions[0]) / max(positions[-1] - positions[0], 1e-12)
+        points = curve(positions)
+        points = points - points[0] + cursor
+        cursor = points[-1]
+        pieces.append(points)
+    points = np.vstack(pieces)
+    scale = rng.uniform(0.8, 1.2)
+    offset = rng.normal(scale=0.2, size=2)
+    points = points * scale + offset
+    if jitter > 0.0:
+        points = points + rng.normal(scale=jitter, size=points.shape)
+    return points
+
+
+def make_cameramouse_like(seed: int = 7) -> List[Trajectory]:
+    """5 word classes x 3 instances, as in the Cameramouse set [11]."""
+    return make_labelled_set(
+        class_count=5,
+        instances_per_class=3,
+        min_length=100,
+        max_length=200,
+        seed=seed,
+    )
+
+
+def make_asl_like(seed: int = 11) -> List[Trajectory]:
+    """10 sign classes x 5 instances with lengths 60-140, as in ASL."""
+    return make_labelled_set(
+        class_count=10,
+        instances_per_class=5,
+        min_length=60,
+        max_length=140,
+        seed=seed,
+    )
+
+
+def make_nhl_like(
+    count: int = 5000,
+    min_length: int = 30,
+    max_length: int = 256,
+    seed: int = 3,
+    rink: Optional[tuple] = None,
+    play_pool: int = 40,
+) -> List[Trajectory]:
+    """Hockey-player-like trajectories: waypoint motion inside a rink.
+
+    Each trajectory is a player skating a *play* — one of ``play_pool``
+    recurring waypoint patterns (real hockey shifts repeat breakouts,
+    forechecks, and cycles) perturbed per instance — inside a 200 x 85
+    rectangle (NHL rink dimensions in feet), matching the original set's
+    size (5,000), length range (30-256), bounded 2-D structure, and the
+    recurring-pattern neighbourhoods real tracking data has.
+    """
+    rng = np.random.default_rng(seed)
+    width, height = rink if rink is not None else (200.0, 85.0)
+    plays = []
+    for _ in range(max(1, play_pool)):
+        waypoint_count = int(rng.integers(4, 12))
+        plays.append(
+            np.column_stack(
+                [
+                    rng.uniform(0.0, width, size=waypoint_count),
+                    rng.uniform(0.0, height, size=waypoint_count),
+                ]
+            )
+        )
+    trajectories: List[Trajectory] = []
+    for index in range(count):
+        length = int(rng.integers(min_length, max_length + 1))
+        play = plays[index % len(plays)]
+        waypoints = play + rng.normal(scale=2.0, size=play.shape)
+        anchor_positions = np.linspace(0.0, 1.0, num=len(waypoints))
+        sample_positions = np.linspace(0.0, 1.0, num=length)
+        points = np.column_stack(
+            [
+                np.interp(sample_positions, anchor_positions, waypoints[:, axis])
+                for axis in range(2)
+            ]
+        )
+        points = points + rng.normal(scale=0.5, size=points.shape)
+        trajectories.append(
+            Trajectory(points, label=f"play-{index % len(plays)}")
+        )
+    return trajectories

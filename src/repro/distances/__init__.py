@@ -1,0 +1,33 @@
+"""Baseline trajectory distance functions compared against EDR (Figure 2)."""
+
+from ..core.edr import edr
+from .base import as_points, available_distances, get_distance, register_distance
+from .dtw import dtw, dtw_reference
+from .editdistance import edit_distance
+from .erp import erp, erp_reference
+from .euclidean import euclidean, sliding_euclidean
+from .frequency import fd_lower_bound, frequency_distance, frequency_vector
+from .lcss import lcss, lcss_distance, lcss_reference
+
+register_distance("edr")(edr)
+
+__all__ = [
+    "edr",
+    "as_points",
+    "available_distances",
+    "get_distance",
+    "register_distance",
+    "dtw",
+    "dtw_reference",
+    "edit_distance",
+    "erp",
+    "erp_reference",
+    "euclidean",
+    "sliding_euclidean",
+    "fd_lower_bound",
+    "frequency_distance",
+    "frequency_vector",
+    "lcss",
+    "lcss_distance",
+    "lcss_reference",
+]

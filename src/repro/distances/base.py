@@ -1,0 +1,69 @@
+"""Common protocol and registry for trajectory distance functions.
+
+Every distance in this package is a callable taking two trajectories (or
+raw point arrays) plus function-specific keyword parameters and returning
+a non-negative float.  The registry lets the evaluation harnesses (Tables
+1 and 2) iterate over "all five distance functions" by name, exactly as
+the paper's comparison tables do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+
+__all__ = [
+    "DistanceFunction",
+    "register_distance",
+    "get_distance",
+    "available_distances",
+    "as_points",
+]
+
+DistanceFunction = Callable[..., float]
+
+_REGISTRY: Dict[str, DistanceFunction] = {}
+
+
+def register_distance(name: str) -> Callable[[DistanceFunction], DistanceFunction]:
+    """Class/function decorator registering a distance under ``name``."""
+
+    def decorator(function: DistanceFunction) -> DistanceFunction:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"distance {name!r} is already registered")
+        _REGISTRY[key] = function
+        return function
+
+    return decorator
+
+
+def get_distance(name: str) -> DistanceFunction:
+    """Look a distance function up by its registered name.
+
+    Registered names: ``euclidean``, ``dtw``, ``erp``, ``lcss`` (the
+    similarity score), ``lcss_distance`` and ``edr``.
+    """
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown distance {name!r}; known: {known}") from None
+
+
+def available_distances() -> List[str]:
+    """Sorted names of every registered distance function."""
+    return sorted(_REGISTRY)
+
+
+def as_points(trajectory: Union[Trajectory, np.ndarray, Sequence]) -> np.ndarray:
+    """Coerce a trajectory-like argument to an ``(n, d)`` float array."""
+    if isinstance(trajectory, Trajectory):
+        return trajectory.points
+    array = np.asarray(trajectory, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    return array

@@ -1,0 +1,101 @@
+"""Longest Common Subsequences over real trajectories (paper Formula 4).
+
+``LCSS(R, S)`` is the length of the longest sequence of ε-matching
+element pairs appearing in order in both trajectories.  Like EDR it
+quantizes element distances to {0, 1} and is therefore robust to noise;
+unlike EDR it charges nothing for the gaps between matched
+sub-trajectories, which is the "coarseness" the paper criticizes: two
+candidates with identical common subsequences but very different gap
+sizes score the same.
+
+``lcss`` returns the similarity score (higher is more similar);
+``lcss_distance`` converts it to the usual normalized distance
+``1 - LCSS / min(m, n)`` used when a distance-like quantity is needed
+(for the clustering and classification protocols).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..core.matching import match_matrix
+from ..core.trajectory import Trajectory
+from .base import as_points, register_distance
+
+__all__ = ["lcss", "lcss_distance", "lcss_reference"]
+
+
+@register_distance("lcss")
+def lcss(
+    first: Union[Trajectory, np.ndarray, Sequence],
+    second: Union[Trajectory, np.ndarray, Sequence],
+    epsilon: float,
+) -> float:
+    """The LCSS similarity score of Formula 4 (a non-negative integer).
+
+    Vectorized over anti-diagonals of the DP table: each cell on diagonal
+    ``i + j = d`` depends on diagonals ``d - 1`` (skip moves) and ``d - 2``
+    (match move).
+    """
+    if epsilon < 0.0:
+        raise ValueError("matching threshold epsilon must be non-negative")
+    a = as_points(first)
+    b = as_points(second)
+    m, n = len(a), len(b)
+    if m == 0 or n == 0:
+        return 0.0
+    matches = match_matrix(a, b, epsilon)
+
+    size = m + 1
+    older = np.zeros(size)  # diagonal d-2 (boundary cells are all 0)
+    newer = np.zeros(size)  # diagonal d-1
+    for d in range(1, m + n + 1):
+        current = np.zeros(size)
+        lo = max(1, d - n)
+        hi = min(m, d - 1)
+        if lo <= hi:
+            rows = np.arange(lo, hi + 1)
+            cols = d - rows
+            matched = matches[rows - 1, cols - 1]
+            skip = np.maximum(newer[rows - 1], newer[rows])
+            # Formula 4 takes the match branch whenever the heads match
+            # (it does not also consider the skip moves in that case).
+            current[rows] = np.where(matched, older[rows - 1] + 1.0, skip)
+        older, newer = newer, current
+    return float(newer[m])
+
+
+@register_distance("lcss_distance")
+def lcss_distance(
+    first: Union[Trajectory, np.ndarray, Sequence],
+    second: Union[Trajectory, np.ndarray, Sequence],
+    epsilon: float,
+) -> float:
+    """Normalized LCSS distance ``1 - LCSS(R, S) / min(m, n)`` in [0, 1]."""
+    a = as_points(first)
+    b = as_points(second)
+    shorter = min(len(a), len(b))
+    if shorter == 0:
+        return 1.0 if max(len(a), len(b)) else 0.0
+    return 1.0 - lcss(a, b, epsilon) / shorter
+
+
+def lcss_reference(
+    first: Union[Trajectory, np.ndarray, Sequence],
+    second: Union[Trajectory, np.ndarray, Sequence],
+    epsilon: float,
+) -> float:
+    """Full-matrix transcription of Formula 4; test oracle for :func:`lcss`."""
+    a = as_points(first)
+    b = as_points(second)
+    m, n = len(a), len(b)
+    table = np.zeros((m + 1, n + 1), dtype=np.float64)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            if np.all(np.abs(a[i - 1] - b[j - 1]) <= epsilon):
+                table[i, j] = table[i - 1, j - 1] + 1.0
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    return float(table[m, n])

@@ -1,0 +1,30 @@
+"""Evaluation protocols: clustering efficacy, 1-NN error, efficiency metrics."""
+
+from .calibration import CalibrationResult, calibrate_epsilon
+from .classification import leave_one_out_error, leave_one_out_error_from_matrix
+from .dendrogram import Merge, cut_tree, linkage_tree, render_dendrogram
+from .clustering import (
+    clustering_score,
+    complete_linkage,
+    pairwise_distances,
+    partition_matches_labels,
+)
+from .metrics import EfficiencyReport, evaluate_engine, same_answers
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate_epsilon",
+    "Merge",
+    "cut_tree",
+    "linkage_tree",
+    "render_dendrogram",
+    "leave_one_out_error",
+    "leave_one_out_error_from_matrix",
+    "clustering_score",
+    "complete_linkage",
+    "pairwise_distances",
+    "partition_matches_labels",
+    "EfficiencyReport",
+    "evaluate_engine",
+    "same_answers",
+]

@@ -1,0 +1,97 @@
+"""Retrieval-efficiency metrics of Section 5: pruning power and speedup ratio.
+
+*Pruning power* of a k-NN query is the fraction of database trajectories
+whose true EDR was never computed (without introducing false
+dismissals).  *Speedup ratio* is the average total time of a sequential
+scan divided by the average total time with the pruning technique.
+
+:func:`evaluate_engine` runs a batch of queries through an engine and a
+sequential scan, checks answer equivalence (the no-false-dismissal
+assertion), and aggregates both metrics — the exact procedure behind
+every efficiency figure in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..core.database import TrajectoryDatabase
+from ..core.search import Neighbor, SearchResult, knn_scan
+from ..core.trajectory import Trajectory
+
+__all__ = ["EfficiencyReport", "same_answers", "evaluate_engine"]
+
+
+@dataclass
+class EfficiencyReport:
+    """Aggregated efficiency of one pruning configuration over a query batch."""
+
+    method: str
+    query_count: int
+    mean_pruning_power: float
+    mean_scan_seconds: float
+    mean_method_seconds: float
+    all_answers_match: bool
+
+    @property
+    def speedup_ratio(self) -> float:
+        """Sequential-scan time over method time (>1 means the method wins)."""
+        if self.mean_method_seconds <= 0.0:
+            return float("inf")
+        return self.mean_scan_seconds / self.mean_method_seconds
+
+    def row(self) -> str:
+        """One formatted table row for the bench harness output."""
+        return (
+            f"{self.method:<34s} power={self.mean_pruning_power:6.3f}  "
+            f"speedup={self.speedup_ratio:6.2f}  "
+            f"match={'yes' if self.all_answers_match else 'NO'}"
+        )
+
+
+def same_answers(first: List[Neighbor], second: List[Neighbor]) -> bool:
+    """True when two k-NN answers agree as distance multisets.
+
+    Ties may legally permute indices between engines, so equality is on
+    the sorted distance values (the quantity the k-NN query defines).
+    """
+    a = sorted(neighbor.distance for neighbor in first)
+    b = sorted(neighbor.distance for neighbor in second)
+    return len(a) == len(b) and bool(np.allclose(a, b))
+
+
+def evaluate_engine(
+    method: str,
+    database: TrajectoryDatabase,
+    queries: Sequence[Trajectory],
+    k: int,
+    engine: Callable[[TrajectoryDatabase, Trajectory, int], SearchResult],
+) -> EfficiencyReport:
+    """Run ``engine`` and a sequential scan on every query and aggregate.
+
+    The scan is rerun per query so both timings face the same cache
+    conditions; answers are verified to match the scan's on every query.
+    """
+    powers = []
+    scan_times = []
+    method_times = []
+    all_match = True
+    for query in queries:
+        scan_neighbors, scan_stats = knn_scan(database, query, k)
+        neighbors, stats = engine(database, query, k)
+        powers.append(stats.pruning_power)
+        scan_times.append(scan_stats.elapsed_seconds)
+        method_times.append(stats.elapsed_seconds)
+        if not same_answers(scan_neighbors, neighbors):
+            all_match = False
+    return EfficiencyReport(
+        method=method,
+        query_count=len(powers),
+        mean_pruning_power=float(np.mean(powers)) if powers else 0.0,
+        mean_scan_seconds=float(np.mean(scan_times)) if scan_times else 0.0,
+        mean_method_seconds=float(np.mean(method_times)) if method_times else 0.0,
+        all_answers_match=all_match,
+    )

@@ -1,0 +1,21 @@
+"""Access-method substrates built from scratch: R-tree, B+-tree, merge join."""
+
+from .bptree import BPlusTree
+from .mergejoin import (
+    count_common_sorted_1d,
+    count_common_sorted_2d,
+    merge_join_count,
+    sort_means_1d,
+    sort_means_2d,
+)
+from .rtree import RTree
+
+__all__ = [
+    "BPlusTree",
+    "RTree",
+    "count_common_sorted_1d",
+    "count_common_sorted_2d",
+    "merge_join_count",
+    "sort_means_1d",
+    "sort_means_2d",
+]

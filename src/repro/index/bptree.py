@@ -1,0 +1,192 @@
+"""A B+-tree over one-dimensional keys, built from scratch.
+
+The PB pruning variant (paper Sections 4.1 and 5.1) indexes the mean
+values of Q-grams taken over a single coordinate axis with a B+-tree and
+answers, per query Q-gram, the range query ``[mean - eps, mean + eps]``.
+This is a conventional B+-tree: sorted keys in every node, payloads only
+in leaves, leaves chained for range scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["BPlusTree"]
+
+
+class _Leaf:
+    __slots__ = ("keys", "payloads", "next")
+
+    def __init__(self) -> None:
+        self.keys: List[float] = []
+        self.payloads: List[List[object]] = []  # one bucket per distinct key
+        self.next: Optional["_Leaf"] = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] holds keys < keys[i]; children[-1] holds the rest.
+        self.keys: List[float] = []
+        self.children: List[object] = []
+
+
+class BPlusTree:
+    """B+-tree mapping float keys to payload lists.
+
+    Duplicate keys share one leaf slot with a payload bucket, which is
+    the natural shape for mean-value Q-grams (many trajectories produce
+    identical means on synthetic data).
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node before it splits.
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 4:
+            raise ValueError("order must be at least 4")
+        self.order = order
+        self._root: object = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: float, payload: object) -> None:
+        """Insert one key/payload pair (duplicates allowed)."""
+        key = float(key)
+        split = self._insert(self._root, key, payload)
+        if split is not None:
+            separator, sibling = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, sibling]
+            self._root = new_root
+        self._size += 1
+
+    def extend(self, items: Iterable[Tuple[float, object]]) -> None:
+        for key, payload in items:
+            self.insert(key, payload)
+
+    def _insert(
+        self, node: object, key: float, payload: object
+    ) -> Optional[Tuple[float, object]]:
+        if isinstance(node, _Leaf):
+            position = bisect.bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                node.payloads[position].append(payload)
+            else:
+                node.keys.insert(position, key)
+                node.payloads.insert(position, [payload])
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        internal: _Internal = node
+        child_index = bisect.bisect_right(internal.keys, key)
+        split = self._insert(internal.children[child_index], key, payload)
+        if split is not None:
+            separator, sibling = split
+            internal.keys.insert(child_index, separator)
+            internal.children.insert(child_index + 1, sibling)
+            if len(internal.keys) > self.order:
+                return self._split_internal(internal)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[float, _Leaf]:
+        middle = len(leaf.keys) // 2
+        sibling = _Leaf()
+        sibling.keys = leaf.keys[middle:]
+        sibling.payloads = leaf.payloads[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.payloads = leaf.payloads[:middle]
+        sibling.next = leaf.next
+        leaf.next = sibling
+        return sibling.keys[0], sibling
+
+    @staticmethod
+    def _split_internal(node: _Internal) -> Tuple[float, _Internal]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        sibling = _Internal()
+        sibling.keys = node.keys[middle + 1 :]
+        sibling.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return separator, sibling
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def range_search(self, low: float, high: float) -> List[object]:
+        """Payloads of every key in the closed interval ``[low, high]``."""
+        if low > high:
+            return []
+        leaf = self._find_leaf(low)
+        results: List[object] = []
+        while leaf is not None:
+            position = bisect.bisect_left(leaf.keys, low)
+            while position < len(leaf.keys):
+                key = leaf.keys[position]
+                if key > high:
+                    return results
+                results.extend(leaf.payloads[position])
+                position += 1
+            leaf = leaf.next
+        return results
+
+    def match_search(self, key: float, epsilon: float) -> List[object]:
+        """Payloads of all keys within ε of ``key``."""
+        return self.range_search(key - epsilon, key + epsilon)
+
+    def _find_leaf(self, key: float) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect.bisect_right(node.keys, key)]
+        return node
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests)
+    # ------------------------------------------------------------------
+    def sorted_items(self) -> List[Tuple[float, object]]:
+        """All ``(key, payload)`` pairs in key order via the leaf chain."""
+        leaf = self._find_leaf(float("-inf"))
+        items: List[Tuple[float, object]] = []
+        while leaf is not None:
+            for key, bucket in zip(leaf.keys, leaf.payloads):
+                for payload in bucket:
+                    items.append((key, payload))
+            leaf = leaf.next
+        return items
+
+    def check_invariants(self) -> None:
+        """Validate sortedness and leaf depth uniformity; raises on violation."""
+        depths = set()
+
+        def visit(node: object, depth: int, low: float, high: float) -> None:
+            if isinstance(node, _Leaf):
+                depths.add(depth)
+                if node.keys != sorted(node.keys):
+                    raise AssertionError("leaf keys out of order")
+                for key in node.keys:
+                    if not low <= key < high:
+                        raise AssertionError("leaf key outside separator range")
+                return
+            internal: _Internal = node
+            if internal.keys != sorted(internal.keys):
+                raise AssertionError("internal keys out of order")
+            boundaries = [low] + internal.keys + [high]
+            for child, (lo, hi) in zip(
+                internal.children, zip(boundaries[:-1], boundaries[1:])
+            ):
+                visit(child, depth + 1, lo, hi)
+
+        visit(self._root, 1, float("-inf"), float("inf"))
+        if len(depths) > 1:
+            raise AssertionError(f"leaves at unequal depths: {depths}")

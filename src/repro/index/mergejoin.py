@@ -1,0 +1,166 @@
+"""ε-tolerant merge join over sorted mean-value Q-grams (PS1 / PS2).
+
+The index-free pruning variants of Section 4.1 pre-sort each trajectory's
+mean-value Q-grams once, then count common Q-grams between the query and
+a candidate with one merge-style pass: O(l + l_max) per candidate versus
+an index probe per Q-gram for the tree-based variants.
+
+Implementation: ``numpy.searchsorted`` locates, for every query Q-gram,
+the candidate window whose first coordinate could ε-match.  The window
+boundaries are widened by one ULP so no borderline value is lost to
+floating-point rounding, then every windowed pair is tested with the
+exact ``|a - b| <= eps`` predicate — bit-identical to the brute-force
+count, fully vectorized.
+
+``count_common_sorted_1d`` handles the one-axis projections (PS1);
+``count_common_sorted_2d`` handles full mean value pairs sorted on the
+first axis (PS2).  Both count each query Q-gram at most once, the same
+(safely over-counting) semantics as
+:func:`repro.core.qgram.count_common_qgrams`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "sort_means_1d",
+    "sort_means_2d",
+    "count_common_sorted_1d",
+    "count_common_sorted_2d",
+    "merge_join_count",
+]
+
+# Windows larger than this fall back to a per-query-point loop instead of
+# one flattened allocation (only reachable on adversarial inputs where
+# every first coordinate is within eps of every other).
+_FLAT_LIMIT = 4_000_000
+
+
+def sort_means_1d(means: np.ndarray) -> np.ndarray:
+    """Sort one-dimensional mean values ascending (build-time step of PS1)."""
+    values = np.asarray(means, dtype=np.float64).ravel()
+    return np.sort(values)
+
+
+def sort_means_2d(means: np.ndarray) -> np.ndarray:
+    """Sort mean value pairs lexicographically (build-time step of PS2)."""
+    array = np.asarray(means, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError("expected an (n, d) array of mean value pairs")
+    order = np.lexsort(array.T[::-1])  # primary key: column 0
+    return array[order]
+
+
+def _windows(
+    query_key: np.ndarray, candidate_key: np.ndarray, epsilon: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-query [start, end) candidate windows on the sort key.
+
+    Boundaries are widened beyond ``key ± eps`` by twice the rounding
+    granularity of the match predicate — the predicate computes
+    ``|key - c| <= eps`` with the subtraction rounded at magnitude ~eps,
+    so a candidate up to ~ulp(eps) outside the exact interval can still
+    satisfy it.  The widened window is therefore a superset of every
+    float-accepted match; callers re-check the exact predicate inside
+    the window, so the final count is bit-identical to brute force.
+    """
+    slack = 2.0 * np.spacing(np.maximum(np.abs(query_key), epsilon))
+    starts = np.searchsorted(candidate_key, query_key - epsilon - slack, side="left")
+    ends = np.searchsorted(candidate_key, query_key + epsilon + slack, side="right")
+    return starts, ends
+
+
+def _count_windowed_matches(
+    query: np.ndarray,
+    candidate_sorted: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    epsilon: float,
+) -> int:
+    """Query rows with >= 1 exact ε-match inside their candidate window."""
+    lengths = ends - starts
+    populated = np.nonzero(lengths > 0)[0]
+    if not len(populated):
+        return 0
+    window_lengths = lengths[populated]
+    total = int(window_lengths.sum())
+    if total > _FLAT_LIMIT:
+        count = 0
+        for i in populated:
+            window = candidate_sorted[starts[i] : ends[i]]
+            if np.any(np.all(np.abs(window - query[i]) <= epsilon, axis=-1)):
+                count += 1
+        return count
+    # Flatten all windows into one index vector: row_ids says which query
+    # row each flattened candidate row belongs to.
+    row_ids = np.repeat(populated, window_lengths)
+    window_offsets = np.arange(total) - np.repeat(
+        np.cumsum(window_lengths) - window_lengths, window_lengths
+    )
+    flat_indices = np.repeat(starts[populated], window_lengths) + window_offsets
+    differences = np.abs(candidate_sorted[flat_indices] - query[row_ids])
+    if differences.ndim == 1:
+        matched = differences <= epsilon
+    else:
+        matched = np.all(differences <= epsilon, axis=1)
+    return int(np.unique(row_ids[matched]).size)
+
+
+def count_common_sorted_1d(
+    query_sorted: np.ndarray, candidate_sorted: np.ndarray, epsilon: float
+) -> int:
+    """Query Q-grams with an ε-match in the candidate; both inputs sorted."""
+    if epsilon < 0.0:
+        raise ValueError("epsilon must be non-negative")
+    query_sorted = np.asarray(query_sorted, dtype=np.float64).ravel()
+    candidate_sorted = np.asarray(candidate_sorted, dtype=np.float64).ravel()
+    if len(query_sorted) == 0 or len(candidate_sorted) == 0:
+        return 0
+    starts, ends = _windows(query_sorted, candidate_sorted, epsilon)
+    return _count_windowed_matches(
+        query_sorted, candidate_sorted, starts, ends, epsilon
+    )
+
+
+def count_common_sorted_2d(
+    query_sorted: np.ndarray, candidate_sorted: np.ndarray, epsilon: float
+) -> int:
+    """Query mean pairs with an ε-match in the candidate; both sorted on axis 0."""
+    if epsilon < 0.0:
+        raise ValueError("epsilon must be non-negative")
+    query_sorted = np.asarray(query_sorted, dtype=np.float64)
+    candidate_sorted = np.asarray(candidate_sorted, dtype=np.float64)
+    if len(query_sorted) == 0 or len(candidate_sorted) == 0:
+        return 0
+    starts, ends = _windows(
+        query_sorted[:, 0], candidate_sorted[:, 0], epsilon
+    )
+    return _count_windowed_matches(
+        query_sorted, candidate_sorted, starts, ends, epsilon
+    )
+
+
+def merge_join_count(
+    query_means: np.ndarray, candidate_sorted: np.ndarray, epsilon: float
+) -> Tuple[int, int]:
+    """Convenience wrapper dispatching on dimensionality.
+
+    Returns ``(common_count, query_qgram_count)``.  ``query_means`` is
+    sorted here (queries are not preprocessed at build time).
+    """
+    query_means = np.asarray(query_means, dtype=np.float64)
+    if query_means.ndim == 1 or query_means.shape[1] == 1:
+        query_sorted = sort_means_1d(query_means)
+        flat_candidate = np.asarray(candidate_sorted, dtype=np.float64).ravel()
+        return (
+            count_common_sorted_1d(query_sorted, flat_candidate, epsilon),
+            len(query_sorted),
+        )
+    query_sorted = sort_means_2d(query_means)
+    return (
+        count_common_sorted_2d(query_sorted, candidate_sorted, epsilon),
+        len(query_sorted),
+    )

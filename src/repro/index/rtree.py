@@ -1,0 +1,294 @@
+"""An R-tree over d-dimensional points, built from scratch.
+
+The PR pruning variant (paper Section 5.1) indexes the two-dimensional
+mean value pairs of every Q-gram in the database with an R*-tree and
+answers, for each query Q-gram mean, a square range query of half-width ε.
+This implementation provides exactly that capability: bulk or incremental
+insertion of ``(point, payload)`` pairs and axis-aligned rectangle range
+search.  Node splitting uses Guttman's quadratic split, which is the
+classic textbook algorithm and adequate for the point workloads here
+(the R*-specific reinsertion heuristics affect constants, not results).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RTree"]
+
+
+class _Entry:
+    """A bounding box plus either a payload (leaf) or a child node.
+
+    Boxes are plain Python float lists: with d <= 3 the per-call
+    overhead of tiny numpy arrays dwarfs the arithmetic, and box tests
+    are the innermost loop of every range search.
+    """
+
+    __slots__ = ("lower", "upper", "payload", "child")
+
+    def __init__(
+        self,
+        lower: List[float],
+        upper: List[float],
+        payload: Optional[object] = None,
+        child: Optional["_Node"] = None,
+    ) -> None:
+        self.lower = lower
+        self.upper = upper
+        self.payload = payload
+        self.child = child
+
+    def area_enlargement(self, lower: List[float], upper: List[float]) -> float:
+        merged = 1.0
+        for self_low, self_high, low, high in zip(self.lower, self.upper, lower, upper):
+            span = (self_high if self_high >= high else high) - (
+                self_low if self_low <= low else low
+            )
+            merged *= span
+        return merged - self.area()
+
+    def area(self) -> float:
+        product = 1.0
+        for low, high in zip(self.lower, self.upper):
+            product *= high - low
+        return product
+
+    def extend(self, lower: List[float], upper: List[float]) -> None:
+        self.lower = [min(a, b) for a, b in zip(self.lower, lower)]
+        self.upper = [max(a, b) for a, b in zip(self.upper, upper)]
+
+    def intersects(self, lower: List[float], upper: List[float]) -> bool:
+        for self_low, self_high, low, high in zip(self.lower, self.upper, lower, upper):
+            if self_low > high or low > self_high:
+                return False
+        return True
+
+
+class _Node:
+    __slots__ = ("entries", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.entries: List[_Entry] = []
+        self.is_leaf = is_leaf
+
+
+class RTree:
+    """R-tree storing points with arbitrary payloads.
+
+    Parameters
+    ----------
+    ndim:
+        Dimensionality of the indexed points.
+    max_entries:
+        Node fan-out; nodes exceeding it split (Guttman quadratic split).
+    """
+
+    def __init__(self, ndim: int, max_entries: int = 16) -> None:
+        if ndim < 1:
+            raise ValueError("ndim must be at least 1")
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self.ndim = ndim
+        self.max_entries = max_entries
+        self._min_entries = max(2, max_entries // 3)
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, point: Sequence[float], payload: object) -> None:
+        """Insert one point with its payload."""
+        coordinates = [float(value) for value in np.asarray(point).ravel()]
+        if len(coordinates) != self.ndim:
+            raise ValueError(
+                f"expected a {self.ndim}-d point, got {len(coordinates)} values"
+            )
+        entry = _Entry(coordinates, list(coordinates), payload=payload)
+        split = self._insert(self._root, entry)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(is_leaf=False)
+            self._root.entries.append(self._wrap(old_root))
+            self._root.entries.append(self._wrap(split))
+        self._size += 1
+
+    def extend(self, items: Iterable[Tuple[Sequence[float], object]]) -> None:
+        """Insert many ``(point, payload)`` pairs."""
+        for point, payload in items:
+            self.insert(point, payload)
+
+    def _wrap(self, node: _Node) -> _Entry:
+        lower = [min(e.lower[axis] for e in node.entries) for axis in range(self.ndim)]
+        upper = [max(e.upper[axis] for e in node.entries) for axis in range(self.ndim)]
+        return _Entry(lower, upper, child=node)
+
+    def _insert(self, node: _Node, entry: _Entry) -> Optional[_Node]:
+        if node.is_leaf:
+            node.entries.append(entry)
+        else:
+            best = min(
+                node.entries,
+                key=lambda e: (e.area_enlargement(entry.lower, entry.upper), e.area()),
+            )
+            split = self._insert(best.child, entry)
+            best.extend(entry.lower, entry.upper)
+            if split is not None:
+                node.entries.append(self._wrap(split))
+                # Recompute the chosen entry's box after its child split.
+                refreshed = self._wrap(best.child)
+                best.lower, best.upper = refreshed.lower, refreshed.upper
+        if len(node.entries) > self.max_entries:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> _Node:
+        """Guttman quadratic split; ``node`` keeps one group, returns the other."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        remaining = [
+            e for i, e in enumerate(entries) if i not in (seed_a, seed_b)
+        ]
+        box_a = _Entry(list(group_a[0].lower), list(group_a[0].upper))
+        box_b = _Entry(list(group_b[0].lower), list(group_b[0].upper))
+        while remaining:
+            # Force the rest into a group that is short of min_entries.
+            if len(group_a) + len(remaining) <= self._min_entries:
+                group_a.extend(remaining)
+                for e in remaining:
+                    box_a.extend(e.lower, e.upper)
+                break
+            if len(group_b) + len(remaining) <= self._min_entries:
+                group_b.extend(remaining)
+                for e in remaining:
+                    box_b.extend(e.lower, e.upper)
+                break
+            # PickNext: the entry with the greatest preference difference.
+            best_index = max(
+                range(len(remaining)),
+                key=lambda i: abs(
+                    box_a.area_enlargement(remaining[i].lower, remaining[i].upper)
+                    - box_b.area_enlargement(remaining[i].lower, remaining[i].upper)
+                ),
+            )
+            chosen = remaining.pop(best_index)
+            grow_a = box_a.area_enlargement(chosen.lower, chosen.upper)
+            grow_b = box_b.area_enlargement(chosen.lower, chosen.upper)
+            if (grow_a, box_a.area(), len(group_a)) <= (
+                grow_b,
+                box_b.area(),
+                len(group_b),
+            ):
+                group_a.append(chosen)
+                box_a.extend(chosen.lower, chosen.upper)
+            else:
+                group_b.append(chosen)
+                box_b.extend(chosen.lower, chosen.upper)
+        node.entries = group_a
+        sibling = _Node(is_leaf=node.is_leaf)
+        sibling.entries = group_b
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: List[_Entry]) -> Tuple[int, int]:
+        worst_pair = (0, 1)
+        worst_waste = float("-inf")
+        for i in range(len(entries)):
+            area_i = entries[i].area()
+            for j in range(i + 1, len(entries)):
+                merged = 1.0
+                for low_i, high_i, low_j, high_j in zip(
+                    entries[i].lower, entries[i].upper,
+                    entries[j].lower, entries[j].upper,
+                ):
+                    merged *= max(high_i, high_j) - min(low_i, low_j)
+                waste = merged - area_i - entries[j].area()
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        return worst_pair
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def range_search(
+        self, lower: Sequence[float], upper: Sequence[float]
+    ) -> List[object]:
+        """Payloads of all points inside the axis-aligned box [lower, upper]."""
+        lower = [float(v) for v in np.asarray(lower).ravel()]
+        upper = [float(v) for v in np.asarray(upper).ravel()]
+        if len(lower) != self.ndim or len(upper) != self.ndim:
+            raise ValueError("query box must match the tree dimensionality")
+        results: List[object] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if not entry.intersects(lower, upper):
+                    continue
+                if node.is_leaf:
+                    results.append(entry.payload)
+                else:
+                    stack.append(entry.child)
+        return results
+
+    def match_search(self, point: Sequence[float], epsilon: float) -> List[object]:
+        """Payloads of all indexed points ε-matching ``point``.
+
+        The square query box of half-width ε — exactly the "standard
+        R*-tree search using q_mean" of the paper's Qgramk-NN-index.
+        """
+        coordinates = [float(v) for v in np.asarray(point).ravel()]
+        return self.range_search(
+            [v - epsilon for v in coordinates],
+            [v + epsilon for v in coordinates],
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests)
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Height of the tree (1 for a lone leaf root)."""
+        depth = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.entries[0].child
+            depth += 1
+        return depth
+
+    def check_invariants(self) -> None:
+        """Validate bounding boxes and leaf depths; raises on violation."""
+        leaf_depths = set()
+
+        def visit(node: _Node, depth: int) -> Tuple[np.ndarray, np.ndarray]:
+            if node.is_leaf:
+                leaf_depths.add(depth)
+            lowers = []
+            uppers = []
+            for entry in node.entries:
+                if entry.child is not None:
+                    child_lower, child_upper = visit(entry.child, depth + 1)
+                    if np.any(np.asarray(child_lower) < np.asarray(entry.lower) - 1e-9) or np.any(
+                        np.asarray(child_upper) > np.asarray(entry.upper) + 1e-9
+                    ):
+                        raise AssertionError("child box exceeds parent box")
+                lowers.append(entry.lower)
+                uppers.append(entry.upper)
+            if not lowers:
+                return [0.0] * self.ndim, [0.0] * self.ndim
+            return (
+                [min(box[axis] for box in lowers) for axis in range(self.ndim)],
+                [max(box[axis] for box in uppers) for axis in range(self.ndim)],
+            )
+
+        visit(self._root, 1)
+        if len(leaf_depths) > 1:
+            raise AssertionError(f"leaves at unequal depths: {leaf_depths}")

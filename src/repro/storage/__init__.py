@@ -1,0 +1,20 @@
+"""Disk-resident storage substrate: page file, buffer pool, trajectory store."""
+
+from .bufferpool import BufferPool
+from .pagefile import DEFAULT_PAGE_SIZE, PageFile
+from .trajectorystore import (
+    DiskSearchStats,
+    TrajectoryStore,
+    disk_knn_scan,
+    disk_knn_search,
+)
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_PAGE_SIZE",
+    "PageFile",
+    "DiskSearchStats",
+    "TrajectoryStore",
+    "disk_knn_scan",
+    "disk_knn_search",
+]

@@ -1,0 +1,90 @@
+"""An LRU buffer pool over a :class:`PageFile`.
+
+The paper sizes its near-triangle reference buffer in pages ("the buffer
+space requirement is N * maxTriangle ... around 400M"); this pool is the
+standard mechanism behind such statements: a bounded set of in-memory
+frames, least-recently-used eviction, write-back of dirty frames, and
+hit/miss accounting so experiments can report logical vs physical I/O.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from .pagefile import PageFile
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Bounded page cache with LRU eviction and write-back.
+
+    Parameters
+    ----------
+    file:
+        The backing page file.
+    capacity:
+        Maximum number of resident pages; must be at least 1.
+    """
+
+    def __init__(self, file: PageFile, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be at least 1")
+        self.file = file
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._frames: "OrderedDict[int, bytearray]" = OrderedDict()
+        self._dirty: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    def get(self, page_id: int) -> bytes:
+        """Page contents, through the cache."""
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return bytes(self._frames[page_id])
+        self.misses += 1
+        data = bytearray(self.file.read(page_id))
+        self._admit(page_id, data, dirty=False)
+        return bytes(data)
+
+    def put(self, page_id: int, data: bytes) -> None:
+        """Stage new page contents; written back on eviction or flush."""
+        if len(data) > self.file.page_size:
+            raise ValueError("payload exceeds page size")
+        buffered = bytearray(data.ljust(self.file.page_size, b"\x00"))
+        if page_id in self._frames:
+            self._frames[page_id] = buffered
+            self._frames.move_to_end(page_id)
+            self._dirty[page_id] = True
+            return
+        self._admit(page_id, buffered, dirty=True)
+
+    def flush(self) -> None:
+        """Write every dirty frame back; the cache stays warm."""
+        for page_id, dirty in list(self._dirty.items()):
+            if dirty:
+                self.file.write(page_id, bytes(self._frames[page_id]))
+                self._dirty[page_id] = False
+
+    def resident_pages(self) -> Tuple[int, ...]:
+        """Currently cached page ids in LRU order (oldest first)."""
+        return tuple(self._frames)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def _admit(self, page_id: int, data: bytearray, dirty: bool) -> None:
+        while len(self._frames) >= self.capacity:
+            victim_id, victim = self._frames.popitem(last=False)
+            if self._dirty.pop(victim_id, False):
+                self.file.write(victim_id, bytes(victim))
+            self.evictions += 1
+        self._frames[page_id] = data
+        self._dirty[page_id] = dirty

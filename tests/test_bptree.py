@@ -1,0 +1,97 @@
+"""Tests for the from-scratch B+-tree."""
+
+import numpy as np
+import pytest
+
+from repro.index.bptree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.range_search(0.0, 10.0) == []
+
+    def test_single_key(self):
+        tree = BPlusTree()
+        tree.insert(5.0, "a")
+        assert tree.range_search(0.0, 10.0) == ["a"]
+        assert tree.range_search(6.0, 10.0) == []
+
+    def test_closed_interval_boundaries(self):
+        tree = BPlusTree()
+        tree.insert(1.0, "low")
+        tree.insert(2.0, "high")
+        assert sorted(tree.range_search(1.0, 2.0)) == ["high", "low"]
+
+    def test_inverted_range_is_empty(self):
+        tree = BPlusTree()
+        tree.insert(1.0, "a")
+        assert tree.range_search(2.0, 1.0) == []
+
+    def test_duplicates_share_a_key(self):
+        tree = BPlusTree()
+        for i in range(10):
+            tree.insert(3.0, i)
+        assert sorted(tree.range_search(3.0, 3.0)) == list(range(10))
+
+    def test_match_search_window(self):
+        tree = BPlusTree()
+        tree.extend([(0.0, "a"), (0.4, "b"), (0.6, "c"), (-0.5, "d")])
+        assert sorted(tree.match_search(0.0, 0.5)) == ["a", "b", "d"]
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=3)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_range_queries(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.uniform(-100, 100, size=500)
+        tree = BPlusTree(order=8)
+        tree.extend(zip(keys, range(500)))
+        assert len(tree) == 500
+        for _ in range(30):
+            low, high = np.sort(rng.uniform(-100, 100, size=2))
+            expected = sorted(i for i, key in enumerate(keys) if low <= key <= high)
+            assert sorted(tree.range_search(low, high)) == expected
+
+    def test_sorted_items_are_sorted(self):
+        rng = np.random.default_rng(9)
+        keys = rng.uniform(size=200)
+        tree = BPlusTree(order=6)
+        tree.extend(zip(keys, range(200)))
+        items = tree.sorted_items()
+        assert len(items) == 200
+        assert [k for k, _ in items] == sorted(keys.tolist())
+
+    def test_ascending_insert_order(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(float(i), i)
+        assert tree.range_search(10.0, 12.0) == [10, 11, 12]
+
+    def test_descending_insert_order(self):
+        tree = BPlusTree(order=4)
+        for i in reversed(range(100)):
+            tree.insert(float(i), i)
+        assert tree.range_search(97.0, 99.0) == [97, 98, 99]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_invariants_after_many_inserts(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = BPlusTree(order=5)
+        for i in range(600):
+            tree.insert(float(rng.normal()), i)
+        tree.check_invariants()
+
+    def test_invariants_with_heavy_duplication(self):
+        tree = BPlusTree(order=4)
+        for i in range(200):
+            tree.insert(float(i % 7), i)
+        tree.check_invariants()
+        assert len(tree.range_search(0.0, 6.0)) == 200

@@ -1,0 +1,85 @@
+"""Tests for leave-one-out 1-NN classification (Table 2 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, edr
+from repro.eval import leave_one_out_error, leave_one_out_error_from_matrix
+
+
+class TestFromMatrix:
+    def test_zero_error_on_block_matrix(self):
+        # Two tight classes: nearest neighbour is always same-class.
+        matrix = np.array(
+            [
+                [0, 1, 9, 9],
+                [1, 0, 9, 9],
+                [9, 9, 0, 1],
+                [9, 9, 1, 0],
+            ],
+            dtype=float,
+        )
+        labels = ["a", "a", "b", "b"]
+        assert leave_one_out_error_from_matrix(matrix, labels) == 0.0
+
+    def test_full_error_when_classes_interleave(self):
+        matrix = np.array(
+            [
+                [0, 9, 1, 9],
+                [9, 0, 9, 1],
+                [1, 9, 0, 9],
+                [9, 1, 9, 0],
+            ],
+            dtype=float,
+        )
+        labels = ["a", "a", "b", "b"]
+        assert leave_one_out_error_from_matrix(matrix, labels) == 1.0
+
+    def test_partial_error(self):
+        matrix = np.array(
+            [
+                [0, 1, 2],
+                [1, 0, 2],
+                [2, 1, 0],  # item 2's nearest is item 1 (other class)
+            ],
+            dtype=float,
+        )
+        labels = ["a", "a", "b"]
+        assert leave_one_out_error_from_matrix(matrix, labels) == pytest.approx(1 / 3)
+
+    def test_diagonal_is_excluded(self):
+        matrix = np.array([[0.0, 5.0], [5.0, 0.0]])
+        labels = ["a", "b"]
+        # With the diagonal masked, each item's NN is the other item.
+        assert leave_one_out_error_from_matrix(matrix, labels) == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            leave_one_out_error_from_matrix(np.zeros((2, 2)), ["a"])
+
+    def test_too_few_items_raises(self):
+        with pytest.raises(ValueError):
+            leave_one_out_error_from_matrix(np.zeros((1, 1)), ["a"])
+
+
+class TestEndToEnd:
+    def test_zero_error_on_separated_classes(self):
+        # Instances of a class share a base shape up to small jitter, so
+        # within-class elements epsilon-match and cross-class ones do not.
+        rng = np.random.default_rng(0)
+        trajectories = []
+        for label in ("a", "b"):
+            base = rng.normal(scale=5.0, size=(6, 2))
+            for _ in range(4):
+                jittered = base + rng.normal(scale=0.05, size=base.shape)
+                trajectories.append(Trajectory(jittered, label=label))
+        error = leave_one_out_error(trajectories, lambda a, b: edr(a, b, 0.5))
+        assert error == 0.0
+
+    def test_error_is_a_fraction(self):
+        rng = np.random.default_rng(1)
+        trajectories = [
+            Trajectory(rng.normal(size=(5, 2)), label=str(i % 2)) for i in range(6)
+        ]
+        error = leave_one_out_error(trajectories, lambda a, b: edr(a, b, 0.5))
+        assert 0.0 <= error <= 1.0

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import load_npz, save_npz
+from repro import Trajectory
+
+
+@pytest.fixture()
+def labelled_file(tmp_path):
+    rng = np.random.default_rng(0)
+    trajectories = []
+    for label in ("a", "b"):
+        base = rng.normal(scale=5.0, size=(10, 2))
+        for _ in range(3):
+            trajectories.append(
+                Trajectory(base + rng.normal(scale=0.05, size=base.shape), label=label)
+            )
+    path = tmp_path / "set.npz"
+    save_npz(path, trajectories)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+
+    def test_unknown_pruner_fails(self, labelled_file):
+        with pytest.raises(SystemExit):
+            main(["knn", labelled_file, "--pruners", "bogus"])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["random-walk", "asl", "cameramouse"])
+    def test_generate_writes_npz(self, tmp_path, kind):
+        out = tmp_path / "out.npz"
+        assert main(["generate", "--kind", kind, "--count", "10",
+                     "--out", str(out)]) == 0
+        assert load_npz(out)
+
+    def test_generate_csv(self, tmp_path):
+        out = tmp_path / "out.csv"
+        assert main(["generate", "--kind", "random-walk", "--count", "5",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_generate_normalized(self, tmp_path, capsys):
+        out = tmp_path / "out.npz"
+        main(["generate", "--kind", "random-walk", "--count", "5",
+              "--normalize", "--out", str(out)])
+        loaded = load_npz(out)
+        assert np.allclose(loaded[0].points.mean(axis=0), 0.0, atol=1e-9)
+
+
+class TestQueries:
+    def test_info(self, labelled_file, capsys):
+        assert main(["info", labelled_file]) == 0
+        output = capsys.readouterr().out
+        assert "trajectories: 6" in output
+        assert "labelled classes: 2" in output
+
+    def test_distance(self, labelled_file, capsys):
+        assert main(["distance", labelled_file, "0", "1"]) == 0
+        assert "edr(0, 1)" in capsys.readouterr().out
+
+    def test_distance_named_function(self, labelled_file, capsys):
+        assert main(["distance", labelled_file, "0", "1",
+                     "--function", "dtw"]) == 0
+        assert "dtw(0, 1)" in capsys.readouterr().out
+
+    def test_knn_finds_same_class(self, labelled_file, capsys):
+        assert main(["knn", labelled_file, "--query-index", "0",
+                     "--k", "3", "--epsilon", "0.5"]) == 0
+        output = capsys.readouterr().out
+        lines = [l for l in output.splitlines() if "EDR" in l]
+        assert len(lines) == 3
+        assert all("a" in line for line in lines)
+
+    def test_knn_all_pruners(self, labelled_file):
+        assert main(["knn", labelled_file, "--k", "2",
+                     "--pruners", "histogram,histogram-1d,qgram,nti"]) == 0
+
+    def test_range(self, labelled_file, capsys):
+        assert main(["range", labelled_file, "--query-index", "0",
+                     "--radius", "1", "--epsilon", "0.5"]) == 0
+        output = capsys.readouterr().out
+        assert "within" in output
+
+    def test_classify(self, labelled_file, capsys):
+        assert main(["classify", labelled_file, "--functions", "edr",
+                     "--epsilon", "0.5"]) == 0
+        assert "error = 0.000" in capsys.readouterr().out
+
+    def test_cluster(self, labelled_file, capsys):
+        assert main(["cluster", labelled_file, "--functions", "edr",
+                     "--epsilon", "0.5"]) == 0
+        assert "1/1" in capsys.readouterr().out
+
+    def test_classify_unlabelled_fails(self, tmp_path):
+        rng = np.random.default_rng(1)
+        path = tmp_path / "plain.npz"
+        save_npz(path, [Trajectory(rng.normal(size=(5, 2))) for _ in range(4)])
+        with pytest.raises(SystemExit):
+            main(["classify", str(path)])
+
+
+class TestPatternCommands:
+    def test_join(self, labelled_file, capsys):
+        assert main(["join", labelled_file, "--radius", "5",
+                     "--epsilon", "0.5"]) == 0
+        assert "pairs within EDR" in capsys.readouterr().out
+
+    def test_find_pattern(self, labelled_file, capsys):
+        assert main(["find-pattern", labelled_file, "--pattern-index", "0",
+                     "--pattern-start", "2", "--pattern-end", "8",
+                     "--epsilon", "0.5"]) == 0
+        output = capsys.readouterr().out
+        assert "window [" in output
+        # the source trajectory contains its own pattern exactly
+        assert "EDR = 0" in output
+
+    def test_align(self, labelled_file, capsys):
+        assert main(["align", labelled_file, "0", "1", "--epsilon", "0.5"]) == 0
+        output = capsys.readouterr().out
+        assert "free matches" in output
+        assert "script:" in output

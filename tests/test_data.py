@@ -1,0 +1,254 @@
+"""Tests for the workload generators and distortion injection."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, edr
+from repro.data import (
+    add_interpolated_noise,
+    add_local_time_shift,
+    distort,
+    make_asl_like,
+    make_cameramouse_like,
+    make_distorted_sets,
+    make_fixed_length_set,
+    make_labelled_set,
+    make_mixed_set,
+    make_nhl_like,
+    make_random_walk_set,
+    random_walk,
+)
+
+
+class TestRandomWalk:
+    def test_length_and_arity(self):
+        t = random_walk(25, ndim=3)
+        assert len(t) == 25
+        assert t.ndim == 3
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ValueError):
+            random_walk(0)
+
+    def test_start_point(self):
+        t = random_walk(5, start=[7.0, 8.0], rng=np.random.default_rng(0))
+        assert np.allclose(t.points[0], [7.0, 8.0])
+
+    def test_seeded_set_is_deterministic(self):
+        a = make_random_walk_set(count=5, seed=3)
+        b = make_random_walk_set(count=5, seed=3)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_uniform_lengths_in_range(self):
+        trajectories = make_random_walk_set(
+            count=50, min_length=30, max_length=60, seed=0
+        )
+        lengths = [len(t) for t in trajectories]
+        assert min(lengths) >= 30
+        assert max(lengths) <= 60
+
+    def test_normal_lengths_in_range(self):
+        trajectories = make_random_walk_set(
+            count=50, min_length=30, max_length=60,
+            length_distribution="normal", seed=0,
+        )
+        lengths = [len(t) for t in trajectories]
+        assert min(lengths) >= 30
+        assert max(lengths) <= 60
+
+    def test_normal_lengths_concentrate_at_mean(self):
+        trajectories = make_random_walk_set(
+            count=400, min_length=30, max_length=256,
+            length_distribution="normal", seed=1,
+        )
+        lengths = np.array([len(t) for t in trajectories])
+        middle = (30 + 256) / 2
+        assert abs(lengths.mean() - middle) < 15
+
+    def test_unknown_distribution_raises(self):
+        with pytest.raises(ValueError):
+            make_random_walk_set(count=2, length_distribution="poisson")
+
+    def test_bad_length_range_raises(self):
+        with pytest.raises(ValueError):
+            make_random_walk_set(count=2, min_length=50, max_length=40)
+
+
+class TestFixedLengthSet:
+    def test_all_lengths_equal(self):
+        trajectories = make_fixed_length_set(count=20, length=50, seed=0)
+        assert all(len(t) == 50 for t in trajectories)
+
+    def test_motif_labels_cycle(self):
+        trajectories = make_fixed_length_set(count=10, length=30, motif_classes=5)
+        assert trajectories[0].label == trajectories[5].label
+        assert trajectories[0].label != trajectories[1].label
+
+
+class TestMixedSet:
+    def test_length_range(self):
+        trajectories = make_mixed_set(count=30, min_length=60, max_length=200, seed=0)
+        lengths = [len(t) for t in trajectories]
+        assert min(lengths) >= 60
+        assert max(lengths) <= 200
+
+    def test_three_families(self):
+        trajectories = make_mixed_set(count=9, seed=0)
+        assert {t.label for t in trajectories} == {
+            "family-0", "family-1", "family-2"
+        }
+
+
+class TestLabelledSets:
+    def test_cameramouse_shape(self):
+        trajectories = make_cameramouse_like()
+        assert len(trajectories) == 15
+        assert len({t.label for t in trajectories}) == 5
+
+    def test_asl_shape(self):
+        trajectories = make_asl_like()
+        assert len(trajectories) == 50
+        assert len({t.label for t in trajectories}) == 10
+        lengths = [len(t) for t in trajectories]
+        assert min(lengths) >= 60
+        assert max(lengths) <= 140
+
+    def test_same_class_is_closer_than_cross_class(self):
+        """The structural property Tables 1-2 rely on: within-class EDR
+        beats between-class EDR on average."""
+        trajectories = make_labelled_set(
+            class_count=3, instances_per_class=3,
+            min_length=40, max_length=60, seed=6,
+            stroke_library_size=8,  # distinct classes: less stroke sharing
+        )
+        normalized = [t.normalized() for t in trajectories]
+        within, across = [], []
+        for i, a in enumerate(normalized):
+            for j, b in enumerate(normalized):
+                if i >= j:
+                    continue
+                value = edr(a, b, 0.25) / max(len(a), len(b))
+                bucket = within if trajectories[i].label == trajectories[j].label else across
+                bucket.append(value)
+        assert np.mean(within) < np.mean(across)
+
+    def test_nhl_like_properties(self):
+        trajectories = make_nhl_like(count=20, seed=0)
+        assert len(trajectories) == 20
+        lengths = [len(t) for t in trajectories]
+        assert min(lengths) >= 30
+        assert max(lengths) <= 256
+        # players stay near the rink
+        for t in trajectories:
+            assert t.points[:, 0].max() < 210
+            assert t.points[:, 1].max() < 95
+
+
+class TestNoiseInjection:
+    def trajectory(self):
+        rng = np.random.default_rng(0)
+        return Trajectory(np.cumsum(rng.normal(size=(40, 2)), axis=0))
+
+    def test_noise_increases_length(self):
+        t = self.trajectory()
+        noisy = add_interpolated_noise(t, fraction=0.2, rng=np.random.default_rng(1))
+        assert len(noisy) == len(t) + 8
+
+    def test_noise_points_are_outliers(self):
+        t = self.trajectory()
+        noisy = add_interpolated_noise(
+            t, fraction=0.1, magnitude=10.0, rng=np.random.default_rng(2)
+        )
+        assert noisy.points.std() > t.points.std()
+
+    def test_zero_fraction_is_identity(self):
+        t = self.trajectory()
+        assert add_interpolated_noise(t, fraction=0.0) == t
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            add_interpolated_noise(self.trajectory(), fraction=1.5)
+
+    def test_time_shift_roughly_preserves_length(self):
+        t = self.trajectory()
+        shifted = add_local_time_shift(t, fraction=0.2, rng=np.random.default_rng(3))
+        assert abs(len(shifted) - len(t)) <= 1
+
+    def test_time_shift_keeps_points_on_path(self):
+        t = self.trajectory()
+        shifted = add_local_time_shift(t, fraction=0.2, rng=np.random.default_rng(4))
+        original_rows = {tuple(row) for row in t.points}
+        for row in shifted.points:
+            assert tuple(row) in original_rows
+
+    def test_time_shift_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            add_local_time_shift(self.trajectory(), fraction=-0.1)
+
+    def test_distort_composes_both(self):
+        t = self.trajectory()
+        distorted = distort(t, rng=np.random.default_rng(5))
+        assert distorted != t
+
+    def test_distorted_sets_protocol(self):
+        seed_set = [self.trajectory()]
+        sets = make_distorted_sets(seed_set, set_count=4, seed=0)
+        assert len(sets) == 4
+        assert all(len(s) == 1 for s in sets)
+        # distinct RNG draws produce distinct distortions
+        assert sets[0][0] != sets[1][0]
+
+    def test_distortion_preserves_class_recognizability(self):
+        """A distorted trajectory stays closer (EDR) to its source than to
+        an unrelated trajectory — the premise of the Table 2 protocol."""
+        rng = np.random.default_rng(6)
+        source = Trajectory(np.cumsum(rng.normal(size=(50, 2)), axis=0)).normalized()
+        other = Trajectory(np.cumsum(rng.normal(size=(50, 2)), axis=0)).normalized()
+        distorted = distort(source, rng=np.random.default_rng(7))
+        epsilon = 0.5
+        assert edr(distorted, source, epsilon) < edr(distorted, other, epsilon)
+
+
+class TestClusteredGenerators:
+    def test_random_walk_clusters_share_prototypes(self):
+        trajectories = make_random_walk_set(
+            count=20, min_length=20, max_length=40, seed=0, cluster_count=4
+        )
+        labels = {t.label for t in trajectories}
+        assert labels == {f"cluster-{i}" for i in range(4)}
+
+    def test_cluster_mates_are_closer_than_strangers(self):
+        trajectories = make_random_walk_set(
+            count=12, min_length=30, max_length=30, seed=1,
+            cluster_count=3, cluster_noise=0.02,
+        )
+        normalized = [t.normalized() for t in trajectories]
+        same, different = [], []
+        for i, a in enumerate(normalized):
+            for j, b in enumerate(normalized):
+                if i >= j:
+                    continue
+                value = edr(a, b, 0.25)
+                bucket = (
+                    same
+                    if trajectories[i].label == trajectories[j].label
+                    else different
+                )
+                bucket.append(value)
+        assert np.mean(same) < np.mean(different)
+
+    def test_unclustered_walks_have_no_labels(self):
+        trajectories = make_random_walk_set(count=5, seed=2)
+        assert all(t.label is None for t in trajectories)
+
+    def test_mixed_set_cluster_labels_follow_families(self):
+        trajectories = make_mixed_set(count=12, min_length=30, max_length=60,
+                                      seed=3, cluster_count=6)
+        assert {t.label for t in trajectories} <= {
+            "family-0", "family-1", "family-2"
+        }
+
+    def test_nhl_play_pool_recurs(self):
+        trajectories = make_nhl_like(count=10, seed=4, play_pool=5)
+        assert trajectories[0].label == trajectories[5].label
+        assert trajectories[0].label != trajectories[1].label

@@ -1,0 +1,126 @@
+"""Tests for TrajectoryDatabase artifact construction and caching."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, TrajectoryDatabase
+from repro.core.qgram import mean_value_qgrams
+
+
+def small_database(seed=0, count=10, epsilon=0.5):
+    rng = np.random.default_rng(seed)
+    trajectories = [
+        Trajectory(rng.normal(size=(int(rng.integers(4, 12)), 2)))
+        for _ in range(count)
+    ]
+    return TrajectoryDatabase(trajectories, epsilon)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        database = small_database()
+        assert len(database) == 10
+        assert database.ndim == 2
+        assert database.max_length == int(database.lengths.max())
+
+    def test_empty_database_raises(self):
+        with pytest.raises(ValueError):
+            TrajectoryDatabase([], 0.5)
+
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            TrajectoryDatabase([Trajectory([[0.0, 0.0]])], -1.0)
+
+    def test_mixed_arity_raises(self):
+        with pytest.raises(ValueError):
+            TrajectoryDatabase(
+                [Trajectory([[0.0, 0.0]]), Trajectory([0.0, 1.0])], 0.5
+            )
+
+
+class TestQgramArtifacts:
+    def test_sorted_means_shape_and_order(self):
+        database = small_database()
+        means = database.sorted_qgram_means(2)
+        assert len(means) == len(database)
+        for index, sorted_means in enumerate(means):
+            assert len(sorted_means) == database.qgram_count(index, 2)
+            xs = sorted_means[:, 0]
+            assert np.all(xs[:-1] <= xs[1:])
+
+    def test_sorted_means_1d(self):
+        database = small_database()
+        means = database.sorted_qgram_means_1d(1, axis=1)
+        for index, values in enumerate(means):
+            expected = np.sort(
+                mean_value_qgrams(database.trajectories[index].projection(1), 1).ravel()
+            )
+            assert np.array_equal(values, expected)
+
+    def test_artifacts_are_cached(self):
+        database = small_database()
+        assert database.sorted_qgram_means(1) is database.sorted_qgram_means(1)
+        assert database.qgram_rtree(1) is database.qgram_rtree(1)
+        assert database.qgram_bptree(1) is database.qgram_bptree(1)
+
+    def test_rtree_contains_every_qgram(self):
+        database = small_database()
+        tree = database.qgram_rtree(2)
+        expected = sum(database.qgram_count(i, 2) for i in range(len(database)))
+        assert len(tree) == expected
+
+    def test_bptree_contains_every_qgram(self):
+        database = small_database()
+        tree = database.qgram_bptree(1)
+        assert len(tree) == int(database.lengths.sum())
+
+    def test_qgram_count_floors_at_zero(self):
+        database = small_database()
+        assert database.qgram_count(0, 10_000) == 0
+
+
+class TestHistogramArtifacts:
+    def test_histogram_per_trajectory(self):
+        database = small_database()
+        space, histograms = database.histograms()
+        assert len(histograms) == len(database)
+        for index, histogram in enumerate(histograms):
+            assert sum(histogram.values()) == database.lengths[index]
+
+    def test_delta_scales_bin_size(self):
+        database = small_database()
+        space_fine, _ = database.histograms(delta=1.0)
+        space_coarse, _ = database.histograms(delta=3.0)
+        assert space_coarse.bin_size == pytest.approx(3.0 * space_fine.bin_size)
+
+    def test_axis_projection(self):
+        database = small_database()
+        space, histograms = database.histograms(axis=0)
+        assert space.ndim == 1
+        assert all(len(key) == 1 for h in histograms for key in h)
+
+    def test_delta_below_one_raises(self):
+        database = small_database()
+        with pytest.raises(ValueError):
+            database.histograms(delta=0.5)
+
+    def test_zero_epsilon_histogram_raises(self):
+        database = TrajectoryDatabase([Trajectory([[0.0, 0.0]])], 0.0)
+        with pytest.raises(ValueError):
+            database.histograms()
+
+    def test_caching_by_variant(self):
+        database = small_database()
+        assert database.histograms() is database.histograms()
+        assert database.histograms(delta=2.0) is not database.histograms()
+
+
+class TestReferenceColumns:
+    def test_column_count_capped_by_database_size(self):
+        database = small_database(count=5)
+        columns = database.reference_columns(max_references=100)
+        assert len(columns) == 5
+
+    def test_columns_cached_by_count(self):
+        database = small_database()
+        assert database.reference_columns(3) is database.reference_columns(3)

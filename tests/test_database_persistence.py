@@ -1,0 +1,104 @@
+"""Tests for TrajectoryDatabase save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HistogramPruner,
+    NearTrianglePruning,
+    QgramMergeJoinPruner,
+    Trajectory,
+    TrajectoryDatabase,
+    knn_scan,
+    knn_search,
+)
+from repro.eval import same_answers
+
+
+@pytest.fixture()
+def built_database():
+    rng = np.random.default_rng(0)
+    trajectories = [
+        Trajectory(
+            rng.normal(size=(int(rng.integers(5, 15)), 2)),
+            label=f"class-{i % 3}",
+        )
+        for i in range(12)
+    ]
+    database = TrajectoryDatabase(trajectories, epsilon=0.4)
+    database.sorted_qgram_means(1)
+    database.sorted_qgram_means(2)
+    database.sorted_qgram_means_1d(1, axis=0)
+    database.histograms()
+    database.histograms(delta=2.0)
+    database.histograms(axis=1)
+    database.reference_columns(4)
+    database.reference_columns(3, policy="short")
+    return database
+
+
+class TestRoundTrip:
+    def test_trajectories_survive(self, built_database, tmp_path):
+        path = tmp_path / "db.npz"
+        built_database.save(path)
+        loaded = TrajectoryDatabase.load(path)
+        assert len(loaded) == len(built_database)
+        assert loaded.epsilon == built_database.epsilon
+        for a, b in zip(built_database.trajectories, loaded.trajectories):
+            assert np.array_equal(a.points, b.points)
+            assert a.label == b.label
+
+    def test_artifacts_survive(self, built_database, tmp_path):
+        path = tmp_path / "db.npz"
+        built_database.save(path)
+        loaded = TrajectoryDatabase.load(path)
+        assert set(loaded._sorted_means_2d) == {1, 2}
+        assert (1, 0) in loaded._sorted_means_1d
+        assert set(loaded._histograms) == {(1.0, None), (2.0, None), (1.0, 1)}
+        assert (4, "first") in loaded._reference_columns
+        assert (3, "short") in loaded._reference_columns
+
+    def test_artifact_contents_identical(self, built_database, tmp_path):
+        path = tmp_path / "db.npz"
+        built_database.save(path)
+        loaded = TrajectoryDatabase.load(path)
+        for q in (1, 2):
+            for a, b in zip(
+                built_database.sorted_qgram_means(q), loaded.sorted_qgram_means(q)
+            ):
+                assert np.array_equal(a, b)
+        original_space, original_hists = built_database.histograms()
+        loaded_space, loaded_hists = loaded.histograms()
+        assert np.array_equal(original_space.origin, loaded_space.origin)
+        assert original_space.bin_size == loaded_space.bin_size
+        assert original_hists == loaded_hists
+        original_refs = built_database.reference_columns(4)
+        loaded_refs = loaded.reference_columns(4)
+        for key in original_refs:
+            assert np.array_equal(original_refs[key], loaded_refs[key])
+
+    def test_loaded_database_searches_identically(self, built_database, tmp_path):
+        path = tmp_path / "db.npz"
+        built_database.save(path)
+        loaded = TrajectoryDatabase.load(path)
+        rng = np.random.default_rng(1)
+        query = Trajectory(rng.normal(size=(8, 2)))
+        expected, _ = knn_scan(built_database, query, 3)
+        pruners = [
+            HistogramPruner(loaded),
+            QgramMergeJoinPruner(loaded, q=1),
+            NearTrianglePruning(loaded, max_triangle=4),
+        ]
+        actual, _ = knn_search(loaded, query, 3, pruners)
+        assert same_answers(expected, actual)
+
+    def test_unbuilt_database_round_trips(self, tmp_path):
+        rng = np.random.default_rng(2)
+        database = TrajectoryDatabase(
+            [Trajectory(rng.normal(size=(4, 2))) for _ in range(3)], 0.2
+        )
+        path = tmp_path / "plain.npz"
+        database.save(path)
+        loaded = TrajectoryDatabase.load(path)
+        assert len(loaded) == 3
+        assert not loaded._sorted_means_2d

@@ -1,0 +1,129 @@
+"""Cross-cutting property tests for the baseline distances (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import dtw, erp, euclidean, lcss, lcss_distance
+from repro.distances.dtw import element_cost_matrix
+
+
+def trajectory_strategy(max_length=10, ndim=2, min_size=1):
+    point = st.tuples(*[st.floats(-5.0, 5.0, allow_nan=False) for _ in range(ndim)])
+    return st.lists(point, min_size=min_size, max_size=max_length).map(
+        lambda rows: np.array(rows, dtype=np.float64).reshape(-1, ndim)
+    )
+
+
+epsilons = st.floats(0.01, 2.0, allow_nan=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy())
+def test_dtw_symmetry(a, b):
+    assert dtw(a, b) == dtw(b, a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy())
+def test_dtw_identity(a):
+    assert dtw(a, a) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    trajectory_strategy(max_length=8),
+    trajectory_strategy(max_length=8),
+    st.integers(min_value=0, max_value=4),
+)
+def test_dtw_band_monotone_in_width(a, b, band):
+    """Widening the Sakoe-Chiba band can only lower (or keep) DTW."""
+    narrow = dtw(a, b, band=band)
+    wide = dtw(a, b, band=band + 2)
+    assert wide <= narrow
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy())
+def test_dtw_bounded_by_diagonal_alignment(a, b):
+    """DTW minimizes over warping paths, so any fixed path bounds it from
+    above; use the diagonal-then-tail path on the cost matrix."""
+    cost = element_cost_matrix(a, b)
+    m, n = len(a), len(b)
+    diagonal = sum(cost[i, i] for i in range(min(m, n)))
+    if m >= n:
+        tail = sum(cost[i, n - 1] for i in range(n, m))
+    else:
+        tail = sum(cost[m - 1, j] for j in range(m, n))
+    assert dtw(a, b) <= diagonal + tail + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy())
+def test_erp_symmetry(a, b):
+    assert erp(a, b) == erp(b, a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    trajectory_strategy(max_length=6),
+    trajectory_strategy(max_length=6),
+    trajectory_strategy(max_length=6),
+)
+def test_erp_triangle_inequality(a, b, c):
+    """ERP is a metric (the paper's Figure 2)."""
+    assert erp(a, c) <= erp(a, b) + erp(b, c) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy())
+def test_erp_empty_is_gap_mass(a):
+    """ERP to the empty trajectory sums each element's norm to the gap."""
+    expected = float(np.sqrt((a**2).sum(axis=1)).sum())
+    assert abs(erp(a, np.empty((0, 2))) - expected) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy(), epsilons)
+def test_lcss_symmetry(a, b, epsilon):
+    assert lcss(a, b, epsilon) == lcss(b, a, epsilon)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy(), epsilons)
+def test_lcss_monotone_in_epsilon(a, b, epsilon):
+    """A larger threshold can only create more matches."""
+    assert lcss(a, b, 2.0 * epsilon) >= lcss(a, b, epsilon)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy(), epsilons)
+def test_lcss_prefix_monotone(a, b, epsilon):
+    """Extending a trajectory never decreases the LCSS score."""
+    assert lcss(a, b, epsilon) >= lcss(a[:-1], b, epsilon)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy(), epsilons)
+def test_lcss_distance_unit_interval(a, b, epsilon):
+    assert 0.0 <= lcss_distance(a, b, epsilon) <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(min_size=2))
+def test_euclidean_window_never_beats_equal_slice(a):
+    """Sliding Euclidean against itself is zero (identity window)."""
+    assert euclidean(a, a) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    trajectory_strategy(max_length=6, min_size=2),
+    trajectory_strategy(max_length=10, min_size=6),
+)
+def test_sliding_euclidean_bounded_by_any_window(short, long_):
+    """The sliding minimum is at most the distance at offset zero."""
+    if len(short) > len(long_):
+        short, long_ = long_, short
+    window = long_[: len(short)]
+    assert euclidean(short, long_) <= euclidean(short, window) + 1e-9

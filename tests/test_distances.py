@@ -1,0 +1,215 @@
+"""Unit tests for the baseline distances: Euclidean, DTW, ERP, LCSS."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, dtw, erp, euclidean, lcss, lcss_distance
+from repro.distances.dtw import dtw_reference, element_cost_matrix
+from repro.distances.erp import erp_reference
+from repro.distances.euclidean import sliding_euclidean
+from repro.distances.lcss import lcss_reference
+
+
+def random_pair(seed, max_length=20, ndim=2):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(int(rng.integers(1, max_length)), ndim))
+    b = rng.normal(size=(int(rng.integers(1, max_length)), ndim))
+    return a, b
+
+
+class TestEuclidean:
+    def test_formula_on_equal_lengths(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 3.0], [1.0, 4.0]])
+        # sqrt(sum of squared element distances) = sqrt(9 + 16) = 5
+        assert euclidean(a, b) == pytest.approx(5.0)
+
+    def test_identity(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=(10, 2))
+        assert euclidean(t, t) == 0.0
+
+    def test_symmetry(self):
+        a, b = random_pair(1)
+        if len(a) != len(b):
+            a = a[: min(len(a), len(b))]
+            b = b[: min(len(a), len(b))]
+        assert euclidean(a, b) == pytest.approx(euclidean(b, a))
+
+    def test_sliding_minimum_over_offsets(self):
+        long_ = np.array([[0.0, 0.0], [5.0, 5.0], [1.0, 1.0], [9.0, 9.0]])
+        short = np.array([[5.0, 5.0], [1.0, 1.0]])
+        assert sliding_euclidean(short, long_) == 0.0
+
+    def test_unequal_lengths_fall_back_to_sliding(self):
+        long_ = np.array([[0.0, 0.0], [5.0, 5.0], [1.0, 1.0]])
+        short = np.array([[5.0, 5.0]])
+        assert euclidean(short, long_) == 0.0
+
+    def test_sliding_with_empty_raises(self):
+        with pytest.raises(ValueError):
+            sliding_euclidean(np.empty((0, 2)), np.zeros((3, 2)))
+
+
+class TestElementCostMatrix:
+    def test_squared_metric(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert element_cost_matrix(a, b, "squared")[0, 0] == pytest.approx(25.0)
+
+    def test_euclidean_metric(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert element_cost_matrix(a, b, "euclidean")[0, 0] == pytest.approx(5.0)
+
+    def test_manhattan_metric(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert element_cost_matrix(a, b, "manhattan")[0, 0] == pytest.approx(7.0)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            element_cost_matrix(np.zeros((1, 2)), np.zeros((1, 2)), "chebyshev")
+
+
+class TestDTW:
+    def test_both_empty(self):
+        assert dtw(np.empty((0, 2)), np.empty((0, 2))) == 0.0
+
+    def test_one_empty_is_infinite(self):
+        assert dtw(np.zeros((3, 2)), np.empty((0, 2))) == float("inf")
+
+    def test_identity(self):
+        rng = np.random.default_rng(2)
+        t = rng.normal(size=(15, 2))
+        assert dtw(t, t) == 0.0
+
+    def test_handles_local_time_shifting(self):
+        # The same path sampled at different speeds should align for free.
+        a = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        b = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [2.0, 2.0]])
+        assert dtw(a, b) == 0.0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference(self, seed):
+        a, b = random_pair(seed)
+        assert dtw(a, b) == pytest.approx(dtw_reference(a, b))
+
+    def test_symmetry(self):
+        a, b = random_pair(7)
+        assert dtw(a, b) == pytest.approx(dtw(b, a))
+
+    def test_band_never_underestimates(self):
+        for seed in range(5):
+            a, b = random_pair(seed, max_length=12)
+            assert dtw(a, b, band=2) >= dtw(a, b) - 1e-9
+
+    def test_band_with_incompatible_lengths(self):
+        assert dtw(np.zeros((10, 2)), np.zeros((2, 2)), band=3) == float("inf")
+
+    def test_wide_band_equals_unconstrained(self):
+        a, b = random_pair(8, max_length=10)
+        assert dtw(a, b, band=50) == pytest.approx(dtw(a, b))
+
+    def test_negative_band_raises(self):
+        with pytest.raises(ValueError):
+            dtw(np.zeros((2, 2)), np.zeros((2, 2)), band=-1)
+
+
+class TestERP:
+    def test_both_empty(self):
+        assert erp(np.empty((0, 2)), np.empty((0, 2))) == 0.0
+
+    def test_one_empty_costs_gap_distances(self):
+        t = np.array([[3.0, 4.0], [0.0, 1.0]])
+        assert erp(t, np.empty((0, 2))) == pytest.approx(5.0 + 1.0)
+
+    def test_identity(self):
+        rng = np.random.default_rng(3)
+        t = rng.normal(size=(12, 2))
+        assert erp(t, t) == 0.0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference(self, seed):
+        a, b = random_pair(seed)
+        assert erp(a, b) == pytest.approx(erp_reference(a, b))
+
+    def test_symmetry(self):
+        a, b = random_pair(9)
+        assert erp(a, b) == pytest.approx(erp(b, a))
+
+    def test_triangle_inequality_holds(self):
+        """ERP is a metric; sample-check the triangle inequality."""
+        rng = np.random.default_rng(4)
+        for _ in range(30):
+            x = rng.normal(size=(int(rng.integers(1, 10)), 2))
+            y = rng.normal(size=(int(rng.integers(1, 10)), 2))
+            z = rng.normal(size=(int(rng.integers(1, 10)), 2))
+            assert erp(x, z) <= erp(x, y) + erp(y, z) + 1e-9
+
+    def test_custom_gap_element(self):
+        a = np.array([[1.0, 1.0]])
+        b = np.empty((0, 2))
+        assert erp(a, b, gap=[1.0, 1.0]) == 0.0
+
+    def test_bad_gap_arity_raises(self):
+        with pytest.raises(ValueError):
+            erp(np.zeros((1, 2)), np.zeros((1, 2)), gap=[0.0])
+
+    def test_manhattan_metric(self):
+        a = np.array([[3.0, 4.0]])
+        b = np.empty((0, 2))
+        assert erp(a, b, metric="manhattan") == pytest.approx(7.0)
+
+    def test_rejects_squared_metric(self):
+        with pytest.raises(ValueError):
+            erp(np.zeros((1, 2)), np.zeros((1, 2)), metric="squared")
+
+
+class TestLCSS:
+    def test_empty_scores_zero(self):
+        assert lcss(np.empty((0, 2)), np.zeros((3, 2)), 0.5) == 0.0
+
+    def test_identical_scores_full_length(self):
+        rng = np.random.default_rng(5)
+        t = rng.normal(size=(9, 2))
+        assert lcss(t, t, 0.1) == 9.0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference(self, seed):
+        a, b = random_pair(seed)
+        assert lcss(a, b, 0.5) == lcss_reference(a, b, 0.5)
+
+    def test_score_bounded_by_shorter_length(self):
+        a, b = random_pair(10)
+        assert lcss(a, b, 0.5) <= min(len(a), len(b))
+
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            lcss(np.zeros((1, 2)), np.zeros((1, 2)), -0.1)
+
+    def test_distance_zero_for_identical(self):
+        t = np.zeros((5, 2))
+        assert lcss_distance(t, t, 0.5) == 0.0
+
+    def test_distance_one_for_disjoint(self):
+        a = np.zeros((5, 2))
+        b = np.full((5, 2), 100.0)
+        assert lcss_distance(a, b, 0.5) == 1.0
+
+    def test_distance_in_unit_interval(self):
+        a, b = random_pair(11)
+        assert 0.0 <= lcss_distance(a, b, 0.5) <= 1.0
+
+    def test_gap_blindness_demonstrated(self):
+        """The paper's criticism: S and P share Q's full subsequence, so
+        LCSS cannot separate them despite very different gap sizes, while
+        EDR can (see test_edr paper-example test)."""
+        q = [1.0, 2.0, 3.0, 4.0]
+        s = [1.0, 2.0, 100.0, 3.0, 4.0]
+        p = [1.0, 2.0, 100.0, 101.0, 102.0, 3.0, 4.0]
+        assert lcss(q, s, 0.25) == lcss(q, p, 0.25) == 4.0
+
+    def test_accepts_trajectory_objects(self):
+        a = Trajectory([[0.0, 0.0], [1.0, 1.0]])
+        assert lcss(a, a, 0.1) == 2.0

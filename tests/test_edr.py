@@ -1,0 +1,171 @@
+"""Unit tests for EDR (Definition 2)."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, edr, edr_matrix
+from repro.core.edr import EARLY_ABANDONED, edr_reference
+
+
+def random_trajectory(rng, length, ndim=2):
+    return rng.normal(size=(length, ndim))
+
+
+class TestBaseCases:
+    def test_both_empty(self):
+        assert edr(np.empty((0, 2)), np.empty((0, 2)), 0.5) == 0.0
+
+    def test_one_empty_costs_other_length(self):
+        full = np.zeros((4, 2))
+        assert edr(full, np.empty((0, 2)), 0.5) == 4.0
+        assert edr(np.empty((0, 2)), full, 0.5) == 4.0
+
+    def test_identical_trajectories(self):
+        rng = np.random.default_rng(0)
+        t = random_trajectory(rng, 20)
+        assert edr(t, t, 0.1) == 0.0
+
+    def test_single_matching_elements(self):
+        assert edr([[0.0, 0.0]], [[0.3, -0.3]], 0.5) == 0.0
+
+    def test_single_non_matching_elements(self):
+        assert edr([[0.0, 0.0]], [[2.0, 0.0]], 0.5) == 1.0
+
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            edr([[0.0, 0.0]], [[0.0, 0.0]], -1.0)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            edr(np.zeros((2, 2)), np.zeros((2, 3)), 0.5)
+
+
+class TestKnownValues:
+    def test_pure_insertions(self):
+        # S extends R by two elements far away: two inserts.
+        r = [[0.0, 0.0], [1.0, 1.0]]
+        s = [[0.0, 0.0], [1.0, 1.0], [50.0, 50.0], [60.0, 60.0]]
+        assert edr(r, s, 0.5) == 2.0
+
+    def test_one_outlier_costs_one(self):
+        r = [[float(i), 0.0] for i in range(10)]
+        s = [row[:] for row in r]
+        s[5] = [1000.0, 1000.0]
+        assert edr(r, s, 0.5) == 1.0
+
+    def test_completely_different(self):
+        r = [[0.0, 0.0]] * 5
+        s = [[100.0, 100.0]] * 5
+        assert edr(r, s, 0.5) == 5.0
+
+    def test_paper_section_3_example_ranking(self):
+        q = [1.0, 2.0, 3.0, 4.0]
+        r = [10.0, 9.0, 8.0, 7.0]
+        s = [1.0, 100.0, 2.0, 3.0, 4.0]
+        p = [1.0, 100.0, 101.0, 2.0, 4.0]
+        distances = {name: edr(q, t, 1.0) for name, t in [("R", r), ("S", s), ("P", p)]}
+        assert distances["S"] == 1.0
+        assert distances["P"] == 2.0
+        assert distances["R"] == 4.0
+
+    def test_returns_integer_valued_floats(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            a = random_trajectory(rng, int(rng.integers(1, 15)))
+            b = random_trajectory(rng, int(rng.integers(1, 15)))
+            value = edr(a, b, 0.5)
+            assert value == int(value)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reference_on_random_pairs(self, seed):
+        rng = np.random.default_rng(seed)
+        a = random_trajectory(rng, int(rng.integers(1, 25)))
+        b = random_trajectory(rng, int(rng.integers(1, 25)))
+        epsilon = float(rng.uniform(0.05, 1.5))
+        assert edr(a, b, epsilon) == edr_reference(a, b, epsilon)
+
+    def test_matches_reference_one_dimensional(self):
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=12)
+        b = rng.normal(size=17)
+        assert edr(a, b, 0.4) == edr_reference(a, b, 0.4)
+
+    def test_accepts_trajectory_objects(self):
+        rng = np.random.default_rng(5)
+        a = Trajectory(random_trajectory(rng, 10))
+        b = Trajectory(random_trajectory(rng, 12))
+        assert edr(a, b, 0.5) == edr_reference(a.points, b.points, 0.5)
+
+
+class TestBounds:
+    def test_early_abandon_when_bound_too_small(self):
+        r = [[0.0, 0.0]] * 10
+        s = [[100.0, 100.0]] * 10
+        assert edr(r, s, 0.5, bound=3.0) == EARLY_ABANDONED
+
+    def test_no_abandon_when_bound_sufficient(self):
+        r = [[0.0, 0.0]] * 10
+        s = [[100.0, 100.0]] * 10
+        assert edr(r, s, 0.5, bound=10.0) == 10.0
+
+    def test_abandon_never_loses_true_answers(self):
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            a = random_trajectory(rng, int(rng.integers(2, 20)))
+            b = random_trajectory(rng, int(rng.integers(2, 20)))
+            true = edr(a, b, 0.5)
+            bound = float(rng.integers(0, 20))
+            bounded = edr(a, b, 0.5, bound=bound)
+            if true <= bound:
+                assert bounded == true
+            else:
+                assert bounded == true or bounded == EARLY_ABANDONED
+
+
+class TestBand:
+    def test_unconstrained_band_equals_default(self):
+        rng = np.random.default_rng(9)
+        a = random_trajectory(rng, 15)
+        b = random_trajectory(rng, 15)
+        assert edr(a, b, 0.5, band=100) == edr(a, b, 0.5)
+
+    def test_band_never_underestimates(self):
+        rng = np.random.default_rng(10)
+        for _ in range(20):
+            a = random_trajectory(rng, int(rng.integers(3, 15)))
+            b = random_trajectory(rng, int(rng.integers(3, 15)))
+            unconstrained = edr(a, b, 0.5)
+            banded = edr(a, b, 0.5, band=2)
+            assert banded >= unconstrained
+
+    def test_length_gap_beyond_band_is_unreachable(self):
+        assert edr(np.zeros((10, 2)), np.zeros((2, 2)), 0.5, band=3) == float("inf")
+
+    def test_zero_band_is_hamming_like(self):
+        r = [[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]
+        s = [[0.0, 0.0], [9.0, 9.0], [2.0, 2.0]]
+        assert edr(r, s, 0.5, band=0) == 1.0
+
+    def test_negative_band_raises(self):
+        with pytest.raises(ValueError):
+            edr([[0.0, 0.0]], [[0.0, 0.0]], 0.5, band=-1)
+
+
+class TestMatrix:
+    def test_symmetric_matrix(self):
+        rng = np.random.default_rng(12)
+        trajectories = [random_trajectory(rng, int(rng.integers(3, 10))) for _ in range(5)]
+        matrix = edr_matrix(trajectories, 0.5)
+        assert matrix.shape == (5, 5)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_rectangular_matrix(self):
+        rng = np.random.default_rng(13)
+        rows = [random_trajectory(rng, 5) for _ in range(2)]
+        columns = [random_trajectory(rng, 6) for _ in range(3)]
+        matrix = edr_matrix(rows, 0.5, others=columns)
+        assert matrix.shape == (2, 3)
+        assert matrix[1, 2] == edr(rows[1], columns[2], 0.5)

@@ -1,0 +1,108 @@
+"""Property-based tests for EDR's invariants (hypothesis).
+
+These encode the theorems the pruning framework rests on — if any of
+them failed, the k-NN engines could silently drop true answers.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import edr, lcss
+from repro.core.edr import edr_reference
+
+
+def trajectory_strategy(max_length=12, ndim=2, min_size=0):
+    point = st.tuples(
+        *[st.floats(-5.0, 5.0, allow_nan=False) for _ in range(ndim)]
+    )
+    return st.lists(point, min_size=min_size, max_size=max_length).map(
+        lambda rows: np.array(rows, dtype=np.float64).reshape(-1, ndim)
+    )
+
+
+epsilons = st.floats(0.01, 2.0, allow_nan=False)
+
+
+@settings(max_examples=150, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy(), epsilons)
+def test_symmetry(a, b, epsilon):
+    assert edr(a, b, epsilon) == edr(b, a, epsilon)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(min_size=1), epsilons)
+def test_identity(a, epsilon):
+    assert edr(a, a, epsilon) == 0.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy(), epsilons)
+def test_range_bounds(a, b, epsilon):
+    """max(m, n) - common floor <= EDR <= max(m, n)."""
+    value = edr(a, b, epsilon)
+    m, n = len(a), len(b)
+    assert value <= max(m, n)
+    assert value >= abs(m - n)
+    assert value >= 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(max_length=10), trajectory_strategy(max_length=10), epsilons)
+def test_fast_equals_reference(a, b, epsilon):
+    assert edr(a, b, epsilon) == edr_reference(a, b, epsilon)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy(), epsilons)
+def test_lcss_relations(a, b, epsilon):
+    """EDR and LCSS quantize identically, so their values are coupled:
+    max(m,n) - LCSS <= EDR <= m + n - 2*LCSS."""
+    m, n = len(a), len(b)
+    common = lcss(a, b, epsilon)
+    value = edr(a, b, epsilon)
+    assert value <= m + n - 2 * common
+    assert value >= max(m, n) - common
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    trajectory_strategy(max_length=8),
+    trajectory_strategy(max_length=8),
+    trajectory_strategy(max_length=8),
+    epsilons,
+)
+def test_near_triangle_inequality(q, s, r, epsilon):
+    """Theorem 5: EDR(Q,S) + EDR(S,R) + |S| >= EDR(Q,R)."""
+    assert edr(q, s, epsilon) + edr(s, r, epsilon) + len(s) >= edr(q, r, epsilon)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    trajectory_strategy(),
+    trajectory_strategy(),
+    epsilons,
+    st.integers(min_value=2, max_value=4),
+)
+def test_larger_threshold_never_increases_edr(a, b, epsilon, delta):
+    """Theorem 7: EDR at threshold delta*eps <= EDR at eps."""
+    assert edr(a, b, delta * epsilon) <= edr(a, b, epsilon)
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(), trajectory_strategy(), epsilons)
+def test_projection_never_increases_edr(a, b, epsilon):
+    """Theorem 8: EDR on a single-axis projection <= EDR on the trajectory."""
+    value = edr(a, b, epsilon)
+    for axis in range(2):
+        projected = edr(a[:, axis : axis + 1], b[:, axis : axis + 1], epsilon)
+        assert projected <= value
+
+
+@settings(max_examples=100, deadline=None)
+@given(trajectory_strategy(min_size=1), trajectory_strategy(), epsilons)
+def test_single_element_edit_changes_distance_by_at_most_one(a, b, epsilon):
+    """Dropping one element changes EDR by at most 1 (edit-distance Lipschitz)."""
+    full = edr(a, b, epsilon)
+    truncated = edr(a[1:], b, epsilon)
+    assert abs(full - truncated) <= 1.0

@@ -1,0 +1,39 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+Only the fast examples run here (the heavier ones exercise the same
+code paths at larger scale and are covered by the benchmarks).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    output = run_example("quickstart.py")
+    assert "ranks S first?" in output
+    assert "identical answers" in output
+
+
+@pytest.mark.slow
+def test_surveillance_patterns_runs():
+    output = run_example("surveillance_patterns.py")
+    assert "similarity self-join" in output
+    assert "best window" in output
+    assert "edit script" in output

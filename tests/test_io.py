@@ -1,0 +1,81 @@
+"""Tests for trajectory persistence (NPZ and CSV round trips)."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory
+from repro.data import load_csv, load_npz, save_csv, save_npz
+
+
+def sample_set():
+    rng = np.random.default_rng(0)
+    return [
+        Trajectory(
+            rng.normal(size=(5, 2)),
+            timestamps=np.arange(5.0),
+            label="walk",
+        ),
+        Trajectory(rng.normal(size=(3, 2))),
+        Trajectory(rng.normal(size=(7, 2)), label="run"),
+    ]
+
+
+class TestNpz:
+    def test_round_trip_points(self, tmp_path):
+        path = tmp_path / "set.npz"
+        original = sample_set()
+        save_npz(path, original)
+        loaded = load_npz(path)
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            assert np.allclose(a.points, b.points)
+
+    def test_round_trip_metadata(self, tmp_path):
+        path = tmp_path / "set.npz"
+        original = sample_set()
+        save_npz(path, original)
+        loaded = load_npz(path)
+        assert loaded[0].label == "walk"
+        assert np.array_equal(loaded[0].timestamps, np.arange(5.0))
+        assert loaded[1].label is None
+        assert loaded[1].timestamps is None
+
+    def test_assigns_ids(self, tmp_path):
+        path = tmp_path / "set.npz"
+        save_npz(path, sample_set())
+        loaded = load_npz(path)
+        assert [t.trajectory_id for t in loaded] == [0, 1, 2]
+
+    def test_empty_set(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_npz(path, [])
+        assert load_npz(path) == []
+
+
+class TestCsv:
+    def test_round_trip_points_exactly(self, tmp_path):
+        path = tmp_path / "set.csv"
+        original = sample_set()
+        save_csv(path, original)
+        loaded = load_csv(path)
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            # repr() serialization keeps float64 values exact.
+            assert np.array_equal(a.points, b.points)
+
+    def test_round_trip_labels(self, tmp_path):
+        path = tmp_path / "set.csv"
+        save_csv(path, sample_set())
+        loaded = load_csv(path)
+        assert loaded[0].label == "walk"
+        assert loaded[1].label is None
+
+    def test_synthesizes_timestamps(self, tmp_path):
+        path = tmp_path / "set.csv"
+        save_csv(path, sample_set())
+        loaded = load_csv(path)
+        assert np.array_equal(loaded[1].timestamps, [0.0, 1.0, 2.0])
+
+    def test_empty_save_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv(tmp_path / "x.csv", [])

@@ -1,0 +1,126 @@
+"""Tests for similarity joins under EDR."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HistogramPruner,
+    QgramMergeJoinPruner,
+    Trajectory,
+    TrajectoryDatabase,
+    edr,
+)
+from repro.core.join import similarity_join
+
+
+def make_database(count, seed, epsilon=0.3):
+    rng = np.random.default_rng(seed)
+    trajectories = [
+        Trajectory(
+            np.cumsum(rng.normal(size=(int(rng.integers(5, 20)), 2)), axis=0)
+        ).normalized()
+        for _ in range(count)
+    ]
+    return TrajectoryDatabase(trajectories, epsilon)
+
+
+def brute_force_cross(first, second, radius):
+    pairs = set()
+    for i, a in enumerate(first.trajectories):
+        for j, b in enumerate(second.trajectories):
+            if edr(a, b, first.epsilon) <= radius:
+                pairs.add((i, j))
+    return pairs
+
+
+def brute_force_self(database, radius):
+    pairs = set()
+    for i, a in enumerate(database.trajectories):
+        for j in range(i + 1, len(database)):
+            if edr(a, database.trajectories[j], database.epsilon) <= radius:
+                pairs.add((i, j))
+    return pairs
+
+
+class TestCrossJoin:
+    @pytest.mark.parametrize("radius", [3.0, 8.0, 15.0])
+    def test_matches_brute_force(self, radius):
+        first = make_database(12, seed=0)
+        second = make_database(15, seed=1)
+        expected = brute_force_cross(first, second, radius)
+        pruners = [
+            HistogramPruner(second),
+            QgramMergeJoinPruner(second, q=1),
+        ]
+        pairs, stats = similarity_join(first, second, radius, pruners)
+        assert {(p.first_index, p.second_index) for p in pairs} == expected
+        assert stats.pair_candidates == 12 * 15
+
+    def test_distances_are_true_edr(self):
+        first = make_database(5, seed=2)
+        second = make_database(6, seed=3)
+        pairs, _ = similarity_join(first, second, 10.0, [])
+        for pair in pairs:
+            assert pair.distance == edr(
+                first.trajectories[pair.first_index],
+                second.trajectories[pair.second_index],
+                first.epsilon,
+            )
+
+    def test_epsilon_mismatch_raises(self):
+        first = make_database(3, seed=4, epsilon=0.3)
+        second = make_database(3, seed=5, epsilon=0.5)
+        with pytest.raises(ValueError):
+            similarity_join(first, second, 5.0)
+
+    def test_negative_radius_raises(self):
+        first = make_database(3, seed=6)
+        with pytest.raises(ValueError):
+            similarity_join(first, None, -1.0)
+
+
+class TestSelfJoin:
+    def test_matches_brute_force(self):
+        database = make_database(14, seed=7)
+        expected = brute_force_self(database, 8.0)
+        pruners = [HistogramPruner(database)]
+        pairs, _ = similarity_join(database, None, 8.0, pruners)
+        assert {(p.first_index, p.second_index) for p in pairs} == expected
+
+    def test_emits_each_pair_once_without_diagonal(self):
+        database = make_database(6, seed=8)
+        pairs, stats = similarity_join(database, None, float("inf"), [])
+        assert len(pairs) == 6 * 5 // 2
+        assert all(p.first_index < p.second_index for p in pairs)
+        assert stats.pair_candidates == 15
+
+    def test_duplicates_found_at_zero_radius(self):
+        rng = np.random.default_rng(9)
+        base = Trajectory(rng.normal(size=(6, 2)))
+        database = TrajectoryDatabase(
+            [base, Trajectory(rng.normal(size=(6, 2))), base], epsilon=0.25
+        )
+        pairs, _ = similarity_join(database, None, 0.0)
+        assert any(
+            (p.first_index, p.second_index) == (0, 2) for p in pairs
+        )
+
+
+class TestPruning:
+    def test_pruning_reduces_computations_without_changing_answers(self):
+        database = make_database(20, seed=10)
+        expected = brute_force_self(database, 4.0)
+        pruners = [
+            HistogramPruner(database),
+            QgramMergeJoinPruner(database, q=1),
+        ]
+        pairs, stats = similarity_join(database, None, 4.0, pruners)
+        assert {(p.first_index, p.second_index) for p in pairs} == expected
+        assert stats.true_distance_computations < stats.pair_candidates
+        assert 0.0 < stats.pruning_power <= 1.0
+
+    def test_early_abandon_preserves_answers(self):
+        database = make_database(15, seed=11)
+        expected = brute_force_self(database, 6.0)
+        pairs, _ = similarity_join(database, None, 6.0, [], early_abandon=True)
+        assert {(p.first_index, p.second_index) for p in pairs} == expected

@@ -1,0 +1,137 @@
+"""Tests for pruned LCSS k-NN search (the paper's claimed LCSS extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HistogramSpace, Trajectory, TrajectoryDatabase, lcss
+from repro.core.histogram import histogram_match_capacity
+from repro.core.lcss_search import (
+    LcssHistogramBound,
+    LcssQgramBound,
+    knn_lcss_scan,
+    knn_lcss_search,
+)
+from repro.core.qgram import mean_value_qgrams
+from repro.index.mergejoin import count_common_sorted_2d, sort_means_2d
+
+
+def trajectory_strategy(max_length=12, ndim=2, min_size=1):
+    point = st.tuples(*[st.floats(-4.0, 4.0, allow_nan=False) for _ in range(ndim)])
+    return st.lists(point, min_size=min_size, max_size=max_length).map(
+        lambda rows: np.array(rows, dtype=np.float64).reshape(-1, ndim)
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(7)
+    trajectories = [
+        Trajectory(
+            np.cumsum(rng.normal(size=(int(rng.integers(10, 40)), 2)), axis=0)
+        ).normalized()
+        for _ in range(40)
+    ]
+    database = TrajectoryDatabase(trajectories, epsilon=0.25)
+    queries = [
+        Trajectory(np.cumsum(rng.normal(size=(25, 2)), axis=0)).normalized()
+        for _ in range(3)
+    ]
+    return database, queries
+
+
+class TestHistogramCapacityBound:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        trajectory_strategy(),
+        trajectory_strategy(),
+        st.floats(0.05, 1.5, allow_nan=False),
+    )
+    def test_capacity_upper_bounds_lcss(self, a, b, epsilon):
+        space = HistogramSpace(origin=[-4.0, -4.0], bin_size=epsilon)
+        capacity = histogram_match_capacity(space.histogram(a), space.histogram(b))
+        assert capacity >= lcss(a, b, epsilon)
+
+    def test_identical_trajectories_reach_capacity(self):
+        space = HistogramSpace(origin=[0.0, 0.0], bin_size=1.0)
+        points = np.array([[0.5, 0.5], [1.5, 1.5], [2.5, 2.5]])
+        histogram = space.histogram(points)
+        assert histogram_match_capacity(histogram, histogram) == 3
+
+    def test_disjoint_trajectories_have_zero_capacity(self):
+        space = HistogramSpace(origin=[0.0, 0.0], bin_size=1.0)
+        near = space.histogram(np.array([[0.5, 0.5]]))
+        far = space.histogram(np.array([[50.5, 50.5]]))
+        assert histogram_match_capacity(near, far) == 0
+
+
+class TestQgramBound:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        trajectory_strategy(),
+        trajectory_strategy(),
+        st.floats(0.05, 1.5, allow_nan=False),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_qgram_formula_upper_bounds_lcss(self, a, b, epsilon, q):
+        common = count_common_sorted_2d(
+            sort_means_2d(mean_value_qgrams(a, q)),
+            sort_means_2d(mean_value_qgrams(b, q)),
+            epsilon,
+        )
+        m, n = len(a), len(b)
+        edr_floor = max(0.0, (max(m, n) - q + 1 - common) / q)
+        assert lcss(a, b, epsilon) <= (m + n - edr_floor) / 2.0 + 1e-9
+
+
+class TestScan:
+    def test_scan_returns_descending_scores(self, workload):
+        database, queries = workload
+        matches, stats = knn_lcss_scan(database, queries[0], 5)
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+        assert stats.true_distance_computations == len(database)
+
+    def test_invalid_k(self, workload):
+        database, queries = workload
+        with pytest.raises(ValueError):
+            knn_lcss_scan(database, queries[0], 0)
+
+
+class TestNoFalseDismissals:
+    @pytest.mark.parametrize("k", [1, 5, 15])
+    def test_pruned_search_matches_scan(self, workload, k):
+        database, queries = workload
+        bound_sets = {
+            "histogram": [LcssHistogramBound(database)],
+            "qgram": [LcssQgramBound(database, q=1)],
+            "both": [LcssHistogramBound(database), LcssQgramBound(database, q=1)],
+            "none": [],
+        }
+        for query in queries:
+            expected, _ = knn_lcss_scan(database, query, k)
+            expected_scores = sorted(m.score for m in expected)
+            for name, bounds in bound_sets.items():
+                actual, stats = knn_lcss_search(database, query, k, bounds)
+                actual_scores = sorted(m.score for m in actual)
+                assert actual_scores == expected_scores, f"{name} diverged (k={k})"
+
+    def test_pruning_happens(self, workload):
+        database, queries = workload
+        total_power = 0.0
+        for query in queries:
+            _, stats = knn_lcss_search(
+                database, query, 3,
+                [LcssHistogramBound(database), LcssQgramBound(database, q=1)],
+            )
+            total_power += stats.pruning_power
+        assert total_power > 0.0
+
+    def test_stats_cover_database(self, workload):
+        database, queries = workload
+        _, stats = knn_lcss_search(
+            database, queries[0], 3, [LcssHistogramBound(database)]
+        )
+        pruned = sum(stats.pruned_by.values())
+        assert pruned + stats.true_distance_computations == len(database)

@@ -1,0 +1,80 @@
+"""Unit tests for the ε-matching predicate (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, elements_match, suggest_epsilon
+from repro.core.matching import match_matrix
+
+
+class TestElementsMatch:
+    def test_within_threshold_on_both_axes(self):
+        assert elements_match([1.0, 2.0], [1.4, 2.4], epsilon=0.5)
+
+    def test_exceeds_threshold_on_one_axis(self):
+        assert not elements_match([1.0, 2.0], [1.4, 2.6], epsilon=0.5)
+
+    def test_boundary_is_inclusive(self):
+        assert elements_match([0.0], [0.5], epsilon=0.5)
+
+    def test_zero_epsilon_requires_equality(self):
+        assert elements_match([1.0, 1.0], [1.0, 1.0], epsilon=0.0)
+        assert not elements_match([1.0, 1.0], [1.0, 1.0001], epsilon=0.0)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            elements_match([1.0], [1.0, 2.0], epsilon=1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b = rng.normal(size=(2, 2))
+            assert elements_match(a, b, 0.7) == elements_match(b, a, 0.7)
+
+
+class TestMatchMatrix:
+    def test_shape(self):
+        a = np.zeros((3, 2))
+        b = np.zeros((5, 2))
+        assert match_matrix(a, b, 1.0).shape == (3, 5)
+
+    def test_agrees_with_elements_match(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(4, 2))
+        b = rng.normal(size=(6, 2))
+        matrix = match_matrix(a, b, 0.8)
+        for i in range(4):
+            for j in range(6):
+                assert matrix[i, j] == elements_match(a[i], b[j], 0.8)
+
+    def test_accepts_trajectories(self):
+        a = Trajectory([[0.0, 0.0]])
+        b = Trajectory([[0.1, 0.1]])
+        assert match_matrix(a, b, 0.2)[0, 0]
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            match_matrix(np.zeros((2, 2)), np.zeros((2, 3)), 1.0)
+
+
+class TestSuggestEpsilon:
+    def test_quarter_of_max_std(self):
+        t = Trajectory([[0.0, 0.0], [0.0, 10.0]])  # std_y = 5
+        assert suggest_epsilon([t]) == pytest.approx(1.25)
+
+    def test_takes_max_over_trajectories(self):
+        small = Trajectory([[0.0, 0.0], [0.0, 1.0]])
+        large = Trajectory([[0.0, 0.0], [0.0, 100.0]])
+        assert suggest_epsilon([small, large]) == suggest_epsilon([large])
+
+    def test_custom_fraction(self):
+        t = Trajectory([[0.0, 0.0], [0.0, 10.0]])
+        assert suggest_epsilon([t], fraction=0.5) == pytest.approx(2.5)
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(ValueError):
+            suggest_epsilon([])
+
+    def test_non_positive_fraction_raises(self):
+        with pytest.raises(ValueError):
+            suggest_epsilon([Trajectory([[0.0, 0.0]])], fraction=0.0)

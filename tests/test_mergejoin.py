@@ -1,0 +1,124 @@
+"""Tests for the ε-tolerant merge join (PS1/PS2 counting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qgram import count_common_qgrams, mean_value_qgrams
+from repro.index.mergejoin import (
+    count_common_sorted_1d,
+    count_common_sorted_2d,
+    merge_join_count,
+    sort_means_1d,
+    sort_means_2d,
+)
+
+
+class TestSorting:
+    def test_sort_1d(self):
+        assert sort_means_1d(np.array([3.0, 1.0, 2.0])).tolist() == [1.0, 2.0, 3.0]
+
+    def test_sort_2d_lexicographic(self):
+        means = np.array([[2.0, 0.0], [1.0, 5.0], [1.0, 1.0]])
+        ordered = sort_means_2d(means)
+        assert ordered.tolist() == [[1.0, 1.0], [1.0, 5.0], [2.0, 0.0]]
+
+    def test_sort_2d_rejects_flat_input(self):
+        with pytest.raises(ValueError):
+            sort_means_2d(np.array([1.0, 2.0]))
+
+
+class TestCount1D:
+    def test_exact_matches(self):
+        q = np.array([1.0, 2.0, 3.0])
+        c = np.array([2.0, 3.0, 4.0])
+        assert count_common_sorted_1d(q, c, 0.0) == 2
+
+    def test_tolerance_window(self):
+        q = np.array([1.0])
+        c = np.array([1.4])
+        assert count_common_sorted_1d(q, c, 0.5) == 1
+        assert count_common_sorted_1d(q, c, 0.3) == 0
+
+    def test_each_query_counts_once(self):
+        q = np.array([1.0])
+        c = np.array([0.9, 1.0, 1.1])
+        assert count_common_sorted_1d(q, c, 0.5) == 1
+
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            count_common_sorted_1d(np.array([1.0]), np.array([1.0]), -0.1)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(st.floats(-10, 10, allow_nan=False), max_size=15),
+        st.lists(st.floats(-10, 10, allow_nan=False), max_size=15),
+        st.floats(0.0, 2.0, allow_nan=False),
+    )
+    def test_agrees_with_brute_force(self, query, candidate, epsilon):
+        q = np.sort(np.array(query, dtype=np.float64))
+        c = np.sort(np.array(candidate, dtype=np.float64))
+        expected = sum(
+            1 for value in q if len(c) and np.any(np.abs(c - value) <= epsilon)
+        )
+        assert count_common_sorted_1d(q, c, epsilon) == expected
+
+
+class TestCount2D:
+    def test_simple_match(self):
+        q = sort_means_2d(np.array([[0.0, 0.0]]))
+        c = sort_means_2d(np.array([[0.3, -0.3]]))
+        assert count_common_sorted_2d(q, c, 0.5) == 1
+
+    def test_x_matches_but_y_does_not(self):
+        q = sort_means_2d(np.array([[0.0, 0.0]]))
+        c = sort_means_2d(np.array([[0.3, 5.0]]))
+        assert count_common_sorted_2d(q, c, 0.5) == 0
+
+    def test_empty_inputs(self):
+        assert count_common_sorted_2d(np.empty((0, 2)), np.zeros((2, 2)), 0.5) == 0
+        assert count_common_sorted_2d(np.zeros((2, 2)), np.empty((0, 2)), 0.5) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-8, 8, allow_nan=False), st.floats(-8, 8, allow_nan=False)),
+            max_size=12,
+        ),
+        st.lists(
+            st.tuples(st.floats(-8, 8, allow_nan=False), st.floats(-8, 8, allow_nan=False)),
+            max_size=12,
+        ),
+        st.floats(0.0, 2.0, allow_nan=False),
+    )
+    def test_agrees_with_brute_force(self, query, candidate, epsilon):
+        q = np.array(query, dtype=np.float64).reshape(-1, 2)
+        c = np.array(candidate, dtype=np.float64).reshape(-1, 2)
+        expected = count_common_qgrams(q, c, epsilon) if len(q) and len(c) else 0
+        result = count_common_sorted_2d(sort_means_2d(q) if len(q) else q,
+                                        sort_means_2d(c) if len(c) else c,
+                                        epsilon)
+        assert result == expected
+
+
+class TestMergeJoinCountWrapper:
+    def test_dispatches_2d(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(8, 2))
+        b = rng.normal(size=(9, 2))
+        q_means = mean_value_qgrams(a, 2)
+        c_sorted = sort_means_2d(mean_value_qgrams(b, 2))
+        common, total = merge_join_count(q_means, c_sorted, 0.5)
+        assert total == 7
+        assert common == count_common_qgrams(q_means, mean_value_qgrams(b, 2), 0.5)
+
+    def test_dispatches_1d(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(6, 1))
+        b = rng.normal(size=(7, 1))
+        q_means = mean_value_qgrams(a, 1)
+        c_sorted = sort_means_1d(mean_value_qgrams(b, 1))
+        common, total = merge_join_count(q_means, c_sorted, 0.5)
+        assert total == 6
+        assert common == count_common_qgrams(q_means, mean_value_qgrams(b, 1), 0.5)

@@ -1,0 +1,83 @@
+"""Tests for the efficiency metrics (pruning power, speedup ratio)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HistogramPruner,
+    Neighbor,
+    Trajectory,
+    TrajectoryDatabase,
+    knn_search,
+)
+from repro.eval import EfficiencyReport, evaluate_engine, same_answers
+
+
+class TestSameAnswers:
+    def test_identical_lists(self):
+        a = [Neighbor(0, 1.0), Neighbor(1, 2.0)]
+        assert same_answers(a, list(a))
+
+    def test_tie_permutation_is_equal(self):
+        a = [Neighbor(0, 1.0), Neighbor(1, 1.0)]
+        b = [Neighbor(1, 1.0), Neighbor(0, 1.0)]
+        assert same_answers(a, b)
+
+    def test_different_distances_differ(self):
+        a = [Neighbor(0, 1.0)]
+        b = [Neighbor(0, 2.0)]
+        assert not same_answers(a, b)
+
+    def test_different_lengths_differ(self):
+        assert not same_answers([Neighbor(0, 1.0)], [])
+
+
+class TestEfficiencyReport:
+    def test_speedup_ratio(self):
+        report = EfficiencyReport(
+            method="x", query_count=1, mean_pruning_power=0.5,
+            mean_scan_seconds=2.0, mean_method_seconds=0.5,
+            all_answers_match=True,
+        )
+        assert report.speedup_ratio == pytest.approx(4.0)
+
+    def test_zero_method_time_is_infinite_speedup(self):
+        report = EfficiencyReport(
+            method="x", query_count=1, mean_pruning_power=1.0,
+            mean_scan_seconds=1.0, mean_method_seconds=0.0,
+            all_answers_match=True,
+        )
+        assert report.speedup_ratio == float("inf")
+
+    def test_row_formatting(self):
+        report = EfficiencyReport(
+            method="hist", query_count=1, mean_pruning_power=0.25,
+            mean_scan_seconds=1.0, mean_method_seconds=0.5,
+            all_answers_match=False,
+        )
+        row = report.row()
+        assert "hist" in row
+        assert "NO" in row
+
+
+class TestEvaluateEngine:
+    def test_end_to_end(self):
+        rng = np.random.default_rng(0)
+        trajectories = [
+            Trajectory(rng.normal(size=(int(rng.integers(5, 15)), 2)))
+            for _ in range(25)
+        ]
+        database = TrajectoryDatabase(trajectories, epsilon=0.5)
+        queries = [Trajectory(rng.normal(size=(10, 2))) for _ in range(2)]
+        pruner = HistogramPruner(database)
+        report = evaluate_engine(
+            "histogram",
+            database,
+            queries,
+            k=3,
+            engine=lambda db, q, k: knn_search(db, q, k, [pruner]),
+        )
+        assert report.query_count == 2
+        assert report.all_answers_match
+        assert 0.0 <= report.mean_pruning_power <= 1.0
+        assert report.mean_scan_seconds > 0.0

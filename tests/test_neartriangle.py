@@ -1,0 +1,152 @@
+"""Tests for near-triangle-inequality pruning (Theorem 5)."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, edr
+from repro.core.neartriangle import (
+    NearTrianglePruner,
+    build_reference_columns,
+    near_triangle_lower_bound,
+)
+
+
+def random_trajectories(seed, count, min_length=3, max_length=12):
+    rng = np.random.default_rng(seed)
+    return [
+        Trajectory(rng.normal(size=(int(rng.integers(min_length, max_length + 1)), 2)))
+        for _ in range(count)
+    ]
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_inequality_on_random_triples(self, seed):
+        q, s, r = random_trajectories(seed, 3)
+        epsilon = 0.5
+        assert (
+            edr(q, s, epsilon) + edr(s, r, epsilon) + len(s)
+            >= edr(q, r, epsilon)
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lower_bound_is_sound(self, seed):
+        """The rearranged bound must never exceed the true distance."""
+        q, s, r = random_trajectories(seed + 100, 3)
+        epsilon = 0.5
+        bound = near_triangle_lower_bound(
+            edr(q, r, epsilon), edr(r, s, epsilon), len(s)
+        )
+        assert bound <= edr(q, s, epsilon)
+
+
+class TestReferenceColumns:
+    def test_default_takes_first_trajectories(self):
+        trajectories = random_trajectories(0, 6)
+        columns = build_reference_columns(trajectories, 0.5, max_references=3)
+        assert sorted(columns) == [0, 1, 2]
+        for index, column in columns.items():
+            assert len(column) == 6
+            assert column[index] == 0.0
+
+    def test_explicit_indices(self):
+        trajectories = random_trajectories(1, 5)
+        columns = build_reference_columns(trajectories, 0.5, reference_indices=[2, 4])
+        assert sorted(columns) == [2, 4]
+
+    def test_column_values_are_true_distances(self):
+        trajectories = random_trajectories(2, 4)
+        columns = build_reference_columns(trajectories, 0.5, reference_indices=[1])
+        for j in range(4):
+            assert columns[1][j] == edr(trajectories[1], trajectories[j], 0.5)
+
+
+class TestPruner:
+    def _setup(self, seed=3, count=8, max_triangle=4):
+        trajectories = random_trajectories(seed, count)
+        columns = build_reference_columns(trajectories, 0.5, max_references=count)
+        return trajectories, NearTrianglePruner(columns, max_triangle=max_triangle)
+
+    def test_no_references_means_zero_bound(self):
+        trajectories, pruner = self._setup()
+        assert pruner.lower_bound(0, len(trajectories[0])) == 0.0
+        assert pruner.reference_count == 0
+
+    def test_record_activates_reference(self):
+        trajectories, pruner = self._setup()
+        pruner.record(0, 5.0)
+        assert pruner.reference_count == 1
+
+    def test_record_respects_max_triangle(self):
+        trajectories, pruner = self._setup(max_triangle=2)
+        for index in range(4):
+            pruner.record(index, float(index))
+        assert pruner.reference_count == 2
+
+    def test_record_ignores_duplicates(self):
+        trajectories, pruner = self._setup()
+        pruner.record(0, 5.0)
+        pruner.record(0, 7.0)
+        assert pruner.reference_count == 1
+
+    def test_record_ignores_infinite_distances(self):
+        trajectories, pruner = self._setup()
+        pruner.record(0, float("inf"))
+        assert pruner.reference_count == 0
+
+    def test_record_ignores_unknown_columns(self):
+        trajectories = random_trajectories(4, 6)
+        columns = build_reference_columns(trajectories, 0.5, max_references=2)
+        pruner = NearTrianglePruner(columns, max_triangle=10)
+        pruner.record(5, 3.0)  # no precomputed column for index 5
+        assert pruner.reference_count == 0
+
+    def test_bounds_are_sound_during_a_simulated_query(self):
+        """Run the pruner exactly as a search would and verify every bound
+        it produces is <= the true distance (no false dismissals)."""
+        rng = np.random.default_rng(5)
+        trajectories = random_trajectories(6, 12)
+        epsilon = 0.5
+        query = Trajectory(rng.normal(size=(8, 2)))
+        columns = build_reference_columns(trajectories, epsilon, max_references=12)
+        pruner = NearTrianglePruner(columns, max_triangle=5)
+        for index, candidate in enumerate(trajectories):
+            true = edr(query, candidate, epsilon)
+            assert pruner.lower_bound(index, len(candidate)) <= true
+            pruner.record(index, true)
+
+    def test_can_prune_logic(self):
+        trajectories, pruner = self._setup()
+        pruner.record(0, 100.0)
+        # candidate 1: bound = 100 - EDR(ref0, t1) - len(t1)
+        column = build_reference_columns(trajectories, 0.5, max_references=1)[0]
+        expected = 100.0 - column[1] - len(trajectories[1])
+        assert pruner.lower_bound(1, len(trajectories[1])) == max(0.0, expected)
+        assert pruner.can_prune(1, len(trajectories[1]), best_so_far=0.0) == (
+            expected > 0.0
+        )
+
+    def test_infinite_best_never_prunes(self):
+        trajectories, pruner = self._setup()
+        pruner.record(0, 1000.0)
+        assert not pruner.can_prune(1, 3, best_so_far=float("inf"))
+
+    def test_negative_max_triangle_raises(self):
+        with pytest.raises(ValueError):
+            NearTrianglePruner({}, max_triangle=-1)
+
+    def test_equal_length_database_never_prunes(self):
+        """The paper's observation: with same-length trajectories the |S|
+        slack swamps the bound, so nothing is ever pruned."""
+        rng = np.random.default_rng(7)
+        trajectories = [Trajectory(rng.normal(size=(10, 2))) for _ in range(8)]
+        epsilon = 0.5
+        columns = build_reference_columns(trajectories, epsilon, max_references=8)
+        pruner = NearTrianglePruner(columns, max_triangle=8)
+        query = Trajectory(rng.normal(size=(10, 2)))
+        for index, candidate in enumerate(trajectories):
+            true = edr(query, candidate, epsilon)
+            # bound = EDR(Q,R) - EDR(R,S) - 10; EDR values are <= 10, so
+            # the bound can never exceed 0, let alone any true distance.
+            assert pruner.lower_bound(index, 10) == 0.0
+            pruner.record(index, true)

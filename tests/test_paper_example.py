@@ -1,0 +1,61 @@
+"""The paper's Section 2/3.1 worked example, end to end.
+
+Q = [1, 2, 3, 4], R = [10, 9, 8, 7], S = [1, 100, 2, 3, 4],
+P = [1, 100, 101, 2, 4] — the second element of S and the second and
+third elements of P are noise.  The correct similarity ranking to Q is
+S, P, R; the paper shows Euclidean/DTW/ERP all rank R first (noise
+sensitivity) while EDR produces the expected ranking.
+"""
+
+import pytest
+
+from repro import dtw, edr, erp, euclidean, lcss
+
+Q = [1.0, 2.0, 3.0, 4.0]
+R = [10.0, 9.0, 8.0, 7.0]
+S = [1.0, 100.0, 2.0, 3.0, 4.0]
+P = [1.0, 100.0, 101.0, 2.0, 4.0]
+EPSILON = 1.0
+
+
+def ranking(distance):
+    scores = {"R": distance(Q, R), "S": distance(Q, S), "P": distance(Q, P)}
+    return sorted(scores, key=scores.get)
+
+
+class TestNoiseSensitiveBaselines:
+    def test_euclidean_prefers_r(self):
+        assert ranking(euclidean)[0] == "R"
+
+    def test_dtw_prefers_r(self):
+        assert ranking(dtw)[0] == "R"
+
+    def test_erp_prefers_r(self):
+        assert ranking(erp)[0] == "R"
+
+
+class TestLCSSCoarseness:
+    def test_lcss_recovers_common_subsequence_despite_noise(self):
+        assert lcss(Q, S, EPSILON) == 4.0
+
+    def test_lcss_scores(self):
+        """LCSS sees the noise but cannot penalize P's longer gap in
+        proportion: S and P differ by just one match while their gap
+        sizes differ far more (the coarseness the paper criticizes;
+        EDR separates them by gap length exactly)."""
+        assert lcss(Q, S, EPSILON) >= lcss(Q, P, EPSILON)
+        assert lcss(Q, R, EPSILON) == 0.0
+
+
+class TestEDRExpectedRanking:
+    def test_edr_values(self):
+        assert edr(Q, S, EPSILON) == 1.0
+        assert edr(Q, P, EPSILON) == 2.0
+        assert edr(Q, R, EPSILON) == 4.0
+
+    def test_edr_full_ranking(self):
+        assert ranking(lambda a, b: edr(a, b, EPSILON)) == ["S", "P", "R"]
+
+    def test_edr_penalizes_gap_length(self):
+        """Unlike LCSS, EDR separates S from P by exactly the extra gap."""
+        assert edr(Q, P, EPSILON) - edr(Q, S, EPSILON) == pytest.approx(1.0)

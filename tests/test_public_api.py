@@ -1,0 +1,51 @@
+"""Smoke tests for the package's public surface."""
+
+import pytest
+
+import repro
+from repro.distances import available_distances, get_distance
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_distance_registry_contains_all_five(self):
+        names = available_distances()
+        for expected in ("euclidean", "dtw", "erp", "lcss", "edr"):
+            assert expected in names
+
+    def test_get_distance_round_trip(self):
+        assert get_distance("edr") is repro.edr
+        assert get_distance("EDR") is repro.edr  # case-insensitive
+
+    def test_unknown_distance_raises(self):
+        with pytest.raises(KeyError):
+            get_distance("cosine")
+
+    def test_registry_rejects_duplicates(self):
+        from repro.distances.base import register_distance
+
+        with pytest.raises(ValueError):
+            register_distance("edr")(lambda a, b: 0.0)
+
+
+class TestQuickstartFlow:
+    def test_docstring_example_works(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        trajectories = [
+            repro.Trajectory(rng.normal(size=(10, 2))) for _ in range(12)
+        ]
+        database = repro.TrajectoryDatabase(trajectories, epsilon=0.25)
+        query = repro.Trajectory(rng.normal(size=(10, 2)))
+        neighbors, stats = repro.knn_search(
+            database, query, k=3, pruners=[repro.HistogramPruner(database)]
+        )
+        assert len(neighbors) == 3
+        assert stats.database_size == 12

@@ -1,0 +1,114 @@
+"""Tests for the from-scratch R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.index.rtree import RTree
+
+
+def brute_force_range(points, payloads, lower, upper):
+    hits = []
+    for point, payload in zip(points, payloads):
+        if np.all(point >= lower) and np.all(point <= upper):
+            hits.append(payload)
+    return sorted(hits)
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RTree(ndim=2)
+        assert len(tree) == 0
+        assert tree.range_search([0, 0], [1, 1]) == []
+
+    def test_single_insert_and_hit(self):
+        tree = RTree(ndim=2)
+        tree.insert([0.5, 0.5], "a")
+        assert tree.range_search([0, 0], [1, 1]) == ["a"]
+
+    def test_single_insert_and_miss(self):
+        tree = RTree(ndim=2)
+        tree.insert([5.0, 5.0], "a")
+        assert tree.range_search([0, 0], [1, 1]) == []
+
+    def test_boundary_points_included(self):
+        tree = RTree(ndim=2)
+        tree.insert([1.0, 1.0], "edge")
+        assert tree.range_search([0, 0], [1, 1]) == ["edge"]
+
+    def test_dimension_validation(self):
+        tree = RTree(ndim=2)
+        with pytest.raises(ValueError):
+            tree.insert([1.0], "bad")
+        with pytest.raises(ValueError):
+            tree.range_search([0.0], [1.0])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RTree(ndim=0)
+        with pytest.raises(ValueError):
+            RTree(ndim=2, max_entries=2)
+
+    def test_match_search_is_square_window(self):
+        tree = RTree(ndim=2)
+        tree.insert([0.0, 0.0], "center")
+        tree.insert([0.4, -0.4], "near")
+        tree.insert([0.6, 0.0], "far-x")
+        assert sorted(tree.match_search([0.0, 0.0], 0.5)) == ["center", "near"]
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_range_queries(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-10, 10, size=(300, 2))
+        payloads = list(range(300))
+        tree = RTree(ndim=2, max_entries=8)
+        tree.extend(zip(points, payloads))
+        assert len(tree) == 300
+        for _ in range(25):
+            center = rng.uniform(-10, 10, size=2)
+            half = rng.uniform(0.1, 5.0)
+            lower, upper = center - half, center + half
+            expected = brute_force_range(points, payloads, lower, upper)
+            assert sorted(tree.range_search(lower, upper)) == expected
+
+    def test_duplicate_points(self):
+        tree = RTree(ndim=2)
+        for i in range(20):
+            tree.insert([1.0, 1.0], i)
+        assert sorted(tree.range_search([1, 1], [1, 1])) == list(range(20))
+
+    def test_one_dimensional_tree(self):
+        rng = np.random.default_rng(7)
+        points = rng.uniform(-5, 5, size=(100, 1))
+        tree = RTree(ndim=1, max_entries=6)
+        tree.extend(zip(points, range(100)))
+        expected = brute_force_range(points, range(100), np.array([-1.0]), np.array([1.0]))
+        assert sorted(tree.range_search([-1.0], [1.0])) == expected
+
+
+class TestStructure:
+    def test_tree_grows_in_depth(self):
+        tree = RTree(ndim=2, max_entries=4)
+        rng = np.random.default_rng(0)
+        for i in range(100):
+            tree.insert(rng.uniform(size=2), i)
+        assert tree.depth() >= 3
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_invariants_after_many_inserts(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = RTree(ndim=2, max_entries=5)
+        for i in range(400):
+            tree.insert(rng.normal(size=2), i)
+        tree.check_invariants()
+
+    def test_clustered_data_invariants(self):
+        rng = np.random.default_rng(4)
+        tree = RTree(ndim=2, max_entries=6)
+        for cluster in range(5):
+            center = rng.uniform(-100, 100, size=2)
+            for i in range(50):
+                tree.insert(center + rng.normal(scale=0.5, size=2), (cluster, i))
+        tree.check_invariants()
+        assert len(tree) == 250

@@ -1,0 +1,223 @@
+"""Integration tests: every pruned k-NN engine must equal the sequential scan.
+
+This is the paper's no-false-dismissal guarantee, checked engine by
+engine over several workloads, k values, and pruner combinations.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HistogramPruner,
+    NearTrianglePruning,
+    QgramIndexPruner,
+    QgramMergeJoinPruner,
+    Trajectory,
+    TrajectoryDatabase,
+    knn_qgram_index,
+    knn_scan,
+    knn_search,
+    knn_sorted_scan,
+    knn_sorted_search,
+)
+from repro.core.search import SearchStats, _ResultList
+from repro.eval import same_answers
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(42)
+    trajectories = [
+        Trajectory(np.cumsum(rng.normal(size=(int(rng.integers(10, 40)), 2)), axis=0)).normalized()
+        for _ in range(50)
+    ]
+    database = TrajectoryDatabase(trajectories, epsilon=0.25)
+    queries = [
+        Trajectory(np.cumsum(rng.normal(size=(20, 2)), axis=0)).normalized()
+        for _ in range(3)
+    ]
+    return database, queries
+
+
+class TestResultList:
+    def test_best_so_far_infinite_until_full(self):
+        result = _ResultList(2)
+        assert result.best_so_far == float("inf")
+        result.offer(0, 5.0)
+        assert result.best_so_far == float("inf")
+        result.offer(1, 3.0)
+        assert result.best_so_far == 5.0
+
+    def test_keeps_k_smallest_sorted(self):
+        result = _ResultList(3)
+        for index, distance in enumerate([9.0, 2.0, 7.0, 1.0, 8.0]):
+            result.offer(index, distance)
+        assert [n.distance for n in result.neighbors()] == [1.0, 2.0, 7.0]
+
+    def test_ignores_infinite_distances(self):
+        result = _ResultList(1)
+        result.offer(0, float("inf"))
+        assert result.neighbors() == []
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            _ResultList(0)
+
+
+class TestStats:
+    def test_pruning_power(self):
+        stats = SearchStats(database_size=100, true_distance_computations=30)
+        assert stats.pruning_power == pytest.approx(0.70)
+
+    def test_empty_database_power(self):
+        assert SearchStats(database_size=0).pruning_power == 0.0
+
+    def test_credit_accumulates(self):
+        stats = SearchStats(database_size=10)
+        stats.credit("x")
+        stats.credit("x")
+        assert stats.pruned_by == {"x": 2}
+
+
+class TestScan:
+    def test_scan_computes_every_distance(self, workload):
+        database, queries = workload
+        neighbors, stats = knn_scan(database, queries[0], 5)
+        assert stats.true_distance_computations == len(database)
+        assert stats.pruning_power == 0.0
+        assert len(neighbors) == 5
+        distances = [n.distance for n in neighbors]
+        assert distances == sorted(distances)
+
+    def test_k_equals_database_size(self, workload):
+        database, queries = workload
+        neighbors, _ = knn_scan(database, queries[0], len(database))
+        assert len(neighbors) == len(database)
+
+
+def engine_configurations(database):
+    """All engine variants the paper evaluates, as (name, callable) pairs."""
+    return [
+        ("hist-2d-e", lambda q, k: knn_search(database, q, k, [HistogramPruner(database)])),
+        ("hist-2d-2e", lambda q, k: knn_search(database, q, k, [HistogramPruner(database, delta=2.0)])),
+        ("hist-1d", lambda q, k: knn_search(database, q, k, [HistogramPruner(database, per_axis=True)])),
+        ("hsr", lambda q, k: knn_sorted_scan(database, q, k, HistogramPruner(database))),
+        ("hsr-1d", lambda q, k: knn_sorted_scan(database, q, k, HistogramPruner(database, per_axis=True))),
+        ("ps2-q1", lambda q, k: knn_search(database, q, k, [QgramMergeJoinPruner(database, q=1)])),
+        ("ps2-q2", lambda q, k: knn_search(database, q, k, [QgramMergeJoinPruner(database, q=2)])),
+        ("ps1-q1", lambda q, k: knn_search(database, q, k, [QgramMergeJoinPruner(database, q=1, two_dimensional=False)])),
+        ("pr-q1", lambda q, k: knn_qgram_index(database, q, k, q=1, structure="rtree")),
+        ("pb-q1", lambda q, k: knn_qgram_index(database, q, k, q=1, structure="bptree")),
+        ("pr-chain", lambda q, k: knn_search(database, q, k, [QgramIndexPruner(database, q=1)])),
+        ("nti", lambda q, k: knn_search(database, q, k, [NearTrianglePruning(database, max_triangle=10)])),
+        ("combined-hqn", lambda q, k: knn_search(database, q, k, [
+            HistogramPruner(database),
+            QgramMergeJoinPruner(database, q=1),
+            NearTrianglePruning(database, max_triangle=10),
+        ])),
+        ("combined-nqh", lambda q, k: knn_search(database, q, k, [
+            NearTrianglePruning(database, max_triangle=10),
+            QgramMergeJoinPruner(database, q=1),
+            HistogramPruner(database),
+        ])),
+        ("early-abandon", lambda q, k: knn_search(database, q, k, [HistogramPruner(database)], early_abandon=True)),
+        ("sorted-combined", lambda q, k: knn_sorted_search(
+            database, q, k, HistogramPruner(database),
+            [QgramMergeJoinPruner(database, q=1), NearTrianglePruning(database, max_triangle=10)],
+        )),
+        ("sorted-combined-1d", lambda q, k: knn_sorted_search(
+            database, q, k, HistogramPruner(database, per_axis=True),
+            [QgramMergeJoinPruner(database, q=1)], early_abandon=True,
+        )),
+    ]
+
+
+class TestNoFalseDismissals:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_every_engine_matches_scan(self, workload, k):
+        database, queries = workload
+        for query in queries:
+            expected, _ = knn_scan(database, query, k)
+            for name, engine in engine_configurations(database):
+                actual, stats = engine(query, k)
+                assert same_answers(expected, actual), (
+                    f"{name} diverged from scan at k={k}"
+                )
+
+    def test_qgram_index_engines_validate_structure(self, workload):
+        database, queries = workload
+        with pytest.raises(ValueError):
+            QgramIndexPruner(database, structure="hash")
+
+
+class TestPruningBehaviour:
+    def test_pruned_plus_computed_covers_database(self, workload):
+        database, queries = workload
+        pruners = [HistogramPruner(database), QgramMergeJoinPruner(database, q=1)]
+        _, stats = knn_search(database, queries[0], 3, pruners)
+        pruned = sum(stats.pruned_by.values())
+        assert pruned + stats.true_distance_computations == len(database)
+
+    def test_first_pruner_gets_credit(self, workload):
+        database, queries = workload
+        strong = HistogramPruner(database)
+        weak = NearTrianglePruning(database, max_triangle=5)
+        _, stats = knn_search(database, queries[0], 3, [strong, weak])
+        if stats.pruned_by:
+            assert strong.name in stats.pruned_by
+
+    def test_two_dimensional_beats_one_dimensional_qgrams(self, workload):
+        """Figure 7's shape: PS2 pruning power >= PS1."""
+        database, queries = workload
+        powers = {}
+        for two_d in (True, False):
+            total = 0.0
+            for query in queries:
+                _, stats = knn_search(
+                    database, query, 3,
+                    [QgramMergeJoinPruner(database, q=1, two_dimensional=two_d)],
+                )
+                total += stats.pruning_power
+            powers[two_d] = total
+        assert powers[True] >= powers[False]
+
+    def test_qgram_power_drops_with_size(self, workload):
+        """Figure 7's shape: larger Q-grams prune less."""
+        database, queries = workload
+        def power(q):
+            total = 0.0
+            for query in queries:
+                _, stats = knn_search(
+                    database, query, 3, [QgramMergeJoinPruner(database, q=q)]
+                )
+                total += stats.pruning_power
+            return total
+        assert power(1) >= power(3)
+
+    def test_sorted_scan_prunes_at_least_as_much_as_sequential(self, workload):
+        """HSR >= HSE in pruning power (same bound, better visit order)."""
+        database, queries = workload
+        pruner = HistogramPruner(database)
+        for query in queries:
+            _, hse = knn_search(database, query, 3, [pruner])
+            _, hsr = knn_sorted_scan(database, query, 3, pruner)
+            assert hsr.pruning_power >= hse.pruning_power - 1e-12
+
+    def test_early_abandon_does_not_change_answers(self, workload):
+        database, queries = workload
+        for query in queries:
+            expected, _ = knn_scan(database, query, 4)
+            actual, _ = knn_search(database, query, 4, [], early_abandon=True)
+            assert same_answers(expected, actual)
+
+
+class TestEqualLengthDatabase:
+    def test_nti_never_prunes_equal_lengths(self):
+        rng = np.random.default_rng(3)
+        trajectories = [Trajectory(rng.normal(size=(12, 2))) for _ in range(20)]
+        database = TrajectoryDatabase(trajectories, epsilon=0.5)
+        query = Trajectory(rng.normal(size=(12, 2)))
+        _, stats = knn_search(
+            database, query, 3, [NearTrianglePruning(database, max_triangle=20)]
+        )
+        assert stats.pruning_power == 0.0

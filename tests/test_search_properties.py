@@ -1,0 +1,111 @@
+"""Property-based stress tests for the k-NN engines.
+
+Hypothesis generates whole random databases (trajectory counts, lengths,
+epsilon, k) and checks that every pruned engine agrees with the
+sequential scan — the strongest form of the no-false-dismissal claim.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    HistogramPruner,
+    NearTrianglePruning,
+    QgramMergeJoinPruner,
+    Trajectory,
+    TrajectoryDatabase,
+    knn_qgram_index,
+    knn_scan,
+    knn_search,
+    knn_sorted_scan,
+)
+from repro.core.rangequery import range_scan, range_search
+from repro.eval import same_answers
+
+
+@st.composite
+def databases(draw):
+    """A small random database plus a query and a k."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    count = draw(st.integers(min_value=3, max_value=14))
+    epsilon = draw(st.floats(0.05, 1.5, allow_nan=False))
+    rng = np.random.default_rng(seed)
+    trajectories = [
+        Trajectory(rng.normal(size=(int(rng.integers(1, 12)), 2)))
+        for _ in range(count)
+    ]
+    query = Trajectory(rng.normal(size=(int(rng.integers(1, 12)), 2)))
+    k = draw(st.integers(min_value=1, max_value=count))
+    return TrajectoryDatabase(trajectories, epsilon), query, k
+
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@COMMON_SETTINGS
+@given(databases())
+def test_histogram_chain_matches_scan(case):
+    database, query, k = case
+    expected, _ = knn_scan(database, query, k)
+    actual, _ = knn_search(database, query, k, [HistogramPruner(database)])
+    assert same_answers(expected, actual)
+
+
+@COMMON_SETTINGS
+@given(databases())
+def test_qgram_chain_matches_scan(case):
+    database, query, k = case
+    expected, _ = knn_scan(database, query, k)
+    actual, _ = knn_search(database, query, k, [QgramMergeJoinPruner(database, q=1)])
+    assert same_answers(expected, actual)
+
+
+@COMMON_SETTINGS
+@given(databases())
+def test_sorted_scan_matches_scan(case):
+    database, query, k = case
+    expected, _ = knn_scan(database, query, k)
+    actual, _ = knn_sorted_scan(database, query, k, HistogramPruner(database))
+    assert same_answers(expected, actual)
+
+
+@COMMON_SETTINGS
+@given(databases())
+def test_qgram_index_matches_scan(case):
+    database, query, k = case
+    expected, _ = knn_scan(database, query, k)
+    actual, _ = knn_qgram_index(database, query, k, q=1, structure="rtree")
+    assert same_answers(expected, actual)
+
+
+@COMMON_SETTINGS
+@given(databases())
+def test_full_combination_matches_scan(case):
+    database, query, k = case
+    expected, _ = knn_scan(database, query, k)
+    pruners = [
+        HistogramPruner(database),
+        QgramMergeJoinPruner(database, q=1),
+        NearTrianglePruning(database, max_triangle=5),
+    ]
+    actual, _ = knn_search(database, query, k, pruners, early_abandon=True)
+    assert same_answers(expected, actual)
+
+
+@COMMON_SETTINGS
+@given(databases(), st.floats(0.0, 12.0, allow_nan=False))
+def test_range_search_matches_scan(case, radius):
+    database, query, _ = case
+    expected, _ = range_scan(database, query, radius)
+    actual, _ = range_search(
+        database, query, radius,
+        [HistogramPruner(database), QgramMergeJoinPruner(database, q=1)],
+    )
+    assert sorted((n.index, n.distance) for n in actual) == sorted(
+        (n.index, n.distance) for n in expected
+    )

@@ -1,0 +1,80 @@
+"""Tests for the string substrates: edit distance and frequency distance.
+
+EDR generalizes Levenshtein edit distance; the histogram lower bound
+generalizes frequency distance.  These tests pin the substrates to known
+values and verify the cross-domain consistency claims.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import edr
+from repro.distances.editdistance import edit_distance
+from repro.distances.frequency import (
+    fd_lower_bound,
+    frequency_distance,
+    frequency_vector,
+)
+
+words = st.text(alphabet="abcd", max_size=12)
+
+
+class TestEditDistance:
+    def test_known_values(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("flaw", "lawn") == 2
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("same", "same") == 0
+
+    def test_single_operations(self):
+        assert edit_distance("abc", "abd") == 1  # replace
+        assert edit_distance("abc", "abcd") == 1  # insert
+        assert edit_distance("abc", "ab") == 1  # delete
+
+    def test_works_on_arbitrary_sequences(self):
+        assert edit_distance([1, 2, 3], [1, 9, 3]) == 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @settings(max_examples=100, deadline=None)
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @settings(max_examples=100, deadline=None)
+    @given(words, words)
+    def test_edr_with_zero_epsilon_equals_edit_distance(self, a, b):
+        """EDR degenerates to Levenshtein when elements are exact symbols."""
+        first = np.array([[float(ord(ch))] for ch in a]).reshape(-1, 1)
+        second = np.array([[float(ord(ch))] for ch in b]).reshape(-1, 1)
+        assert edr(first, second, 0.0) == edit_distance(a, b)
+
+
+class TestFrequencyDistance:
+    def test_vector_counts(self):
+        assert frequency_vector("abca") == {"a": 2, "b": 1, "c": 1}
+
+    def test_identical_strings(self):
+        assert fd_lower_bound("hello", "hello") == 0
+
+    def test_pure_insertion(self):
+        assert fd_lower_bound("abc", "abcd") == 1
+
+    def test_replacement_counts_once(self):
+        # One replace fixes one surplus and one deficit simultaneously.
+        assert frequency_distance({"a": 1}, {"b": 1}) == 1
+
+    @settings(max_examples=150, deadline=None)
+    @given(words, words)
+    def test_lower_bounds_edit_distance(self, a, b):
+        assert fd_lower_bound(a, b) <= edit_distance(a, b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert fd_lower_bound(a, b) == fd_lower_bound(b, a)

@@ -1,0 +1,122 @@
+"""End-to-end checks on 3-D trajectories.
+
+The paper defines everything for 2-D trajectories "for simplicity and
+without loss of generality" and asserts all definitions, theorems, and
+techniques extend to more dimensions.  This module verifies that the
+whole stack — distances, Q-grams, histograms, indexes, search engines —
+actually delivers on that for x-y-z data.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HistogramPruner,
+    HistogramSpace,
+    QgramMergeJoinPruner,
+    Trajectory,
+    TrajectoryDatabase,
+    dtw,
+    edr,
+    erp,
+    euclidean,
+    histogram_distance,
+    knn_scan,
+    knn_search,
+    lcss,
+    mean_value_qgrams,
+)
+from repro.core.edr import edr_reference
+from repro.core.qgram import common_qgram_lower_bound, count_common_qgrams
+from repro.eval import same_answers
+from repro.index.rtree import RTree
+
+
+def random_3d(rng, length):
+    return Trajectory(np.cumsum(rng.normal(size=(length, 3)), axis=0))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(5)
+    trajectories = [
+        random_3d(rng, int(rng.integers(8, 25))).normalized() for _ in range(30)
+    ]
+    database = TrajectoryDatabase(trajectories, epsilon=0.3)
+    query = random_3d(rng, 15).normalized()
+    return database, query
+
+
+class TestDistances:
+    def test_all_distances_accept_3d(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(10, 3))
+        b = rng.normal(size=(12, 3))
+        assert edr(a, b, 0.5) == edr_reference(a, b, 0.5)
+        assert dtw(a, b) >= 0.0
+        assert erp(a, b) >= 0.0
+        assert lcss(a, b, 0.5) >= 0.0
+        assert euclidean(a[:10], b[:10]) >= 0.0
+
+    def test_edr_matching_needs_all_three_axes(self):
+        a = [[0.0, 0.0, 0.0]]
+        b = [[0.1, 0.1, 5.0]]  # z axis breaks the match
+        assert edr(a, b, 0.5) == 1.0
+
+    def test_theorem_1_in_3d(self):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            a = rng.normal(size=(int(rng.integers(2, 12)), 3))
+            b = rng.normal(size=(int(rng.integers(2, 12)), 3))
+            q = 2
+            k = edr(a, b, 0.4)
+            common = count_common_qgrams(
+                mean_value_qgrams(a, q), mean_value_qgrams(b, q), 0.4
+            )
+            assert common >= common_qgram_lower_bound(len(a), len(b), q, k)
+
+    def test_theorem_6_in_3d(self):
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            a = rng.normal(size=(int(rng.integers(1, 12)), 3))
+            b = rng.normal(size=(int(rng.integers(1, 12)), 3))
+            space = HistogramSpace(origin=[-5.0] * 3, bin_size=0.4)
+            assert histogram_distance(
+                space.histogram(a), space.histogram(b)
+            ) <= edr(a, b, 0.4)
+
+
+class TestIndexes:
+    def test_rtree_3d_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(-5, 5, size=(200, 3))
+        tree = RTree(ndim=3, max_entries=8)
+        tree.extend(zip(points, range(200)))
+        tree.check_invariants()
+        for _ in range(10):
+            center = rng.uniform(-5, 5, size=3)
+            expected = sorted(
+                i for i, p in enumerate(points)
+                if np.all(np.abs(p - center) <= 1.0)
+            )
+            assert sorted(tree.match_search(center, 1.0)) == expected
+
+
+class TestSearch:
+    def test_pruned_engines_match_scan_in_3d(self, workload):
+        database, query = workload
+        expected, _ = knn_scan(database, query, 5)
+        configurations = [
+            [HistogramPruner(database)],
+            [HistogramPruner(database, per_axis=True)],
+            [QgramMergeJoinPruner(database, q=1)],
+            [HistogramPruner(database), QgramMergeJoinPruner(database, q=1)],
+        ]
+        for pruners in configurations:
+            actual, _ = knn_search(database, query, 5, pruners)
+            assert same_answers(expected, actual)
+
+    def test_per_axis_histograms_cover_all_three_axes(self, workload):
+        database, _ = workload
+        pruner = HistogramPruner(database, per_axis=True)
+        assert len(pruner._variants) == 3

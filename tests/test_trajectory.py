@@ -1,0 +1,167 @@
+"""Unit tests for the Trajectory model."""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory
+
+
+class TestConstruction:
+    def test_from_2d_array(self):
+        t = Trajectory([[1.0, 2.0], [3.0, 4.0]])
+        assert len(t) == 2
+        assert t.ndim == 2
+        assert np.array_equal(t.points, [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_flat_input_becomes_one_dimensional(self):
+        t = Trajectory([1.0, 2.0, 3.0])
+        assert t.ndim == 1
+        assert t.points.shape == (3, 1)
+
+    def test_three_dimensional_points(self):
+        t = Trajectory(np.zeros((4, 3)))
+        assert t.ndim == 3
+
+    def test_rejects_3d_array(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Trajectory([[np.nan, 1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            Trajectory([[np.inf, 1.0]])
+
+    def test_timestamps_length_checked(self):
+        with pytest.raises(ValueError):
+            Trajectory([[0.0, 0.0]], timestamps=[1.0, 2.0])
+
+    def test_timestamps_stored(self):
+        t = Trajectory([[0.0, 0.0], [1.0, 1.0]], timestamps=[10.0, 20.0])
+        assert np.array_equal(t.timestamps, [10.0, 20.0])
+
+    def test_label_and_id(self):
+        t = Trajectory([[0.0, 0.0]], label="walk", trajectory_id=7)
+        assert t.label == "walk"
+        assert t.trajectory_id == 7
+
+    def test_points_are_read_only(self):
+        t = Trajectory([[0.0, 0.0]])
+        with pytest.raises(ValueError):
+            t.points[0, 0] = 5.0
+
+    def test_repr_mentions_length_and_label(self):
+        t = Trajectory([[0.0, 0.0]], label="a")
+        assert "n=1" in repr(t)
+        assert "'a'" in repr(t)
+
+
+class TestEqualityAndIteration:
+    def test_equal_trajectories(self):
+        assert Trajectory([[1.0, 2.0]]) == Trajectory([[1.0, 2.0]])
+
+    def test_unequal_points(self):
+        assert Trajectory([[1.0, 2.0]]) != Trajectory([[1.0, 3.0]])
+
+    def test_unequal_lengths(self):
+        assert Trajectory([[1.0, 2.0]]) != Trajectory([[1.0, 2.0], [1.0, 2.0]])
+
+    def test_hash_consistent_with_equality(self):
+        a = Trajectory([[1.0, 2.0]])
+        b = Trajectory([[1.0, 2.0]])
+        assert hash(a) == hash(b)
+
+    def test_iteration_yields_points(self):
+        t = Trajectory([[1.0, 2.0], [3.0, 4.0]])
+        rows = list(t)
+        assert np.array_equal(rows[1], [3.0, 4.0])
+
+    def test_indexing(self):
+        t = Trajectory([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(t[0], [1.0, 2.0])
+
+
+class TestNormalization:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        t = Trajectory(rng.normal(loc=5.0, scale=3.0, size=(100, 2))).normalized()
+        assert np.allclose(t.points.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(t.points.std(axis=0), 1.0, atol=1e-9)
+
+    def test_invariant_to_scaling_and_shifting(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(50, 2))
+        original = Trajectory(points).normalized()
+        transformed = Trajectory(points * 7.5 + 100.0).normalized()
+        assert np.allclose(original.points, transformed.points)
+
+    def test_constant_axis_does_not_divide_by_zero(self):
+        t = Trajectory([[1.0, 2.0], [1.0, 4.0]]).normalized()
+        assert np.allclose(t.points[:, 0], 0.0)
+
+    def test_preserves_label(self):
+        t = Trajectory([[1.0, 2.0], [3.0, 4.0]], label="x").normalized()
+        assert t.label == "x"
+
+
+class TestDerivedTrajectories:
+    def test_rest_drops_first_element(self):
+        t = Trajectory([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        assert np.array_equal(t.rest().points, [[2.0, 2.0], [3.0, 3.0]])
+
+    def test_rest_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.empty((0, 2))).rest()
+
+    def test_projection_extracts_axis(self):
+        t = Trajectory([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(t.projection(1).points.ravel(), [2.0, 4.0])
+        assert t.projection(1).ndim == 1
+
+    def test_projection_axis_out_of_range(self):
+        with pytest.raises(IndexError):
+            Trajectory([[1.0, 2.0]]).projection(2)
+
+    def test_resampled_length(self):
+        t = Trajectory([[0.0, 0.0], [1.0, 1.0]])
+        assert len(t.resampled(5)) == 5
+
+    def test_resampled_endpoints_preserved(self):
+        t = Trajectory([[0.0, 0.0], [2.0, 4.0]]).resampled(7)
+        assert np.allclose(t.points[0], [0.0, 0.0])
+        assert np.allclose(t.points[-1], [2.0, 4.0])
+
+    def test_resampled_single_point(self):
+        t = Trajectory([[3.0, 3.0]]).resampled(4)
+        assert np.allclose(t.points, 3.0)
+
+    def test_resampled_invalid_length(self):
+        with pytest.raises(ValueError):
+            Trajectory([[0.0, 0.0]]).resampled(0)
+
+    def test_with_points_keeps_timestamps_when_length_matches(self):
+        t = Trajectory([[0.0, 0.0], [1.0, 1.0]], timestamps=[5.0, 6.0])
+        derived = t.with_points([[9.0, 9.0], [8.0, 8.0]])
+        assert np.array_equal(derived.timestamps, [5.0, 6.0])
+
+    def test_with_points_drops_timestamps_when_length_changes(self):
+        t = Trajectory([[0.0, 0.0], [1.0, 1.0]], timestamps=[5.0, 6.0])
+        assert t.with_points([[9.0, 9.0]]).timestamps is None
+
+
+class TestSummaries:
+    def test_bounds(self):
+        t = Trajectory([[1.0, 5.0], [3.0, 2.0]])
+        lower, upper = t.bounds()
+        assert np.array_equal(lower, [1.0, 2.0])
+        assert np.array_equal(upper, [3.0, 5.0])
+
+    def test_bounds_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.empty((0, 2))).bounds()
+
+    def test_max_std_picks_larger_axis(self):
+        t = Trajectory([[0.0, 0.0], [0.0, 10.0]])
+        assert t.max_std() == pytest.approx(5.0)
