@@ -185,6 +185,17 @@ SECTIONS = [
         "The Q-gram filter's original use case ([10]), closed-loop: "
         "all pairs within EDR radius, exact, with pruning.",
     ),
+    (
+        "bulk_bounds",
+        "Engineering — bulk lower-bound kernels and multi-query serving",
+        "Not a paper experiment: the filter phase (every pruner's lower "
+        "bound over the whole database) rewritten as vectorized bulk "
+        "kernels with bit-identical values, versus the scalar "
+        "per-candidate loop, plus `knn_batch` (shared warm pruners, "
+        "sorted engine) versus naive sequential `knn_search` calls. "
+        "Generated by `python benchmarks/bench_bulk_bounds.py` "
+        "(also writes `BENCH_bulk_bounds.json`).",
+    ),
 ]
 
 

@@ -36,6 +36,7 @@ from .core.search import (
     knn_sorted_search,
 )
 from .core.alignment import edr_alignment, subtrajectory_edr
+from .core.batch import BatchResult, knn_batch
 from .core.join import similarity_join
 from .core.lcss_search import knn_lcss_scan, knn_lcss_search
 from .core.qgram import mean_value_qgrams
@@ -75,6 +76,8 @@ __all__ = [
     "knn_sorted_scan",
     "knn_sorted_search",
     "knn_qgram_index",
+    "knn_batch",
+    "BatchResult",
     "knn_lcss_scan",
     "knn_lcss_search",
     "edr_alignment",

@@ -26,6 +26,7 @@ import numpy as np
 
 from . import __version__
 from .core.alignment import edr_alignment, subtrajectory_edr
+from .core.batch import BATCH_ENGINES, knn_batch
 from .core.database import TrajectoryDatabase
 from .core.join import similarity_join
 from .core.rangequery import range_search
@@ -165,6 +166,47 @@ def cmd_knn(args: argparse.Namespace) -> int:
     for neighbor in neighbors:
         label = trajectories[neighbor.index].label or ""
         print(f"  {neighbor.index:>6}  EDR = {neighbor.distance:<8.1f} {label}")
+    return 0
+
+
+def cmd_knn_batch(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    epsilon = _epsilon(args.epsilon, trajectories)
+    database = TrajectoryDatabase(trajectories, epsilon)
+    if args.query_indices:
+        indices = [
+            int(part)
+            for part in filter(None, (p.strip() for p in args.query_indices.split(",")))
+        ]
+    else:
+        indices = list(range(min(args.queries, len(trajectories))))
+    queries = [trajectories[index] for index in indices]
+    pruners = _build_pruners(args.pruners, database)
+    batch = knn_batch(
+        database,
+        queries,
+        args.k,
+        pruners,
+        engine=args.engine,
+        workers=args.workers,
+        executor=args.executor,
+    )
+    total_computed = sum(s.true_distance_computations for s in batch.stats)
+    total_candidates = sum(s.database_size for s in batch.stats)
+    print(
+        f"epsilon = {epsilon:.4f}; {len(queries)} queries in "
+        f"{batch.elapsed_seconds:.3f}s "
+        f"({batch.executor}, {batch.workers} worker(s), engine={args.engine})"
+    )
+    print(
+        f"true distance computations: {total_computed}/{total_candidates} "
+        f"(pruning power {1.0 - total_computed / max(total_candidates, 1):.3f})"
+    )
+    for query_index, neighbors in zip(indices, batch.neighbors):
+        summary = ", ".join(
+            f"{n.index}:{n.distance:.0f}" for n in neighbors[: args.limit]
+        )
+        print(f"  query {query_index:>6} -> {summary}")
     return 0
 
 
@@ -320,6 +362,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma list: histogram, histogram-1d, qgram, nti, none",
     )
     knn.set_defaults(handler=cmd_knn)
+
+    knn_batch_command = commands.add_parser(
+        "knn-batch", help="answer many k-NN queries with shared pruners"
+    )
+    knn_batch_command.add_argument("file")
+    knn_batch_command.add_argument(
+        "--query-indices",
+        default=None,
+        help="comma list of query trajectory indices (default: first --queries)",
+    )
+    knn_batch_command.add_argument(
+        "--queries", type=int, default=10, help="number of leading queries"
+    )
+    knn_batch_command.add_argument("--k", type=int, default=10)
+    knn_batch_command.add_argument("--epsilon", type=float, default=None)
+    knn_batch_command.add_argument("--pruners", default="histogram,qgram")
+    knn_batch_command.add_argument(
+        "--engine", choices=BATCH_ENGINES, default="sorted"
+    )
+    knn_batch_command.add_argument("--workers", type=int, default=None)
+    knn_batch_command.add_argument(
+        "--executor",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+    )
+    knn_batch_command.add_argument("--limit", type=int, default=5)
+    knn_batch_command.set_defaults(handler=cmd_knn_batch)
 
     range_command = commands.add_parser("range", help="range query under EDR")
     range_command.add_argument("file")

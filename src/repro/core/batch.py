@@ -1,0 +1,251 @@
+"""Multi-query k-NN serving: one pruner build, many queries.
+
+The single-query engines in :mod:`repro.core.search` rebuild nothing per
+query — all database-side artifacts (histogram grids, pooled Q-gram
+arrays, reference columns) live behind caches on
+:class:`~repro.core.database.TrajectoryDatabase` and the ``Pruner``
+objects.  What a naive serving loop still pays for is (a) constructing
+the pruner chain once per call site and (b) running queries strictly one
+after another.  :func:`knn_batch` fixes both: the pruners are built (and
+their database artifacts forced warm) exactly once, then the query set
+fans out over a worker pool.
+
+Executor choice
+---------------
+``serial``
+    Plain loop, no pool.  The reference behavior; also the automatic
+    choice on single-core machines, where a pool only adds overhead.
+``thread``
+    ``ThreadPoolExecutor`` sharing the warm pruners.  The bulk
+    lower-bound kernels spend their time inside numpy, which releases
+    the GIL, so threads overlap the filter phase; the EDR refinement
+    rows are numpy too.
+``process``
+    ``ProcessPoolExecutor`` with a fork context: workers inherit the
+    database and pruners through copy-on-write memory instead of
+    pickling them per task.  Falls back to the default context where
+    fork is unavailable.
+``auto``
+    ``serial`` when the effective worker count is 1, else ``thread``.
+
+Whatever the executor, the answers are exactly those of running the
+chosen single-query engine once per query, in query order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .database import TrajectoryDatabase
+from .search import (
+    Neighbor,
+    Pruner,
+    SearchResult,
+    SearchStats,
+    knn_scan,
+    knn_search,
+    knn_sorted_search,
+)
+from .trajectory import Trajectory
+
+__all__ = ["knn_batch", "BatchResult", "BATCH_ENGINES"]
+
+BATCH_ENGINES = ("scan", "search", "sorted")
+
+# Per-process state for the fork-based process pool: set in the parent
+# before forking so children inherit it without any per-task pickling.
+_WORKER_STATE: Optional[dict] = None
+
+
+@dataclass
+class BatchResult:
+    """Results of a multi-query batch, in query order."""
+
+    neighbors: List[List[Neighbor]]
+    stats: List[SearchStats]
+    elapsed_seconds: float = 0.0
+    executor: str = "serial"
+    workers: int = 1
+    extra: dict = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(zip(self.neighbors, self.stats))
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+
+def _run_engine(
+    database: TrajectoryDatabase,
+    query: Trajectory,
+    k: int,
+    pruners: Sequence[Pruner],
+    engine: str,
+    early_abandon: bool,
+) -> SearchResult:
+    if engine == "scan" or not pruners:
+        return knn_scan(database, query, k)
+    if engine == "search":
+        return knn_search(database, query, k, pruners, early_abandon=early_abandon)
+    if engine == "sorted":
+        return knn_sorted_search(
+            database,
+            query,
+            k,
+            pruners[0],
+            pruners[1:],
+            early_abandon=early_abandon,
+        )
+    raise ValueError(
+        f"unknown batch engine {engine!r}; choose from {', '.join(BATCH_ENGINES)}"
+    )
+
+
+def _warm_pruners(pruners: Sequence[Pruner], probe: Trajectory) -> None:
+    """Force every database-side artifact to exist before queries fan out.
+
+    Pruner construction is lazy in places (reference columns, pooled
+    Q-gram arrays build on first use); one throwaway ``for_query`` per
+    pruner materializes them in the parent so concurrent workers never
+    race to build — or redundantly rebuild — the same cache.
+    """
+    for pruner in pruners:
+        pruner.for_query(probe)
+
+
+def _initialize_worker(state: dict) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _process_task(query_position: int) -> SearchResult:
+    state = _WORKER_STATE
+    assert state is not None, "process worker used before initialization"
+    return _run_engine(
+        state["database"],
+        state["queries"][query_position],
+        state["k"],
+        state["pruners"],
+        state["engine"],
+        state["early_abandon"],
+    )
+
+
+def _resolve_executor(executor: str, workers: int) -> str:
+    if executor not in ("auto", "serial", "thread", "process"):
+        raise ValueError(
+            f"unknown executor {executor!r}; "
+            "choose from auto, serial, thread, process"
+        )
+    if executor == "auto":
+        if workers <= 1 or (os.cpu_count() or 1) <= 1:
+            return "serial"
+        return "thread"
+    return executor
+
+
+def knn_batch(
+    database: TrajectoryDatabase,
+    queries: Sequence[Trajectory],
+    k: int,
+    pruners: Sequence[Pruner] = (),
+    engine: str = "sorted",
+    workers: Optional[int] = None,
+    executor: str = "auto",
+    early_abandon: bool = False,
+) -> BatchResult:
+    """Answer many k-NN queries against one database.
+
+    Parameters
+    ----------
+    database, k:
+        As in the single-query engines.
+    queries:
+        The query trajectories; results come back in the same order.
+    pruners:
+        Shared pruner chain.  Built once by the caller, warmed once
+        here, reused by every query.  Empty means sequential scan.
+    engine:
+        ``"sorted"`` (default — :func:`knn_sorted_search` with the first
+        pruner in the primary role), ``"search"``
+        (:func:`knn_search`), or ``"scan"``.
+    workers:
+        Worker count for the pool; ``None`` means ``os.cpu_count()``.
+        Ignored by the serial executor.
+    executor:
+        ``"auto"``, ``"serial"``, ``"thread"``, or ``"process"`` — see
+        the module docstring.
+    """
+    if engine not in BATCH_ENGINES:
+        raise ValueError(
+            f"unknown batch engine {engine!r}; "
+            f"choose from {', '.join(BATCH_ENGINES)}"
+        )
+    queries = list(queries)
+    pruners = list(pruners)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    workers = min(workers, max(len(queries), 1))
+    chosen = _resolve_executor(executor, workers)
+
+    start = time.perf_counter()
+    if queries and pruners:
+        _warm_pruners(pruners, queries[0])
+    warm_seconds = time.perf_counter() - start
+
+    if chosen == "serial" or workers == 1 or len(queries) <= 1:
+        chosen = "serial"
+        results = [
+            _run_engine(database, query, k, pruners, engine, early_abandon)
+            for query in queries
+        ]
+    elif chosen == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(
+                    lambda query: _run_engine(
+                        database, query, k, pruners, engine, early_abandon
+                    ),
+                    queries,
+                )
+            )
+    else:  # process
+        state = {
+            "database": database,
+            "queries": queries,
+            "k": k,
+            "pruners": pruners,
+            "engine": engine,
+            "early_abandon": early_abandon,
+        }
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = None
+        pool_arguments = dict(
+            max_workers=workers,
+            initializer=_initialize_worker,
+            initargs=(state,),
+        )
+        if context is not None:
+            pool_arguments["mp_context"] = context
+        with ProcessPoolExecutor(**pool_arguments) as pool:
+            results = list(pool.map(_process_task, range(len(queries))))
+
+    elapsed = time.perf_counter() - start
+    return BatchResult(
+        neighbors=[neighbors for neighbors, _ in results],
+        stats=[stats for _, stats in results],
+        elapsed_seconds=elapsed,
+        executor=chosen,
+        workers=1 if chosen == "serial" else workers,
+        extra={"warm_seconds": warm_seconds, "engine": engine},
+    )

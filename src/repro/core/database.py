@@ -24,10 +24,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..index.bptree import BPlusTree
-from ..index.mergejoin import sort_means_1d, sort_means_2d
+from ..index.mergejoin import flatten_sorted_means, sort_means_1d, sort_means_2d
 from ..index.rtree import RTree
-from .histogram import HistogramSpace, TrajectoryHistogram
-from .neartriangle import build_reference_columns
+from .histogram import HistogramArrayStore, HistogramSpace, TrajectoryHistogram
+from .neartriangle import compute_reference_column
 from .qgram import mean_value_qgrams
 from .trajectory import Trajectory
 
@@ -63,12 +63,20 @@ class TrajectoryDatabase:
 
         self._sorted_means_2d: Dict[int, List[np.ndarray]] = {}
         self._sorted_means_1d: Dict[Tuple[int, int], List[np.ndarray]] = {}
+        self._flat_means_2d: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._flat_means_1d: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._rtrees: Dict[int, RTree] = {}
         self._bptrees: Dict[Tuple[int, int], BPlusTree] = {}
         self._histograms: Dict[
             Tuple[float, Optional[int]], Tuple[HistogramSpace, List[TrajectoryHistogram]]
         ] = {}
+        self._histogram_arrays: Dict[Tuple[float, Optional[int]], HistogramArrayStore] = {}
         self._reference_columns: Dict[Tuple[int, str], Dict[int, np.ndarray]] = {}
+        # One EDR column per reference index, shared by every
+        # (max_references, policy) request that selects that reference,
+        # so overlapping requests never recompute a column — and
+        # reference-vs-reference pairs are filled in by symmetry.
+        self._reference_column_store: Dict[int, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.trajectories)
@@ -124,6 +132,25 @@ class TrajectoryDatabase:
         """Number of Q-grams (``n - q + 1``, floored at zero) of one trajectory."""
         return max(0, int(self.lengths[trajectory_index]) - q + 1)
 
+    def flat_qgram_means(self, q: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All 2-D Q-gram means pooled and sorted, with owner trajectory ids.
+
+        The bulk merge-join kernel runs one ``searchsorted`` pass over
+        this pool instead of one per-candidate join per database member.
+        """
+        if q not in self._flat_means_2d:
+            self._flat_means_2d[q] = flatten_sorted_means(self.sorted_qgram_means(q))
+        return self._flat_means_2d[q]
+
+    def flat_qgram_means_1d(self, q: int, axis: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """Single-axis pooled sorted Q-gram means with owner trajectory ids."""
+        key = (q, axis)
+        if key not in self._flat_means_1d:
+            self._flat_means_1d[key] = flatten_sorted_means(
+                self.sorted_qgram_means_1d(q, axis)
+            )
+        return self._flat_means_1d[key]
+
     # ------------------------------------------------------------------
     # Histogram artifacts
     # ------------------------------------------------------------------
@@ -155,6 +182,22 @@ class TrajectoryDatabase:
             self._histograms[key] = (space, built)
         return self._histograms[key]
 
+    def histogram_arrays(
+        self, delta: float = 1.0, axis: Optional[int] = None
+    ) -> HistogramArrayStore:
+        """Array-backed (dense/CSR) histogram store for one variant.
+
+        Built from the same per-trajectory histograms as
+        :meth:`histograms`; used by the bulk quick-bound kernels.
+        """
+        key = (float(delta), axis)
+        if key not in self._histogram_arrays:
+            space, built = self.histograms(delta=delta, axis=axis)
+            self._histogram_arrays[key] = HistogramArrayStore(
+                built, 1 if axis is not None else self.ndim
+            )
+        return self._histogram_arrays[key]
+
     # ------------------------------------------------------------------
     # Near-triangle artifacts
     # ------------------------------------------------------------------
@@ -178,14 +221,25 @@ class TrajectoryDatabase:
         key = (count, policy)
         if key not in self._reference_columns:
             if policy == "first":
-                indices = range(count)
+                indices = list(range(count))
             elif policy == "short":
                 indices = [int(i) for i in np.argsort(self.lengths, kind="stable")[:count]]
             else:
                 raise ValueError(f"unknown reference policy {policy!r}")
-            self._reference_columns[key] = build_reference_columns(
-                self.trajectories, self.epsilon, indices
-            )
+            for reference_index in indices:
+                if reference_index not in self._reference_column_store:
+                    self._reference_column_store[reference_index] = (
+                        compute_reference_column(
+                            self.trajectories,
+                            self.epsilon,
+                            reference_index,
+                            known_columns=self._reference_column_store,
+                        )
+                    )
+            self._reference_columns[key] = {
+                reference_index: self._reference_column_store[reference_index]
+                for reference_index in indices
+            }
         return self._reference_columns[key]
 
     # ------------------------------------------------------------------
@@ -291,8 +345,13 @@ class TrajectoryDatabase:
             for reference_count, policy in manifest["references"]:
                 tag = f"{reference_count}_{policy}"
                 reference_ids = archive[f"refids_{tag}"]
-                database._reference_columns[(int(reference_count), policy)] = {
+                columns = {
                     int(reference_index): archive[f"refcol_{tag}_{reference_index}"]
                     for reference_index in reference_ids
                 }
+                database._reference_columns[(int(reference_count), policy)] = columns
+                for reference_index, column in columns.items():
+                    database._reference_column_store.setdefault(
+                        reference_index, column
+                    )
         return database

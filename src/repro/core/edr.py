@@ -28,7 +28,7 @@ Three implementations are provided:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -179,26 +179,47 @@ def edr_matrix(
     trajectories: Sequence[Union[Trajectory, np.ndarray]],
     epsilon: float,
     others: Optional[Sequence[Union[Trajectory, np.ndarray]]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> np.ndarray:
     """Pairwise EDR distances.
 
     With only ``trajectories`` given, returns the symmetric
-    ``(N, N)`` matrix (computing each pair once).  With ``others`` given,
-    returns the rectangular ``(len(trajectories), len(others))`` matrix —
-    this is how the near-triangle pruner precomputes its reference
-    columns without paying for the full database matrix.
+    ``(N, N)`` matrix: each unordered pair goes through the
+    early-abandon-free fast path exactly once and is mirrored, and the
+    diagonal is zero by definition (every element ε-matches itself), so
+    no self-distance is ever computed.  With ``others`` given, returns
+    the rectangular ``(len(trajectories), len(others))`` matrix — this is
+    how the near-triangle pruner precomputes its reference columns
+    without paying for the full database matrix; entries whose row and
+    column refer to the *same* object reuse the zero fast path too.
+
+    ``progress`` (if given) is called as ``progress(done, total)`` after
+    each computed entry, enabling long precomputations to report status.
     """
     if others is None:
         count = len(trajectories)
         matrix = np.zeros((count, count), dtype=np.float64)
+        total = count * (count - 1) // 2
+        done = 0
         for i in range(count):
             for j in range(i + 1, count):
                 value = edr(trajectories[i], trajectories[j], epsilon)
                 matrix[i, j] = value
                 matrix[j, i] = value
+                done += 1
+                if progress is not None:
+                    progress(done, total)
         return matrix
     matrix = np.zeros((len(trajectories), len(others)), dtype=np.float64)
+    total = len(trajectories) * len(others)
+    done = 0
     for i, row_trajectory in enumerate(trajectories):
         for j, column_trajectory in enumerate(others):
-            matrix[i, j] = edr(row_trajectory, column_trajectory, epsilon)
+            if row_trajectory is column_trajectory:
+                matrix[i, j] = 0.0
+            else:
+                matrix[i, j] = edr(row_trajectory, column_trajectory, epsilon)
+            done += 1
+            if progress is not None:
+                progress(done, total)
     return matrix

@@ -31,10 +31,16 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+try:  # SciPy is optional; the array store falls back to dense numpy.
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_sparse = None
+
 from .trajectory import Trajectory
 
 __all__ = [
     "HistogramSpace",
+    "HistogramArrayStore",
     "histogram_distance",
     "histogram_distance_quick",
     "histogram_match_capacity",
@@ -370,3 +376,149 @@ def histogram_distance_quick(
 
     upper = min(matchable_upper(first, second), matchable_upper(second, first))
     return max(total_first, total_second) - upper
+
+
+# ----------------------------------------------------------------------
+# Array-backed histogram store (bulk filter kernels)
+# ----------------------------------------------------------------------
+# Above this many grid cells the dense (N, bins) count matrix switches to
+# a CSR representation (when scipy is present) to keep memory bounded.
+_DENSE_CELL_LIMIT = 8_000_000
+
+
+class HistogramArrayStore:
+    """All histograms of one database variant as a single count matrix.
+
+    The per-trajectory ``dict`` histograms are the build- and exact-bound
+    representation; this store re-packs them into one ``(N, bins)`` count
+    matrix over the database's occupied bin range (padded by one bin per
+    axis so adjacency never falls off the grid), which makes the *quick*
+    HD bound of :func:`histogram_distance_quick` computable for every
+    database trajectory in a handful of vectorized operations instead of
+    N dictionary sweeps.  The matrix is dense numpy for small grids and
+    scipy CSR for large ones (dense is kept when scipy is unavailable).
+
+    The bulk bound is integer-exact: for every candidate ``i`` the value
+    equals ``histogram_distance_quick(query_histogram, histograms[i])``
+    bit for bit, which the property-based test suite asserts.
+    """
+
+    def __init__(
+        self, histograms: Sequence[TrajectoryHistogram], ndim: int
+    ) -> None:
+        self.ndim = int(ndim)
+        self.count = len(histograms)
+        occupied = [key for histogram in histograms for key in histogram]
+        if not occupied:
+            # Degenerate (all-empty) histograms: keep a 1-cell grid.
+            self._lo = np.zeros(self.ndim, dtype=np.int64)
+            self._shape = np.ones(self.ndim, dtype=np.int64)
+        else:
+            keys = np.asarray(occupied, dtype=np.int64).reshape(len(occupied), -1)
+            self._lo = keys.min(axis=0) - 1
+            self._shape = keys.max(axis=0) + 1 - self._lo + 1
+        self.cells = int(np.prod(self._shape))
+        self.totals = np.array(
+            [sum(histogram.values()) for histogram in histograms], dtype=np.int64
+        )
+
+        row_ids: List[np.ndarray] = []
+        columns: List[np.ndarray] = []
+        values: List[np.ndarray] = []
+        for row, histogram in enumerate(histograms):
+            if not histogram:
+                continue
+            keys = np.asarray(list(histogram), dtype=np.int64).reshape(
+                len(histogram), -1
+            )
+            columns.append(self._ravel(keys))
+            values.append(np.fromiter(histogram.values(), dtype=np.int64))
+            row_ids.append(np.full(len(histogram), row, dtype=np.int64))
+        rows = np.concatenate(row_ids) if row_ids else np.empty(0, dtype=np.int64)
+        cols = np.concatenate(columns) if columns else np.empty(0, dtype=np.int64)
+        vals = np.concatenate(values) if values else np.empty(0, dtype=np.int64)
+
+        use_sparse = (
+            _scipy_sparse is not None
+            and self.count * self.cells > _DENSE_CELL_LIMIT
+        )
+        if use_sparse:
+            self._counts = _scipy_sparse.csr_matrix(
+                (vals, (rows, cols)), shape=(self.count, self.cells), dtype=np.int64
+            )
+            self._sparse = True
+        else:
+            counts = np.zeros((self.count, self.cells), dtype=np.int64)
+            np.add.at(counts, (rows, cols), vals)
+            self._counts = counts
+            self._sparse = False
+
+    def _ravel(self, keys: np.ndarray) -> np.ndarray:
+        """Flat grid column of every (in-grid) d-dimensional bin index."""
+        return np.ravel_multi_index(tuple((keys - self._lo).T), tuple(self._shape))
+
+    def _in_grid(self, keys: np.ndarray) -> np.ndarray:
+        relative = keys - self._lo
+        return np.all((relative >= 0) & (relative < self._shape), axis=1)
+
+    def bulk_quick_bounds(self, query_histogram: TrajectoryHistogram) -> np.ndarray:
+        """``histogram_distance_quick(query, ·)`` against every database row.
+
+        Vectorized transcription of the per-side matchable-mass caps: with
+        ``A`` the query amounts and ``NS[i, u]`` candidate ``i``'s mass in
+        the 3^d-neighborhood of query bin ``u``,
+
+            ``upper_query[i]     = sum_u min(A[u], NS[i, u])``
+            ``upper_candidate[i] = sum_v min(counts[i, v], QN[v])``
+
+        where ``QN`` is the query's neighborhood mass on the grid; the
+        bound is ``max(m_query, m_i) - min(upper_query, upper_candidate)``.
+        """
+        query_total = int(sum(query_histogram.values()))
+        if not query_histogram:
+            return np.maximum(query_total, self.totals).astype(np.int64)
+        query_keys = np.asarray(list(query_histogram), dtype=np.int64).reshape(
+            len(query_histogram), -1
+        )
+        amounts = np.fromiter(query_histogram.values(), dtype=np.int64)
+        offsets = np.array(
+            list(product((-1, 0, 1), repeat=self.ndim)), dtype=np.int64
+        )
+
+        # Neighborhoods of the query bins, as (query bin, grid column) pairs.
+        neighbor_bins = (query_keys[:, None, :] + offsets[None, :, :]).reshape(
+            -1, self.ndim
+        )
+        bin_of_pair = np.repeat(np.arange(len(query_keys)), len(offsets))
+        in_grid = self._in_grid(neighbor_bins)
+        pair_bins = bin_of_pair[in_grid]
+        pair_columns = self._ravel(neighbor_bins[in_grid])
+
+        # upper_query: candidate mass around each query bin, capped by A.
+        unique_columns, column_slot = np.unique(pair_columns, return_inverse=True)
+        indicator = np.zeros((len(unique_columns), len(query_keys)), dtype=np.int64)
+        indicator[column_slot, pair_bins] = 1
+        candidate_neighborhood = self._counts[:, unique_columns] @ indicator
+        candidate_neighborhood = np.asarray(candidate_neighborhood)
+        upper_query = np.minimum(amounts[None, :], candidate_neighborhood).sum(
+            axis=1
+        )
+
+        # upper_candidate: query neighborhood mass at every grid cell the
+        # candidates occupy, capped by the candidate counts.
+        query_neighborhood = np.zeros(self.cells, dtype=np.int64)
+        np.add.at(query_neighborhood, pair_columns, amounts[pair_bins])
+        if self._sparse:
+            counts = self._counts
+            capped = np.minimum(counts.data, query_neighborhood[counts.indices])
+            upper_candidate = np.add.reduceat(
+                np.append(capped, 0), counts.indptr[:-1]
+            )
+            upper_candidate[np.diff(counts.indptr) == 0] = 0
+        else:
+            upper_candidate = np.minimum(
+                self._counts, query_neighborhood[None, :]
+            ).sum(axis=1)
+
+        upper = np.minimum(upper_query, upper_candidate)
+        return np.maximum(query_total, self.totals) - upper

@@ -18,7 +18,7 @@ it never prunes (the paper observes the same), which Table 3 reproduces.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +29,7 @@ __all__ = [
     "near_triangle_lower_bound",
     "NearTrianglePruner",
     "build_reference_columns",
+    "compute_reference_column",
 ]
 
 
@@ -71,6 +72,10 @@ class NearTrianglePruner:
         self._max_triangle = max_triangle
         self._active: List[int] = []  # the paper's procArray
         self._query_distances: Dict[int, float] = {}
+        # Stacked (reference, candidate) column matrix and query-distance
+        # vector, rebuilt lazily whenever a reference is added.
+        self._stacked_columns: Optional[np.ndarray] = None
+        self._stacked_distances: Optional[np.ndarray] = None
 
     @property
     def reference_count(self) -> int:
@@ -94,6 +99,18 @@ class NearTrianglePruner:
             return
         self._active.append(database_index)
         self._query_distances[database_index] = true_distance
+        self._stacked_columns = None
+        self._stacked_distances = None
+
+    def _stacked(self) -> "tuple[np.ndarray, np.ndarray]":
+        if self._stacked_columns is None:
+            self._stacked_columns = np.stack(
+                [self._reference_columns[index] for index in self._active]
+            )
+            self._stacked_distances = np.array(
+                [self._query_distances[index] for index in self._active]
+            )
+        return self._stacked_distances, self._stacked_columns
 
     def lower_bound(self, candidate_index: int, candidate_length: int) -> float:
         """Best available lower bound of ``EDR(Q, S_candidate)``.
@@ -102,17 +119,27 @@ class NearTrianglePruner:
         (``maxPruneDist`` in the paper's pseudo-code); zero when no
         reference applies, since EDR is never negative.
         """
-        best = 0.0
-        for reference_index in self._active:
-            column = self._reference_columns[reference_index]
-            bound = near_triangle_lower_bound(
-                self._query_distances[reference_index],
-                float(column[candidate_index]),
-                candidate_length,
-            )
-            if bound > best:
-                best = bound
-        return best
+        if not self._active:
+            return 0.0
+        query_distances, columns = self._stacked()
+        best = float(
+            np.max(query_distances - columns[:, candidate_index]) - candidate_length
+        )
+        return best if best > 0.0 else 0.0
+
+    def bulk_lower_bounds(self, candidate_lengths: np.ndarray) -> np.ndarray:
+        """Theorem 5's bound for every candidate at once (current state).
+
+        One vectorized pass over the stacked reference columns; entries
+        are clipped at zero exactly like :meth:`lower_bound`.
+        """
+        if not self._active:
+            return np.zeros(len(candidate_lengths), dtype=np.float64)
+        query_distances, columns = self._stacked()
+        bounds = (
+            np.max(query_distances[:, None] - columns, axis=0) - candidate_lengths
+        )
+        return np.maximum(bounds, 0.0)
 
     def can_prune(
         self, candidate_index: int, candidate_length: int, best_so_far: float
@@ -123,25 +150,56 @@ class NearTrianglePruner:
         return self.lower_bound(candidate_index, candidate_length) > best_so_far
 
 
+def compute_reference_column(
+    trajectories: Sequence[Trajectory],
+    epsilon: float,
+    reference_index: int,
+    known_columns: Optional[Dict[int, np.ndarray]] = None,
+) -> np.ndarray:
+    """One ``EDR(R, S_j)`` column, reusing symmetric entries already known.
+
+    ``known_columns`` maps other reference indices to their finished
+    columns; EDR is symmetric, so ``EDR(R, R') = known[R'][R]`` and the
+    pair is never computed twice.  The diagonal is zero by definition
+    (every element ε-matches itself), so ``EDR(R, R)`` is free as well.
+    """
+    known_columns = known_columns or {}
+    reference = trajectories[reference_index]
+    column = np.empty(len(trajectories), dtype=np.float64)
+    for candidate_index, candidate in enumerate(trajectories):
+        if candidate_index == reference_index:
+            column[candidate_index] = 0.0
+        elif candidate_index in known_columns:
+            column[candidate_index] = known_columns[candidate_index][reference_index]
+        else:
+            column[candidate_index] = edr(reference, candidate, epsilon)
+    return column
+
+
 def build_reference_columns(
     trajectories: Sequence[Trajectory],
     epsilon: float,
     reference_indices: Optional[Sequence[int]] = None,
     max_references: int = 400,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> Dict[int, np.ndarray]:
     """Precompute ``EDR(R, S_j)`` columns for the chosen references.
 
     ``reference_indices`` defaults to the first ``max_references``
     database trajectories, matching the paper's selection policy.  The
-    cost is ``len(references) * N`` EDR computations, paid once offline.
+    cost is ``len(references) * N`` EDR computations minus the
+    reference-vs-reference block, which is computed once and mirrored by
+    symmetry instead of twice.  ``progress`` (if given) is called as
+    ``progress(completed_columns, total_columns)`` after each column.
     """
     if reference_indices is None:
         reference_indices = range(min(max_references, len(trajectories)))
+    reference_indices = list(reference_indices)
     columns: Dict[int, np.ndarray] = {}
-    for reference_index in reference_indices:
-        reference = trajectories[reference_index]
-        column = np.array(
-            [edr(reference, candidate, epsilon) for candidate in trajectories]
+    for completed, reference_index in enumerate(reference_indices, start=1):
+        columns[reference_index] = compute_reference_column(
+            trajectories, epsilon, reference_index, known_columns=columns
         )
-        columns[reference_index] = column
+        if progress is not None:
+            progress(completed, len(reference_indices))
     return columns

@@ -22,7 +22,13 @@ import numpy as np
 
 from .database import TrajectoryDatabase
 from .edr import edr
-from .search import Neighbor, Pruner, SearchStats
+from .search import (
+    Neighbor,
+    Pruner,
+    SearchStats,
+    _prunes_candidate,
+    _quick_bound_arrays,
+)
 from .trajectory import Trajectory
 
 __all__ = ["range_scan", "range_search"]
@@ -60,17 +66,23 @@ def range_search(
     cannot qualify.  With ``early_abandon=True`` the EDR computation
     itself stops once the radius is unreachable (the partial computation
     still counts as a true-distance computation in the stats).
+
+    Static pruners are evaluated through their bulk quick-bound kernels
+    (one vectorized pass per pruner, computed up front since the radius
+    is fixed); dynamic pruners keep the scalar per-candidate path so the
+    bounds reflect distances recorded earlier in this same query.
     """
     if radius < 0.0:
         raise ValueError("radius must be non-negative")
     start = time.perf_counter()
     stats = SearchStats(database_size=len(database))
     query_pruners = [pruner.for_query(query) for pruner in pruners]
+    quick_arrays = _quick_bound_arrays(query_pruners)
     results: List[Neighbor] = []
     for index in range(len(database)):
         pruned = False
-        for query_pruner in query_pruners:
-            if query_pruner.lower_bound(index, radius) > radius:
+        for query_pruner, quick_array in zip(query_pruners, quick_arrays):
+            if _prunes_candidate(query_pruner, quick_array, index, radius):
                 stats.credit(query_pruner.name)
                 pruned = True
                 break

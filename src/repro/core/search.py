@@ -23,12 +23,14 @@ common-count order).
 from __future__ import annotations
 
 import time
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..index.mergejoin import (
+    bulk_count_common,
     count_common_sorted_1d,
     count_common_sorted_2d,
     sort_means_1d,
@@ -99,27 +101,27 @@ class _ResultList:
             raise ValueError("k must be at least 1")
         self.k = k
         self._items: List[Neighbor] = []
+        self._distances: List[float] = []  # parallel sort keys for bisect
 
     @property
     def best_so_far(self) -> float:
         """The current k-th distance — infinite until k answers exist."""
         if len(self._items) < self.k:
             return float("inf")
-        return self._items[-1].distance
+        return self._distances[-1]
 
     def offer(self, index: int, distance: float) -> None:
         if not np.isfinite(distance):
             return
         if len(self._items) >= self.k and distance >= self.best_so_far:
             return
-        position = 0
-        while (
-            position < len(self._items)
-            and self._items[position].distance <= distance
-        ):
-            position += 1
+        # Insert after every equal distance (bisect_right) so ties keep
+        # offer order, exactly like the previous linear insertion.
+        position = bisect_right(self._distances, distance)
         self._items.insert(position, Neighbor(index, distance))
+        self._distances.insert(position, distance)
         del self._items[self.k :]
+        del self._distances[self.k :]
 
     def neighbors(self) -> List[Neighbor]:
         return list(self._items)
@@ -129,9 +131,31 @@ class _ResultList:
 # Pruner interface and implementations
 # ----------------------------------------------------------------------
 class QueryPruner:
-    """Per-query pruning state; see :class:`Pruner`."""
+    """Per-query pruning state; see :class:`Pruner`.
+
+    Besides the scalar per-candidate bounds, every query pruner exposes
+    *bulk* kernels that evaluate the bound for the whole database in one
+    vectorized call.  The bulk values are exactly equal to the scalar
+    ones (the property-based test suite asserts it per pruner family),
+    so engines may freely mix the two paths without changing answers.
+
+    Two class attributes describe the pruner to the engines:
+
+    ``dynamic``
+        True when the bound can *tighten during a scan* (near triangle
+        inequality records true distances as it goes).  Engines must not
+        cache a dynamic pruner's bulk arrays across candidates.
+    ``two_stage``
+        True when :meth:`exact_lower_bound` is strictly stronger (and
+        more expensive) than :meth:`quick_lower_bound`; engines consult
+        the quick bound first and pay the exact bound only when the
+        quick bound fails to prune.
+    """
 
     name: str = "base"
+    database_size: int = 0
+    dynamic: bool = False
+    two_stage: bool = False
 
     def lower_bound(
         self, candidate_index: int, threshold: float = float("inf")
@@ -158,6 +182,40 @@ class QueryPruner:
         """
         return self.lower_bound(candidate_index)
 
+    def exact_lower_bound(self, candidate_index: int) -> float:
+        """The pruner's strongest bound, with no threshold short-cut."""
+        return self.lower_bound(candidate_index)
+
+    def bulk_quick_lower_bounds(self) -> np.ndarray:
+        """:meth:`quick_lower_bound` for every candidate, vectorized.
+
+        The default loops the scalar method, so third-party pruners keep
+        working; the built-in families override it with array kernels.
+        """
+        return np.array(
+            [
+                self.quick_lower_bound(candidate_index)
+                for candidate_index in range(self.database_size)
+            ],
+            dtype=np.float64,
+        )
+
+    def bulk_lower_bounds(self, threshold: float = float("inf")) -> np.ndarray:
+        """:meth:`lower_bound` for every candidate, vectorized.
+
+        Sound lower bounds for the whole database in one call, with the
+        same staged semantics as the scalar method: entries whose quick
+        bound already exceeds ``threshold`` may carry the quick value
+        instead of the exact one.  Exact-equivalent to the scalar path.
+        """
+        return np.array(
+            [
+                self.lower_bound(candidate_index, threshold)
+                for candidate_index in range(self.database_size)
+            ],
+            dtype=np.float64,
+        )
+
 
 class Pruner:
     """A pruning method bound to a database.
@@ -174,15 +232,20 @@ class Pruner:
 
 
 class _HistogramQuery(QueryPruner):
+    two_stage = True
+
     def __init__(
         self,
         name: str,
         query_histograms: List[dict],
         database_histograms: List[List[dict]],
+        array_stores: Optional[List] = None,
     ) -> None:
         self.name = name
         self._query = query_histograms
         self._database = database_histograms
+        self._stores = array_stores
+        self.database_size = len(database_histograms[0])
 
     def lower_bound(
         self, candidate_index: int, threshold: float = float("inf")
@@ -190,23 +253,13 @@ class _HistogramQuery(QueryPruner):
         # Stage 1: the cheap neighbourhood bound — when it already beats
         # the threshold the exact flow computation is unnecessary.
         if np.isfinite(threshold):
-            quick = max(
-                histogram_distance_quick(
-                    query_histogram, per_axis[candidate_index]
-                )
-                for query_histogram, per_axis in zip(self._query, self._database)
-            )
+            quick = self.quick_lower_bound(candidate_index)
             if quick > threshold:
-                return float(quick)
+                return quick
         # Stage 2: the exact HD.  With several projections (the 1-D
         # per-axis variant) every HD is a lower bound, so the max is the
         # tightest combination.
-        return float(
-            max(
-                histogram_distance(query_histogram, per_axis[candidate_index])
-                for query_histogram, per_axis in zip(self._query, self._database)
-            )
-        )
+        return self.exact_lower_bound(candidate_index)
 
     def quick_lower_bound(self, candidate_index: int) -> float:
         return float(
@@ -217,6 +270,32 @@ class _HistogramQuery(QueryPruner):
                 for query_histogram, per_axis in zip(self._query, self._database)
             )
         )
+
+    def exact_lower_bound(self, candidate_index: int) -> float:
+        return float(
+            max(
+                histogram_distance(query_histogram, per_axis[candidate_index])
+                for query_histogram, per_axis in zip(self._query, self._database)
+            )
+        )
+
+    def bulk_quick_lower_bounds(self) -> np.ndarray:
+        if self._stores is None:
+            return super().bulk_quick_lower_bounds()
+        quick = self._stores[0].bulk_quick_bounds(self._query[0])
+        for query_histogram, store in zip(self._query[1:], self._stores[1:]):
+            np.maximum(quick, store.bulk_quick_bounds(query_histogram), out=quick)
+        return quick.astype(np.float64)
+
+    def bulk_lower_bounds(self, threshold: float = float("inf")) -> np.ndarray:
+        bounds = self.bulk_quick_lower_bounds()
+        if np.isfinite(threshold):
+            survivors = np.nonzero(bounds <= threshold)[0]
+        else:
+            survivors = np.arange(self.database_size)
+        for candidate_index in map(int, survivors):
+            bounds[candidate_index] = self.exact_lower_bound(candidate_index)
+        return bounds
 
 
 class HistogramPruner(Pruner):
@@ -242,9 +321,14 @@ class HistogramPruner(Pruner):
                 database.histograms(delta=delta, axis=axis)
                 for axis in range(database.ndim)
             ]
+            self._stores = [
+                database.histogram_arrays(delta=delta, axis=axis)
+                for axis in range(database.ndim)
+            ]
         else:
             self.name = f"histogram-2d(delta={delta:g})"
             self._variants = [database.histograms(delta=delta)]
+            self._stores = [database.histogram_arrays(delta=delta)]
 
     def for_query(self, query: Trajectory) -> QueryPruner:
         query_histograms = []
@@ -253,7 +337,9 @@ class HistogramPruner(Pruner):
             projected = query.projection(axis) if self._per_axis else query
             query_histograms.append(space.histogram(projected))
             database_histograms.append(built)
-        return _HistogramQuery(self.name, query_histograms, database_histograms)
+        return _HistogramQuery(
+            self.name, query_histograms, database_histograms, self._stores
+        )
 
 
 class _QgramMergeJoinQuery(QueryPruner):
@@ -267,6 +353,7 @@ class _QgramMergeJoinQuery(QueryPruner):
         q: int,
         epsilon: float,
         two_dimensional: bool,
+        flat_pool: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
         self.name = name
         self._query_sorted = query_sorted
@@ -276,6 +363,9 @@ class _QgramMergeJoinQuery(QueryPruner):
         self._q = q
         self._epsilon = epsilon
         self._two_dimensional = two_dimensional
+        self._flat_pool = flat_pool
+        self._bulk_bounds: Optional[np.ndarray] = None
+        self.database_size = len(candidates_sorted)
 
     def lower_bound(
         self, candidate_index: int, threshold: float = float("inf")
@@ -292,6 +382,29 @@ class _QgramMergeJoinQuery(QueryPruner):
         longest = max(self._query_length, int(self._lengths[candidate_index]))
         # Theorem 1 rearranged: EDR >= (max(m, n) - q + 1 - common) / q.
         return max(0.0, (longest - self._q + 1 - common) / self._q)
+
+    def bulk_lower_bounds(self, threshold: float = float("inf")) -> np.ndarray:
+        if self._bulk_bounds is not None:
+            return self._bulk_bounds.copy()
+        if self._flat_pool is None:
+            bounds = super().bulk_lower_bounds(threshold)
+            self._bulk_bounds = bounds.copy()
+            return bounds
+        pool_values, pool_owners = self._flat_pool
+        common = bulk_count_common(
+            self._query_sorted,
+            pool_values,
+            pool_owners,
+            self.database_size,
+            self._epsilon,
+        )
+        longest = np.maximum(self._query_length, self._lengths.astype(np.int64))
+        bounds = np.maximum(0.0, (longest - self._q + 1 - common) / self._q)
+        self._bulk_bounds = bounds
+        return bounds.copy()
+
+    def bulk_quick_lower_bounds(self) -> np.ndarray:
+        return self.bulk_lower_bounds()
 
 
 class QgramMergeJoinPruner(Pruner):
@@ -311,9 +424,11 @@ class QgramMergeJoinPruner(Pruner):
         if two_dimensional:
             self.name = f"qgram-ps2(q={q})"
             self._candidates = database.sorted_qgram_means(q)
+            self._flat_pool = database.flat_qgram_means(q)
         else:
             self.name = f"qgram-ps1(q={q})"
             self._candidates = database.sorted_qgram_means_1d(q, axis)
+            self._flat_pool = database.flat_qgram_means_1d(q, axis)
 
     def for_query(self, query: Trajectory) -> QueryPruner:
         if self._two_dimensional:
@@ -331,6 +446,7 @@ class QgramMergeJoinPruner(Pruner):
             self._q,
             self._database.epsilon,
             self._two_dimensional,
+            self._flat_pool,
         )
 
 
@@ -348,6 +464,7 @@ class _QgramIndexQuery(QueryPruner):
         self._query_length = query_length
         self._lengths = lengths
         self._q = q
+        self.database_size = len(lengths)
 
     def lower_bound(
         self, candidate_index: int, threshold: float = float("inf")
@@ -355,6 +472,16 @@ class _QgramIndexQuery(QueryPruner):
         common = int(self.counters[candidate_index])
         longest = max(self._query_length, int(self._lengths[candidate_index]))
         return max(0.0, (longest - self._q + 1 - common) / self._q)
+
+    def bulk_lower_bounds(self, threshold: float = float("inf")) -> np.ndarray:
+        # Theorem 1 vectorized over the per-trajectory common counters.
+        longest = np.maximum(self._query_length, self._lengths.astype(np.int64))
+        return np.maximum(
+            0.0, (longest - self._q + 1 - self.counters.astype(np.int64)) / self._q
+        )
+
+    def bulk_quick_lower_bounds(self) -> np.ndarray:
+        return self.bulk_lower_bounds()
 
 
 class QgramIndexPruner(Pruner):
@@ -386,28 +513,48 @@ class QgramIndexPruner(Pruner):
             self._index = database.qgram_bptree(q, axis)
 
     def for_query(self, query: Trajectory) -> QueryPruner:
-        counters = np.zeros(len(self._database), dtype=np.int64)
         epsilon = self._database.epsilon
         if self._structure == "rtree":
             means = mean_value_qgrams(query, self._q)
-            probe = lambda mean: self._index.match_search(mean, epsilon)
+
+            def probe(mean):
+                return self._index.match_search(mean, epsilon)
+
         else:
             means = mean_value_qgrams(query.projection(self._axis), self._q).ravel()
-            probe = lambda mean: self._index.match_search(float(mean), epsilon)
-        for mean in means:
-            matched = set(probe(mean))
-            for trajectory_index in matched:
-                counters[trajectory_index] += 1
+
+            def probe(mean):
+                return self._index.match_search(float(mean), epsilon)
+
+        # Accumulate (probe, trajectory) hits and count each query Q-gram
+        # once per trajectory with one deduplicated bincount instead of a
+        # Python set per probe.
+        hits: List[np.ndarray] = []
+        database_size = len(self._database)
+        for probe_number, mean in enumerate(means):
+            matched = np.asarray(probe(mean), dtype=np.int64)
+            if matched.size:
+                hits.append(matched + probe_number * database_size)
+        if hits:
+            unique_pairs = np.unique(np.concatenate(hits))
+            counters = np.bincount(
+                unique_pairs % database_size, minlength=database_size
+            )
+        else:
+            counters = np.zeros(database_size, dtype=np.int64)
         return _QgramIndexQuery(
             self.name, counters, len(query), self._database.lengths, self._q
         )
 
 
 class _NearTriangleQuery(QueryPruner):
+    dynamic = True
+
     def __init__(self, name: str, state: _NearTriangleState, lengths: np.ndarray):
         self.name = name
         self._state = state
         self._lengths = lengths
+        self.database_size = len(lengths)
 
     def lower_bound(
         self, candidate_index: int, threshold: float = float("inf")
@@ -415,6 +562,12 @@ class _NearTriangleQuery(QueryPruner):
         return self._state.lower_bound(
             candidate_index, int(self._lengths[candidate_index])
         )
+
+    def bulk_lower_bounds(self, threshold: float = float("inf")) -> np.ndarray:
+        return self._state.bulk_lower_bounds(self._lengths)
+
+    def bulk_quick_lower_bounds(self) -> np.ndarray:
+        return self.bulk_lower_bounds()
 
     def record(self, candidate_index: int, true_distance: float) -> None:
         self._state.record(candidate_index, true_distance)
@@ -442,6 +595,44 @@ class NearTrianglePruning(Pruner):
 # ----------------------------------------------------------------------
 # Engines
 # ----------------------------------------------------------------------
+def _quick_bound_arrays(
+    query_pruners: Sequence[QueryPruner],
+) -> List[Optional[np.ndarray]]:
+    """One bulk quick-bound array per *static* pruner (None for dynamic).
+
+    This is the array-native filter phase: every static pruner's quick
+    bound for the whole database is materialized in one vectorized call,
+    so the per-candidate pruning test becomes an array lookup instead of
+    a Python call into dictionary / merge-join code.
+    """
+    return [
+        None if query_pruner.dynamic else query_pruner.bulk_quick_lower_bounds()
+        for query_pruner in query_pruners
+    ]
+
+
+def _prunes_candidate(
+    query_pruner: QueryPruner,
+    quick_array: Optional[np.ndarray],
+    candidate_index: int,
+    threshold: float,
+) -> bool:
+    """Exactly ``query_pruner.lower_bound(candidate, threshold) > threshold``.
+
+    Stage 1 reads the precomputed quick bound from ``quick_array``; stage
+    2 (two-stage pruners only) pays the exact bound when the quick bound
+    fails to prune.  Dynamic pruners (``quick_array is None``) evaluate
+    with their current scan state.
+    """
+    if quick_array is None:
+        return query_pruner.lower_bound(candidate_index, threshold) > threshold
+    if quick_array[candidate_index] > threshold:
+        return True
+    if query_pruner.two_stage:
+        return query_pruner.exact_lower_bound(candidate_index) > threshold
+    return False
+
+
 def _true_distance(
     database: TrajectoryDatabase,
     query: Trajectory,
@@ -490,13 +681,18 @@ def knn_search(
     result = _ResultList(k)
     stats = SearchStats(database_size=len(database))
     query_pruners = [pruner.for_query(query) for pruner in pruners]
+    quick_arrays: Optional[List[Optional[np.ndarray]]] = None
 
     for candidate_index in range(len(database)):
         best = result.best_so_far
         pruned = False
         if np.isfinite(best):
-            for query_pruner in query_pruners:
-                if query_pruner.lower_bound(candidate_index, best) > best:
+            if quick_arrays is None:
+                # First moment pruning can fire: materialize the bulk
+                # filter arrays for every static pruner in one shot.
+                quick_arrays = _quick_bound_arrays(query_pruners)
+            for query_pruner, quick_array in zip(query_pruners, quick_arrays):
+                if _prunes_candidate(query_pruner, quick_array, candidate_index, best):
                     stats.credit(query_pruner.name)
                     pruned = True
                     break
@@ -521,17 +717,19 @@ def knn_sorted_scan(
 ) -> SearchResult:
     """Sorted scan (the paper's HSR): visit in ascending lower-bound order.
 
-    All lower bounds are computed up front and sorted; the scan stops at
-    the first candidate whose bound exceeds the current k-th distance,
-    because every later bound is at least as large.
+    The ordering pass uses the pruner's *quick* bound, computed for the
+    whole database in one bulk kernel call: the quick bound is still a
+    sound lower bound of EDR, so stopping at the first sorted bound that
+    exceeds the current k-th distance remains exact, but the ordering no
+    longer pays the expensive exact bound for every database member.
+    Visited candidates of a two-stage pruner get the staged exact check
+    before their true distance is computed.
     """
     start = time.perf_counter()
     result = _ResultList(k)
     stats = SearchStats(database_size=len(database))
     query_pruner = pruner.for_query(query)
-    bounds = np.array(
-        [query_pruner.lower_bound(index) for index in range(len(database))]
-    )
+    bounds = np.asarray(query_pruner.bulk_quick_lower_bounds(), dtype=np.float64)
     order = np.argsort(bounds, kind="stable")
     for rank, candidate_index in enumerate(map(int, order)):
         best = result.best_so_far
@@ -541,6 +739,13 @@ def knn_sorted_scan(
                 stats.pruned_by.get(query_pruner.name, 0) + remaining
             )
             break
+        if (
+            np.isfinite(best)
+            and query_pruner.two_stage
+            and query_pruner.exact_lower_bound(candidate_index) > best
+        ):
+            stats.credit(query_pruner.name)
+            continue
         bound = best if early_abandon and np.isfinite(best) else None
         distance = _true_distance(database, query, candidate_index, stats, bound)
         if np.isfinite(distance):
@@ -575,6 +780,7 @@ def knn_qgram_index(
     pruner = QgramIndexPruner(database, q=q, structure=structure, axis=axis)
     query_pruner = pruner.for_query(query)
     counters = query_pruner.counters
+    bounds = query_pruner.bulk_lower_bounds()  # Theorem 1, vectorized
     order = np.argsort(-counters, kind="stable")
 
     for rank, candidate_index in enumerate(map(int, order)):
@@ -587,7 +793,7 @@ def knn_qgram_index(
                     stats.pruned_by.get(query_pruner.name, 0) + remaining
                 )
                 break
-            if query_pruner.lower_bound(candidate_index) > best:
+            if bounds[candidate_index] > best:
                 stats.credit(query_pruner.name)
                 continue
         distance = _true_distance(database, query, candidate_index, stats)
@@ -619,10 +825,10 @@ def knn_sorted_search(
     primary_query = primary.for_query(query)
     secondary_queries = [pruner.for_query(query) for pruner in secondary]
     # Order by the primary's *quick* bound: sound, so the sorted break
-    # stays exact, but cheap enough to evaluate for the whole database.
-    bounds = np.array(
-        [primary_query.quick_lower_bound(index) for index in range(len(database))]
-    )
+    # stays exact, but cheap enough to evaluate for the whole database —
+    # one bulk kernel call instead of N Python calls.
+    bounds = np.asarray(primary_query.bulk_quick_lower_bounds(), dtype=np.float64)
+    secondary_arrays: Optional[List[Optional[np.ndarray]]] = None
     order = np.argsort(bounds, kind="stable")
     for rank, candidate_index in enumerate(map(int, order)):
         best = result.best_so_far
@@ -635,12 +841,32 @@ def knn_sorted_search(
         pruned = False
         if np.isfinite(best):
             # Staged exact primary bound, then the secondary pruners.
-            if primary_query.lower_bound(candidate_index, best) > best:
+            # A static primary's quick bound is already known to be
+            # <= best here (the sorted break above would have fired
+            # otherwise), so only its exact stage can still prune; a
+            # dynamic primary re-evaluates with its current scan state.
+            if primary_query.dynamic:
+                primary_prunes = (
+                    primary_query.lower_bound(candidate_index, best) > best
+                )
+            elif primary_query.two_stage:
+                primary_prunes = (
+                    primary_query.exact_lower_bound(candidate_index) > best
+                )
+            else:
+                primary_prunes = False
+            if primary_prunes:
                 stats.credit(primary_query.name)
                 pruned = True
             else:
-                for query_pruner in secondary_queries:
-                    if query_pruner.lower_bound(candidate_index, best) > best:
+                if secondary_arrays is None:
+                    secondary_arrays = _quick_bound_arrays(secondary_queries)
+                for query_pruner, quick_array in zip(
+                    secondary_queries, secondary_arrays
+                ):
+                    if _prunes_candidate(
+                        query_pruner, quick_array, candidate_index, best
+                    ):
                         stats.credit(query_pruner.name)
                         pruned = True
                         break

@@ -31,6 +31,8 @@ __all__ = [
     "count_common_sorted_1d",
     "count_common_sorted_2d",
     "merge_join_count",
+    "flatten_sorted_means",
+    "bulk_count_common",
 ]
 
 # Windows larger than this fall back to a per-query-point loop instead of
@@ -141,6 +143,123 @@ def count_common_sorted_2d(
     return _count_windowed_matches(
         query_sorted, candidate_sorted, starts, ends, epsilon
     )
+
+
+def flatten_sorted_means(
+    per_trajectory: "list[np.ndarray]",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One globally sorted mean array over a whole database, with owner ids.
+
+    Concatenates every trajectory's mean-value Q-grams and sorts the pool
+    by the first coordinate (stable), returning ``(values, owner_ids)``.
+    This is the build-time artifact of the *bulk* merge join: one
+    ``searchsorted`` pass over the pool replaces N per-candidate joins.
+    """
+    values = [np.atleast_1d(np.asarray(means, dtype=np.float64)) for means in per_trajectory]
+    ids = [
+        np.full(len(means), index, dtype=np.int64)
+        for index, means in enumerate(values)
+    ]
+    if not values:
+        return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+    pool = np.concatenate(values)
+    owners = np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
+    key = pool if pool.ndim == 1 else pool[:, 0]
+    order = np.argsort(key, kind="stable")
+    return pool[order], owners[order]
+
+
+def bulk_count_common(
+    query_sorted: np.ndarray,
+    pool_values: np.ndarray,
+    pool_owners: np.ndarray,
+    trajectory_count: int,
+    epsilon: float,
+) -> np.ndarray:
+    """Common Q-gram counts of the query against *every* trajectory at once.
+
+    ``pool_values``/``pool_owners`` come from :func:`flatten_sorted_means`.
+    Returns an ``(trajectory_count,)`` int64 array whose entry ``t``
+    equals ``count_common_sorted_1d/2d(query_sorted, candidate_t, eps)``
+    bit for bit: the same widened ``searchsorted`` windows and the same
+    exact ε re-check are applied to the pooled array, and each (query
+    Q-gram, trajectory) pair is deduplicated before counting so every
+    query Q-gram still counts at most once per trajectory.
+    """
+    if epsilon < 0.0:
+        raise ValueError("epsilon must be non-negative")
+    counts = np.zeros(trajectory_count, dtype=np.int64)
+    query_sorted = np.asarray(query_sorted, dtype=np.float64)
+    if len(query_sorted) == 0 or len(pool_values) == 0:
+        return counts
+    query_key = query_sorted if query_sorted.ndim == 1 else query_sorted[:, 0]
+    pool_key = pool_values if pool_values.ndim == 1 else pool_values[:, 0]
+    starts, ends = _windows(query_key, pool_key, epsilon)
+    lengths = ends - starts
+    populated = np.nonzero(lengths > 0)[0]
+    if not len(populated):
+        return counts
+
+    # Chunk query rows so no flattened window allocation exceeds the cap.
+    cumulative = np.cumsum(lengths[populated])
+    boundaries = [0]
+    while boundaries[-1] < len(populated):
+        base = cumulative[boundaries[-1]] - lengths[populated[boundaries[-1]]]
+        stop = int(np.searchsorted(cumulative, base + _FLAT_LIMIT, side="right"))
+        boundaries.append(max(stop, boundaries[-1] + 1))
+    row_to_local = np.empty(len(query_key), dtype=np.int64)
+    for begin, end in zip(boundaries, boundaries[1:]):
+        rows = populated[begin:end]
+        window_lengths = lengths[rows]
+        total = int(window_lengths.sum())
+        row_ids = np.repeat(rows, window_lengths)
+        window_offsets = np.arange(total) - np.repeat(
+            np.cumsum(window_lengths) - window_lengths, window_lengths
+        )
+        flat_indices = np.repeat(starts[rows], window_lengths) + window_offsets
+        if pool_values.ndim == 1:
+            matched = (
+                np.abs(pool_values[flat_indices] - query_sorted[row_ids])
+                <= epsilon
+            )
+        else:
+            # The window already confines axis 0 to within eps plus the
+            # rounding slack, so axis 1 rejects most pairs: test it first
+            # on a single-column gather, then re-check axis 0 exactly for
+            # the few survivors.
+            matched = (
+                np.abs(pool_values[flat_indices, 1] - query_sorted[row_ids, 1])
+                <= epsilon
+            )
+            survivors = np.nonzero(matched)[0]
+            matched[survivors] = (
+                np.abs(
+                    pool_values[flat_indices[survivors], 0]
+                    - query_sorted[row_ids[survivors], 0]
+                )
+                <= epsilon
+            )
+        matched_owners = pool_owners[flat_indices[matched]]
+        # Deduplicate (query row, trajectory) pairs.  A per-chunk boolean
+        # bitmap is O(matches) and branch-free; fall back to the
+        # sort-based dedup when the bitmap would be too large.
+        if len(rows) * trajectory_count <= 4 * _FLAT_LIMIT:
+            row_to_local[rows] = np.arange(len(rows), dtype=np.int64)
+            seen = np.zeros(len(rows) * trajectory_count, dtype=bool)
+            seen[
+                row_to_local[row_ids[matched]] * np.int64(trajectory_count)
+                + matched_owners
+            ] = True
+            counts += seen.reshape(len(rows), trajectory_count).sum(
+                axis=0, dtype=np.int64
+            )
+        else:
+            pair_keys = (
+                row_ids[matched] * np.int64(trajectory_count) + matched_owners
+            )
+            owners_of_pairs = np.unique(pair_keys) % trajectory_count
+            counts += np.bincount(owners_of_pairs, minlength=trajectory_count)
+    return counts
 
 
 def merge_join_count(

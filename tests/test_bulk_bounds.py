@@ -1,0 +1,294 @@
+"""Bulk lower-bound kernels must equal the scalar bounds, value for value.
+
+The vectorized filter phase is only sound if every entry of a bulk
+array is exactly the number the scalar path would have produced — not
+approximately: the engines mix both paths freely, so any divergence
+would silently change answers or break the no-false-dismissal
+guarantee.  These tests pin the equality per pruner family and then
+check the engines end to end against the sequential scan.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    HistogramPruner,
+    NearTrianglePruning,
+    QgramIndexPruner,
+    QgramMergeJoinPruner,
+    Trajectory,
+    TrajectoryDatabase,
+    knn_scan,
+    knn_search,
+    knn_sorted_scan,
+    knn_sorted_search,
+)
+from repro.core.histogram import histogram_distance_quick
+from repro.eval import same_answers
+from repro.index.mergejoin import (
+    bulk_count_common,
+    count_common_sorted_1d,
+    count_common_sorted_2d,
+    flatten_sorted_means,
+    sort_means_1d,
+    sort_means_2d,
+)
+
+
+@st.composite
+def databases(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    count = draw(st.integers(min_value=3, max_value=12))
+    epsilon = draw(st.floats(0.05, 1.5, allow_nan=False))
+    rng = np.random.default_rng(seed)
+    trajectories = [
+        Trajectory(rng.normal(size=(int(rng.integers(1, 12)), 2)))
+        for _ in range(count)
+    ]
+    query = Trajectory(rng.normal(size=(int(rng.integers(1, 12)), 2)))
+    return TrajectoryDatabase(trajectories, epsilon), query
+
+
+COMMON_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _workload(seed=7, count=40, epsilon=0.3):
+    rng = np.random.default_rng(seed)
+    trajectories = [
+        Trajectory(np.cumsum(rng.normal(size=(int(rng.integers(2, 30)), 2)), axis=0))
+        for _ in range(count)
+    ]
+    query = Trajectory(np.cumsum(rng.normal(size=(15, 2)), axis=0))
+    return TrajectoryDatabase(trajectories, epsilon), query
+
+
+# ----------------------------------------------------------------------
+# Kernel-level equality
+# ----------------------------------------------------------------------
+class TestHistogramKernel:
+    @COMMON_SETTINGS
+    @given(databases())
+    def test_array_store_matches_dict_quick_bound(self, case):
+        database, query = case
+        store = database.histogram_arrays(delta=1.0)
+        space, histograms = database.histograms(delta=1.0)
+        query_histogram = space.histogram(query)
+        bulk = store.bulk_quick_bounds(query_histogram)
+        for index, candidate in enumerate(histograms):
+            assert bulk[index] == histogram_distance_quick(
+                query_histogram, candidate
+            )
+
+    @COMMON_SETTINGS
+    @given(databases())
+    def test_per_axis_store_matches_dict_quick_bound(self, case):
+        database, query = case
+        for axis in range(database.ndim):
+            store = database.histogram_arrays(delta=1.0, axis=axis)
+            space, histograms = database.histograms(delta=1.0, axis=axis)
+            query_histogram = space.histogram(query.projection(axis))
+            bulk = store.bulk_quick_bounds(query_histogram)
+            for index, candidate in enumerate(histograms):
+                assert bulk[index] == histogram_distance_quick(
+                    query_histogram, candidate
+                )
+
+
+class TestMergeJoinKernel:
+    @COMMON_SETTINGS
+    @given(databases())
+    def test_bulk_count_matches_per_candidate_2d(self, case):
+        database, query = case
+        q = 1
+        per_candidate = database.sorted_qgram_means(q)
+        pool_values, pool_owners = flatten_sorted_means(
+            [np.asarray(c) for c in per_candidate]
+        )
+        from repro.core.qgram import mean_value_qgrams
+
+        query_sorted = sort_means_2d(mean_value_qgrams(query, q))
+        bulk = bulk_count_common(
+            query_sorted, pool_values, pool_owners, len(database), database.epsilon
+        )
+        for index, candidate in enumerate(per_candidate):
+            assert bulk[index] == count_common_sorted_2d(
+                query_sorted, candidate, database.epsilon
+            )
+
+    @COMMON_SETTINGS
+    @given(databases())
+    def test_bulk_count_matches_per_candidate_1d(self, case):
+        database, query = case
+        q = 2
+        per_candidate = database.sorted_qgram_means_1d(q, 0)
+        pool_values, pool_owners = flatten_sorted_means(
+            [np.asarray(c) for c in per_candidate]
+        )
+        from repro.core.qgram import mean_value_qgrams
+
+        query_sorted = sort_means_1d(mean_value_qgrams(query.projection(0), q))
+        bulk = bulk_count_common(
+            query_sorted, pool_values, pool_owners, len(database), database.epsilon
+        )
+        for index, candidate in enumerate(per_candidate):
+            assert bulk[index] == count_common_sorted_1d(
+                query_sorted, candidate, database.epsilon
+            )
+
+    def test_empty_query_and_empty_pool(self):
+        empty_values, empty_owners = flatten_sorted_means([])
+        counts = bulk_count_common(
+            np.empty((0, 2)), empty_values, empty_owners, 0, 0.5
+        )
+        assert counts.shape == (0,)
+        values, owners = flatten_sorted_means([np.zeros((3, 2))])
+        counts = bulk_count_common(np.empty((0, 2)), values, owners, 1, 0.5)
+        assert counts.tolist() == [0]
+
+
+# ----------------------------------------------------------------------
+# Query-pruner-level equality (bulk array entry == scalar method)
+# ----------------------------------------------------------------------
+def _pruner_families(database):
+    families = [
+        HistogramPruner(database),
+        HistogramPruner(database, per_axis=True),
+        HistogramPruner(database, delta=2.0),
+        QgramMergeJoinPruner(database, q=1),
+        QgramMergeJoinPruner(database, q=2),
+        QgramMergeJoinPruner(database, q=1, two_dimensional=False),
+        QgramIndexPruner(database, q=1, structure="rtree"),
+        QgramIndexPruner(database, q=1, structure="bptree"),
+    ]
+    return families
+
+
+@COMMON_SETTINGS
+@given(databases())
+def test_static_bulk_bounds_equal_scalar(case):
+    database, query = case
+    for pruner in _pruner_families(database):
+        query_pruner = pruner.for_query(query)
+        quick = query_pruner.bulk_quick_lower_bounds()
+        exact = query_pruner.bulk_lower_bounds()
+        assert len(quick) == len(database)
+        assert len(exact) == len(database)
+        for index in range(len(database)):
+            assert quick[index] == query_pruner.quick_lower_bound(index), pruner.name
+            assert exact[index] == query_pruner.exact_lower_bound(index), pruner.name
+
+
+@COMMON_SETTINGS
+@given(databases(), st.floats(0.0, 10.0, allow_nan=False))
+def test_thresholded_bulk_prunes_exactly_like_scalar(case, threshold):
+    """The engines only compare bounds against a threshold; the staged
+    bulk array must make the same prune/keep decision as the staged
+    scalar ``lower_bound`` for every candidate, and stay sound."""
+    database, query = case
+    for pruner in _pruner_families(database):
+        query_pruner = pruner.for_query(query)
+        bounds = query_pruner.bulk_lower_bounds(threshold)
+        for index in range(len(database)):
+            scalar = query_pruner.lower_bound(index, threshold)
+            assert (bounds[index] > threshold) == (scalar > threshold), pruner.name
+            assert bounds[index] <= query_pruner.exact_lower_bound(index), pruner.name
+
+
+@COMMON_SETTINGS
+@given(databases())
+def test_near_triangle_bulk_tracks_recorded_state(case):
+    from repro.core.edr import edr
+
+    database, query = case
+    pruner = NearTrianglePruning(database, max_triangle=6)
+    query_pruner = pruner.for_query(query)
+    # Before any recorded distance, the bound is identically zero.
+    assert np.all(query_pruner.bulk_lower_bounds() == 0.0)
+    for index in range(min(4, len(database))):
+        distance = edr(query, database.trajectories[index], database.epsilon)
+        query_pruner.record(index, distance)
+        bulk = query_pruner.bulk_lower_bounds()
+        for candidate in range(len(database)):
+            assert bulk[candidate] == query_pruner.lower_bound(candidate)
+
+
+def test_dynamic_pruner_is_marked_dynamic():
+    database, query = _workload(count=10)
+    assert NearTrianglePruning(database, max_triangle=3).for_query(query).dynamic
+    assert not HistogramPruner(database).for_query(query).dynamic
+    assert HistogramPruner(database).for_query(query).two_stage
+    assert not QgramMergeJoinPruner(database).for_query(query).two_stage
+
+
+def test_default_bulk_falls_back_to_scalar_loop():
+    """Third-party pruners that only implement ``lower_bound`` still get
+    working bulk kernels from the base class."""
+    from repro.core.search import QueryPruner
+
+    class Constant(QueryPruner):
+        name = "constant"
+
+        def __init__(self, size, value):
+            self.database_size = size
+            self._value = value
+
+        def lower_bound(self, candidate_index, threshold=float("inf")):
+            return self._value + candidate_index
+
+    query_pruner = Constant(5, 1.5)
+    assert query_pruner.bulk_quick_lower_bounds().tolist() == [
+        1.5, 2.5, 3.5, 4.5, 5.5,
+    ]
+    assert query_pruner.bulk_lower_bounds(3.0).tolist() == [
+        1.5, 2.5, 3.5, 4.5, 5.5,
+    ]
+
+
+# ----------------------------------------------------------------------
+# Engine-level equality: every engine on top of the bulk kernels must
+# still return exactly the sequential-scan answers.
+# ----------------------------------------------------------------------
+@COMMON_SETTINGS
+@given(databases(), st.integers(min_value=1, max_value=6))
+def test_sorted_search_matches_scan_for_every_primary(case, k):
+    database, query = case
+    k = min(k, len(database))
+    expected, _ = knn_scan(database, query, k)
+    primaries = [
+        HistogramPruner(database),
+        QgramMergeJoinPruner(database, q=1),
+        NearTrianglePruning(database, max_triangle=5),
+    ]
+    for position, primary in enumerate(primaries):
+        secondary = [p for i, p in enumerate(primaries) if i != position]
+        actual, _ = knn_sorted_search(database, query, k, primary, secondary)
+        assert same_answers(expected, actual), primary.name
+
+
+@COMMON_SETTINGS
+@given(databases(), st.integers(min_value=1, max_value=6))
+def test_sorted_scan_matches_scan_for_every_pruner(case, k):
+    database, query = case
+    k = min(k, len(database))
+    expected, _ = knn_scan(database, query, k)
+    for pruner in _pruner_families(database):
+        actual, _ = knn_sorted_scan(database, query, k, pruner)
+        assert same_answers(expected, actual), pruner.name
+
+
+def test_search_with_all_families_matches_scan_deterministic():
+    database, query = _workload()
+    expected, _ = knn_scan(database, query, 7)
+    pruners = _pruner_families(database) + [
+        NearTrianglePruning(database, max_triangle=8)
+    ]
+    actual, stats = knn_search(database, query, 7, pruners)
+    assert same_answers(expected, actual)
+    assert stats.true_distance_computations + sum(
+        stats.pruned_by.values()
+    ) == len(database)

@@ -124,3 +124,19 @@ class TestReferenceColumns:
     def test_columns_cached_by_count(self):
         database = small_database()
         assert database.reference_columns(3) is database.reference_columns(3)
+
+    def test_column_arrays_shared_across_requests(self):
+        """Growing the reference set must reuse the columns already built
+        for a smaller request (per-reference store, not per-request)."""
+        database = small_database()
+        small = database.reference_columns(2)
+        large = database.reference_columns(4)
+        for index in small:
+            assert large[index] is small[index]
+
+    def test_policies_share_common_references(self):
+        database = small_database()
+        first = database.reference_columns(3, policy="first")
+        short = database.reference_columns(3, policy="short")
+        for index in set(first) & set(short):
+            assert first[index] is short[index]

@@ -169,3 +169,32 @@ class TestMatrix:
         matrix = edr_matrix(rows, 0.5, others=columns)
         assert matrix.shape == (2, 3)
         assert matrix[1, 2] == edr(rows[1], columns[2], 0.5)
+
+    def test_rectangular_identity_fast_path(self):
+        """Shared objects between rows and columns cost nothing: the
+        diagonal of EDR is zero by definition, so the matrix entry is
+        written without running the DP."""
+        rng = np.random.default_rng(14)
+        shared = random_trajectory(rng, 40)
+        other = random_trajectory(rng, 6)
+        matrix = edr_matrix([shared, other], 0.5, others=[other, shared])
+        assert matrix[0, 1] == 0.0
+        assert matrix[1, 0] == 0.0
+        assert matrix[0, 0] == edr(shared, other, 0.5)
+        assert matrix[0, 0] == matrix[1, 1]
+
+    def test_symmetric_progress_reports_each_pair_once(self):
+        rng = np.random.default_rng(15)
+        trajectories = [random_trajectory(rng, 4) for _ in range(5)]
+        reports = []
+        edr_matrix(trajectories, 0.5, progress=lambda done, total: reports.append((done, total)))
+        expected_total = 5 * 4 // 2
+        assert reports == [(i, expected_total) for i in range(1, expected_total + 1)]
+
+    def test_rectangular_progress_covers_every_entry(self):
+        rng = np.random.default_rng(16)
+        rows = [random_trajectory(rng, 4) for _ in range(2)]
+        columns = [random_trajectory(rng, 4) for _ in range(3)]
+        reports = []
+        edr_matrix(rows, 0.5, others=columns, progress=lambda done, total: reports.append((done, total)))
+        assert reports == [(i, 6) for i in range(1, 7)]

@@ -7,6 +7,7 @@ from repro import Trajectory, edr
 from repro.core.neartriangle import (
     NearTrianglePruner,
     build_reference_columns,
+    compute_reference_column,
     near_triangle_lower_bound,
 )
 
@@ -59,6 +60,60 @@ class TestReferenceColumns:
         columns = build_reference_columns(trajectories, 0.5, reference_indices=[1])
         for j in range(4):
             assert columns[1][j] == edr(trajectories[1], trajectories[j], 0.5)
+
+    def test_symmetric_entries_are_never_recomputed(self, monkeypatch):
+        """Reference-vs-reference distances are mirrored by symmetry: with
+        R references over N trajectories, exactly R*N - R*(R+1)/2 EDR
+        calls happen (diagonals are free, each cross pair counted once)."""
+        import repro.core.neartriangle as neartriangle_module
+
+        trajectories = random_trajectories(8, 6)
+        calls = []
+        real_edr = neartriangle_module.edr
+
+        def counting_edr(first, second, epsilon):
+            calls.append((id(first), id(second)))
+            return real_edr(first, second, epsilon)
+
+        monkeypatch.setattr(neartriangle_module, "edr", counting_edr)
+        references = 3
+        columns = build_reference_columns(
+            trajectories, 0.5, max_references=references
+        )
+        expected_calls = references * len(trajectories) - (
+            references * (references + 1) // 2
+        )
+        assert len(calls) == expected_calls
+        # And the mirrored values are identical both ways.
+        for a in range(references):
+            for b in range(references):
+                assert columns[a][b] == columns[b][a]
+
+    def test_compute_reference_column_reuses_known_columns(self):
+        trajectories = random_trajectories(9, 5)
+        first = compute_reference_column(trajectories, 0.5, 0)
+        # Poison the known entry: if the reuse path works, the poisoned
+        # value shows up in the new column instead of a recomputation.
+        poisoned = first.copy()
+        poisoned[2] = 123456.0
+        column = compute_reference_column(
+            trajectories, 0.5, 2, known_columns={0: poisoned}
+        )
+        assert column[0] == 123456.0
+        assert column[2] == 0.0
+        for j in (1, 3, 4):
+            assert column[j] == edr(trajectories[2], trajectories[j], 0.5)
+
+    def test_build_reference_columns_reports_progress(self):
+        trajectories = random_trajectories(10, 5)
+        reports = []
+        build_reference_columns(
+            trajectories,
+            0.5,
+            max_references=3,
+            progress=lambda done, total: reports.append((done, total)),
+        )
+        assert reports == [(1, 3), (2, 3), (3, 3)]
 
 
 class TestPruner:

@@ -63,6 +63,42 @@ class TestResultList:
         with pytest.raises(ValueError):
             _ResultList(0)
 
+    def test_ties_keep_offer_order(self):
+        """Equal distances must never displace an earlier offer — the
+        binary-insertion rewrite has to match the old linear scan."""
+        result = _ResultList(2)
+        result.offer(10, 5.0)
+        result.offer(11, 5.0)
+        result.offer(12, 5.0)
+        assert [(n.index, n.distance) for n in result.neighbors()] == [
+            (10, 5.0),
+            (11, 5.0),
+        ]
+
+    def test_tie_at_kth_position_does_not_evict(self):
+        result = _ResultList(2)
+        result.offer(0, 3.0)
+        result.offer(1, 7.0)
+        result.offer(2, 7.0)  # ties the current k-th: keep the earlier one
+        assert [n.index for n in result.neighbors()] == [0, 1]
+        result.offer(3, 5.0)  # strictly better: evicts the k-th
+        assert [(n.index, n.distance) for n in result.neighbors()] == [
+            (0, 3.0),
+            (3, 5.0),
+        ]
+
+    def test_interleaved_ties_stay_sorted_and_stable(self):
+        result = _ResultList(4)
+        offers = [(0, 2.0), (1, 1.0), (2, 2.0), (3, 1.0), (4, 0.5)]
+        for index, distance in offers:
+            result.offer(index, distance)
+        assert [(n.index, n.distance) for n in result.neighbors()] == [
+            (4, 0.5),
+            (1, 1.0),
+            (3, 1.0),
+            (0, 2.0),
+        ]
+
 
 class TestStats:
     def test_pruning_power(self):
@@ -202,6 +238,75 @@ class TestPruningBehaviour:
             _, hse = knn_search(database, query, 3, [pruner])
             _, hsr = knn_sorted_scan(database, query, 3, pruner)
             assert hsr.pruning_power >= hse.pruning_power - 1e-12
+
+    def test_sorted_scan_orders_by_quick_bound_and_stages_exact(self, workload):
+        """HSR soundness after the staged rewrite: candidates are ordered
+        by the *quick* bulk bound, the stop condition still never
+        dismisses a true neighbor, the staged exact bound is only paid
+        for visited candidates, and the stats still cover the database.
+        """
+        from repro.core.search import QueryPruner
+
+        database, queries = workload
+
+        calls = {"exact": 0, "quick_bulk": 0}
+
+        class CountingQuery(QueryPruner):
+            def __init__(self, inner):
+                self._inner = inner
+                self.name = inner.name
+                self.database_size = inner.database_size
+                self.dynamic = inner.dynamic
+                self.two_stage = inner.two_stage
+
+            def lower_bound(self, candidate_index, threshold=float("inf")):
+                return self._inner.lower_bound(candidate_index, threshold)
+
+            def quick_lower_bound(self, candidate_index):
+                return self._inner.quick_lower_bound(candidate_index)
+
+            def exact_lower_bound(self, candidate_index):
+                calls["exact"] += 1
+                return self._inner.exact_lower_bound(candidate_index)
+
+            def bulk_quick_lower_bounds(self):
+                calls["quick_bulk"] += 1
+                return self._inner.bulk_quick_lower_bounds()
+
+            def bulk_lower_bounds(self, threshold=float("inf")):
+                return self._inner.bulk_lower_bounds(threshold)
+
+            def record(self, candidate_index, true_distance):
+                self._inner.record(candidate_index, true_distance)
+
+        class CountingPruner:
+            def __init__(self, inner):
+                self._inner = inner
+                self.name = inner.name
+
+            def for_query(self, query):
+                return CountingQuery(self._inner.for_query(query))
+
+        database_size = len(database)
+        pruner = CountingPruner(HistogramPruner(database))
+        for query in queries:
+            calls["exact"] = 0
+            calls["quick_bulk"] = 0
+            expected, _ = knn_scan(database, query, 3)
+            actual, stats = knn_sorted_scan(database, query, 3, pruner)
+            assert same_answers(expected, actual)
+            # One bulk quick-bound kernel call orders the whole scan.
+            assert calls["quick_bulk"] == 1
+            # The exact bound is staged: paid only for candidates the
+            # sorted break actually visits, never the whole database.
+            assert calls["exact"] <= database_size
+            if sum(stats.pruned_by.values()) > 0:
+                assert calls["exact"] < database_size
+            # Conservation: every candidate is either pruned or computed.
+            assert (
+                sum(stats.pruned_by.values()) + stats.true_distance_computations
+                == database_size
+            )
 
     def test_early_abandon_does_not_change_answers(self, workload):
         database, queries = workload
