@@ -196,6 +196,22 @@ SECTIONS = [
         "Generated by `python benchmarks/bench_bulk_bounds.py` "
         "(also writes `BENCH_bulk_bounds.json`).",
     ),
+    (
+        "edr_refine",
+        "Engineering — batched EDR refinement and parallel matrix precompute",
+        "Not a paper experiment: the refine phase (true-EDR verification "
+        "of every unpruned candidate) rewritten as one many-candidate DP "
+        "(`edr_many`: shared-width padding, per-row active-set "
+        "early-abandon compaction) versus the scalar per-candidate "
+        "kernel, with answers asserted identical to the linear-scan "
+        "oracle; plus the near-triangle reference-matrix precompute "
+        "(`edr_matrix`) serial versus process-pool workers.  The "
+        "pure-refine rows time the worst-case refinement load "
+        "(`pruners=[]`, every candidate verified); parallel matrix "
+        "speedup depends on available cores.  Generated by "
+        "`python benchmarks/bench_edr_refine.py` (also writes "
+        "`BENCH_edr_refine.json`).",
+    ),
 ]
 
 

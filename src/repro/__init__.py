@@ -20,6 +20,7 @@ Quick start::
 
 from .core.database import TrajectoryDatabase
 from .core.edr import edr, edr_matrix
+from .core.edr_batch import edr_many, edr_many_bucketed
 from .core.histogram import HistogramSpace, histogram_distance
 from .core.matching import elements_match, suggest_epsilon
 from .core.search import (
@@ -54,6 +55,8 @@ __all__ = [
     "Trajectory",
     "TrajectoryDatabase",
     "edr",
+    "edr_many",
+    "edr_many_bucketed",
     "edr_matrix",
     "euclidean",
     "dtw",

@@ -28,6 +28,7 @@ from . import __version__
 from .core.alignment import edr_alignment, subtrajectory_edr
 from .core.batch import BATCH_ENGINES, knn_batch
 from .core.database import TrajectoryDatabase
+from .core.edr_batch import DEFAULT_REFINE_BATCH_SIZE
 from .core.join import similarity_join
 from .core.rangequery import range_search
 from .core.search import (
@@ -94,7 +95,9 @@ def _distance_callable(name: str, epsilon: float):
 
 
 def _build_pruners(
-    names: str, database: TrajectoryDatabase
+    names: str,
+    database: TrajectoryDatabase,
+    matrix_workers: Optional[int] = None,
 ) -> List[Pruner]:
     pruners: List[Pruner] = []
     for name in filter(None, (part.strip() for part in names.split(","))):
@@ -105,7 +108,11 @@ def _build_pruners(
         elif name == "qgram":
             pruners.append(QgramMergeJoinPruner(database, q=1))
         elif name == "nti":
-            pruners.append(NearTrianglePruning(database, max_triangle=50))
+            pruners.append(
+                NearTrianglePruning(
+                    database, max_triangle=50, matrix_workers=matrix_workers
+                )
+            )
         elif name == "none":
             continue
         else:
@@ -160,8 +167,14 @@ def cmd_knn(args: argparse.Namespace) -> int:
     epsilon = _epsilon(args.epsilon, trajectories)
     database = TrajectoryDatabase(trajectories, epsilon)
     query = trajectories[args.query_index]
-    pruners = _build_pruners(args.pruners, database)
-    neighbors, stats = knn_search(database, query, args.k, pruners)
+    pruners = _build_pruners(args.pruners, database, args.matrix_workers)
+    neighbors, stats = knn_search(
+        database,
+        query,
+        args.k,
+        pruners,
+        refine_batch_size=args.refine_batch_size,
+    )
     print(f"epsilon = {epsilon:.4f}; pruning power = {stats.pruning_power:.3f}")
     for neighbor in neighbors:
         label = trajectories[neighbor.index].label or ""
@@ -181,7 +194,7 @@ def cmd_knn_batch(args: argparse.Namespace) -> int:
     else:
         indices = list(range(min(args.queries, len(trajectories))))
     queries = [trajectories[index] for index in indices]
-    pruners = _build_pruners(args.pruners, database)
+    pruners = _build_pruners(args.pruners, database, args.matrix_workers)
     batch = knn_batch(
         database,
         queries,
@@ -190,6 +203,7 @@ def cmd_knn_batch(args: argparse.Namespace) -> int:
         engine=args.engine,
         workers=args.workers,
         executor=args.executor,
+        refine_batch_size=args.refine_batch_size,
     )
     total_computed = sum(s.true_distance_computations for s in batch.stats)
     total_candidates = sum(s.database_size for s in batch.stats)
@@ -215,8 +229,14 @@ def cmd_range(args: argparse.Namespace) -> int:
     epsilon = _epsilon(args.epsilon, trajectories)
     database = TrajectoryDatabase(trajectories, epsilon)
     query = trajectories[args.query_index]
-    pruners = _build_pruners(args.pruners, database)
-    results, stats = range_search(database, query, args.radius, pruners)
+    pruners = _build_pruners(args.pruners, database, args.matrix_workers)
+    results, stats = range_search(
+        database,
+        query,
+        args.radius,
+        pruners,
+        refine_batch_size=args.refine_batch_size,
+    )
     print(
         f"epsilon = {epsilon:.4f}; {len(results)} trajectories within "
         f"EDR {args.radius} (pruning power {stats.pruning_power:.3f})"
@@ -361,6 +381,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="histogram,qgram",
         help="comma list: histogram, histogram-1d, qgram, nti, none",
     )
+    knn.add_argument(
+        "--refine-batch-size",
+        type=int,
+        default=DEFAULT_REFINE_BATCH_SIZE,
+        help="candidates per batched EDR verification bucket (0 = scalar path)",
+    )
+    knn.add_argument(
+        "--matrix-workers",
+        type=int,
+        default=None,
+        help="process-pool workers for the near-triangle reference-matrix precompute",
+    )
     knn.set_defaults(handler=cmd_knn)
 
     knn_batch_command = commands.add_parser(
@@ -388,6 +420,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
     )
     knn_batch_command.add_argument("--limit", type=int, default=5)
+    knn_batch_command.add_argument(
+        "--refine-batch-size",
+        type=int,
+        default=DEFAULT_REFINE_BATCH_SIZE,
+        help="candidates per batched EDR verification bucket (0 = scalar path)",
+    )
+    knn_batch_command.add_argument(
+        "--matrix-workers",
+        type=int,
+        default=None,
+        help="process-pool workers for the near-triangle reference-matrix precompute",
+    )
     knn_batch_command.set_defaults(handler=cmd_knn_batch)
 
     range_command = commands.add_parser("range", help="range query under EDR")
@@ -396,6 +440,18 @@ def build_parser() -> argparse.ArgumentParser:
     range_command.add_argument("--radius", type=float, required=True)
     range_command.add_argument("--epsilon", type=float, default=None)
     range_command.add_argument("--pruners", default="histogram,qgram")
+    range_command.add_argument(
+        "--refine-batch-size",
+        type=int,
+        default=DEFAULT_REFINE_BATCH_SIZE,
+        help="candidates per batched EDR verification bucket (0 = scalar path)",
+    )
+    range_command.add_argument(
+        "--matrix-workers",
+        type=int,
+        default=None,
+        help="process-pool workers for the near-triangle reference-matrix precompute",
+    )
     range_command.set_defaults(handler=cmd_range)
 
     join = commands.add_parser("join", help="similarity self-join under EDR")

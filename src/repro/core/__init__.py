@@ -2,6 +2,7 @@
 
 from .database import TrajectoryDatabase
 from .edr import edr, edr_matrix, edr_reference
+from .edr_batch import edr_many, edr_many_bucketed, iter_length_buckets
 from .histogram import HistogramSpace, histogram_distance
 from .matching import elements_match, match_matrix, suggest_epsilon
 from .alignment import EditOperation, edr_alignment, subtrajectory_edr
@@ -37,8 +38,11 @@ __all__ = [
     "similarity_join",
     "TrajectoryDatabase",
     "edr",
+    "edr_many",
+    "edr_many_bucketed",
     "edr_matrix",
     "edr_reference",
+    "iter_length_buckets",
     "HistogramSpace",
     "histogram_distance",
     "elements_match",

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from .database import TrajectoryDatabase
+from .edr_batch import DEFAULT_REFINE_BATCH_SIZE
 from .search import (
     Neighbor,
     Pruner,
@@ -86,11 +87,19 @@ def _run_engine(
     pruners: Sequence[Pruner],
     engine: str,
     early_abandon: bool,
+    refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
 ) -> SearchResult:
     if engine == "scan" or not pruners:
         return knn_scan(database, query, k)
     if engine == "search":
-        return knn_search(database, query, k, pruners, early_abandon=early_abandon)
+        return knn_search(
+            database,
+            query,
+            k,
+            pruners,
+            early_abandon=early_abandon,
+            refine_batch_size=refine_batch_size,
+        )
     if engine == "sorted":
         return knn_sorted_search(
             database,
@@ -99,6 +108,7 @@ def _run_engine(
             pruners[0],
             pruners[1:],
             early_abandon=early_abandon,
+            refine_batch_size=refine_batch_size,
         )
     raise ValueError(
         f"unknown batch engine {engine!r}; choose from {', '.join(BATCH_ENGINES)}"
@@ -132,6 +142,7 @@ def _process_task(query_position: int) -> SearchResult:
         state["pruners"],
         state["engine"],
         state["early_abandon"],
+        state["refine_batch_size"],
     )
 
 
@@ -157,6 +168,7 @@ def knn_batch(
     workers: Optional[int] = None,
     executor: str = "auto",
     early_abandon: bool = False,
+    refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
 ) -> BatchResult:
     """Answer many k-NN queries against one database.
 
@@ -179,6 +191,10 @@ def knn_batch(
     executor:
         ``"auto"``, ``"serial"``, ``"thread"``, or ``"process"`` — see
         the module docstring.
+    refine_batch_size:
+        Candidate-batch size for the engines' batched EDR refinement
+        (see :func:`repro.knn_search`); ``None`` restores the scalar
+        per-candidate verification.
     """
     if engine not in BATCH_ENGINES:
         raise ValueError(
@@ -202,7 +218,10 @@ def knn_batch(
     if chosen == "serial" or workers == 1 or len(queries) <= 1:
         chosen = "serial"
         results = [
-            _run_engine(database, query, k, pruners, engine, early_abandon)
+            _run_engine(
+                database, query, k, pruners, engine, early_abandon,
+                refine_batch_size,
+            )
             for query in queries
         ]
     elif chosen == "thread":
@@ -210,7 +229,8 @@ def knn_batch(
             results = list(
                 pool.map(
                     lambda query: _run_engine(
-                        database, query, k, pruners, engine, early_abandon
+                        database, query, k, pruners, engine, early_abandon,
+                        refine_batch_size,
                     ),
                     queries,
                 )
@@ -223,6 +243,7 @@ def knn_batch(
             "pruners": pruners,
             "engine": engine,
             "early_abandon": early_abandon,
+            "refine_batch_size": refine_batch_size,
         }
         try:
             import multiprocessing

@@ -27,7 +27,7 @@ from ..index.bptree import BPlusTree
 from ..index.mergejoin import flatten_sorted_means, sort_means_1d, sort_means_2d
 from ..index.rtree import RTree
 from .histogram import HistogramArrayStore, HistogramSpace, TrajectoryHistogram
-from .neartriangle import compute_reference_column
+from .neartriangle import build_reference_columns
 from .qgram import mean_value_qgrams
 from .trajectory import Trajectory
 
@@ -202,7 +202,10 @@ class TrajectoryDatabase:
     # Near-triangle artifacts
     # ------------------------------------------------------------------
     def reference_columns(
-        self, max_references: int = 400, policy: str = "first"
+        self,
+        max_references: int = 400,
+        policy: str = "first",
+        workers: Optional[int] = None,
     ) -> Dict[int, np.ndarray]:
         """Precomputed EDR columns for ``max_references`` reference trajectories.
 
@@ -216,6 +219,10 @@ class TrajectoryDatabase:
           ones that can ever produce a strong bound — an improvement the
           paper leaves as future work ("finding a smaller suitable
           value").
+
+        ``workers`` (when greater than 1) parallelizes the precompute of
+        any columns not already cached over a process pool; the columns
+        themselves are identical either way.
         """
         count = min(max_references, len(self.trajectories))
         key = (count, policy)
@@ -226,16 +233,15 @@ class TrajectoryDatabase:
                 indices = [int(i) for i in np.argsort(self.lengths, kind="stable")[:count]]
             else:
                 raise ValueError(f"unknown reference policy {policy!r}")
-            for reference_index in indices:
-                if reference_index not in self._reference_column_store:
-                    self._reference_column_store[reference_index] = (
-                        compute_reference_column(
-                            self.trajectories,
-                            self.epsilon,
-                            reference_index,
-                            known_columns=self._reference_column_store,
-                        )
-                    )
+            self._reference_column_store.update(
+                build_reference_columns(
+                    self.trajectories,
+                    self.epsilon,
+                    reference_indices=indices,
+                    workers=workers,
+                    known_columns=self._reference_column_store,
+                )
+            )
             self._reference_columns[key] = {
                 reference_index: self._reference_column_store[reference_index]
                 for reference_index in indices

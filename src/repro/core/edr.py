@@ -175,51 +175,189 @@ def edr_reference(
     return float(table[m, n])
 
 
+# Per-process state for the fork-based matrix worker pool: installed by
+# the initializer so row tasks inherit the trajectory collection without
+# per-task pickling (copy-on-write under fork, one pickle per worker
+# elsewhere).
+_MATRIX_WORKER_STATE: Optional[dict] = None
+
+
+def _initialize_matrix_worker(state: dict) -> None:
+    global _MATRIX_WORKER_STATE
+    _MATRIX_WORKER_STATE = state
+
+
+def _symmetric_row_values(
+    trajectories: Sequence,
+    epsilon: float,
+    row: int,
+    batch_size: Optional[int],
+) -> np.ndarray:
+    """``EDR(T_row, T_j)`` for every ``j > row``, via the batched kernel."""
+    from .edr_batch import edr_many_bucketed
+
+    return edr_many_bucketed(
+        trajectories[row],
+        trajectories[row + 1 :],
+        epsilon,
+        batch_size=batch_size,
+    )
+
+
+def _rectangular_row_values(
+    trajectories: Sequence,
+    others: Sequence,
+    epsilon: float,
+    row: int,
+    batch_size: Optional[int],
+) -> np.ndarray:
+    """One rectangular matrix row, with the identity zero fast path."""
+    from .edr_batch import edr_many_bucketed
+
+    row_trajectory = trajectories[row]
+    distinct = [
+        j for j, other in enumerate(others) if other is not row_trajectory
+    ]
+    values = np.zeros(len(others), dtype=np.float64)
+    if distinct:
+        values[distinct] = edr_many_bucketed(
+            row_trajectory,
+            [others[j] for j in distinct],
+            epsilon,
+            batch_size=batch_size,
+        )
+    return values
+
+
+def _matrix_row_task(row: int) -> "tuple[int, np.ndarray]":
+    state = _MATRIX_WORKER_STATE
+    assert state is not None, "matrix worker used before initialization"
+    if state["others"] is None:
+        return row, _symmetric_row_values(
+            state["trajectories"], state["epsilon"], row, state["batch_size"]
+        )
+    return row, _rectangular_row_values(
+        state["trajectories"],
+        state["others"],
+        state["epsilon"],
+        row,
+        state["batch_size"],
+    )
+
+
+def _iter_matrix_rows(
+    rows: Sequence[int],
+    trajectories: Sequence,
+    others: Optional[Sequence],
+    epsilon: float,
+    workers: Optional[int],
+    batch_size: Optional[int],
+):
+    """Yield ``(row, values)`` chunks, serially or over a process pool.
+
+    The unit of work is one matrix row (its batched-kernel call), so the
+    pool's task granularity is coarse enough to amortize dispatch while
+    still balancing the triangular row costs of the symmetric case.
+    Workers inherit the trajectories through a fork initializer where
+    the platform allows it, avoiding any per-task pickling.
+    """
+    worker_count = 1 if workers is None else max(1, int(workers))
+    worker_count = min(worker_count, max(len(rows), 1))
+    if worker_count <= 1:
+        for row in rows:
+            if others is None:
+                yield row, _symmetric_row_values(
+                    trajectories, epsilon, row, batch_size
+                )
+            else:
+                yield row, _rectangular_row_values(
+                    trajectories, others, epsilon, row, batch_size
+                )
+        return
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    state = {
+        "trajectories": list(trajectories),
+        "others": list(others) if others is not None else None,
+        "epsilon": epsilon,
+        "batch_size": batch_size,
+    }
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        context = None
+    pool_arguments = dict(
+        max_workers=worker_count,
+        initializer=_initialize_matrix_worker,
+        initargs=(state,),
+    )
+    if context is not None:
+        pool_arguments["mp_context"] = context
+    with ProcessPoolExecutor(**pool_arguments) as pool:
+        futures = [pool.submit(_matrix_row_task, row) for row in rows]
+        for future in as_completed(futures):
+            yield future.result()
+
+
 def edr_matrix(
     trajectories: Sequence[Union[Trajectory, np.ndarray]],
     epsilon: float,
     others: Optional[Sequence[Union[Trajectory, np.ndarray]]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> np.ndarray:
     """Pairwise EDR distances.
 
     With only ``trajectories`` given, returns the symmetric
-    ``(N, N)`` matrix: each unordered pair goes through the
-    early-abandon-free fast path exactly once and is mirrored, and the
-    diagonal is zero by definition (every element ε-matches itself), so
-    no self-distance is ever computed.  With ``others`` given, returns
-    the rectangular ``(len(trajectories), len(others))`` matrix — this is
-    how the near-triangle pruner precomputes its reference columns
-    without paying for the full database matrix; entries whose row and
-    column refer to the *same* object reuse the zero fast path too.
+    ``(N, N)`` matrix: each unordered pair is computed exactly once and
+    mirrored, and the diagonal is zero by definition (every element
+    ε-matches itself), so no self-distance is ever computed.  With
+    ``others`` given, returns the rectangular
+    ``(len(trajectories), len(others))`` matrix — this is how the
+    near-triangle pruner precomputes its reference columns without
+    paying for the full database matrix; entries whose row and column
+    refer to the *same* object reuse the zero fast path too.
+
+    Each row is computed through the batched EDR kernel
+    (:func:`~repro.core.edr_batch.edr_many`) in length-bucketed batches
+    of ``batch_size`` candidates, and ``workers`` (when greater than 1)
+    distributes whole rows over a process pool — the chunked driver the
+    near-triangle precompute uses to parallelize large reference sets.
 
     ``progress`` (if given) is called as ``progress(done, total)`` after
-    each computed entry, enabling long precomputations to report status.
+    each computed *chunk* — one matrix row — with ``done`` the
+    cumulative number of finished entries.  The per-chunk cadence keeps
+    the callback's cost off the per-pair hot path; ``done`` reaches
+    ``total`` exactly when the matrix is complete (rows may finish out
+    of order under a worker pool, but ``done`` is always monotone).
     """
     if others is None:
         count = len(trajectories)
         matrix = np.zeros((count, count), dtype=np.float64)
         total = count * (count - 1) // 2
         done = 0
-        for i in range(count):
-            for j in range(i + 1, count):
-                value = edr(trajectories[i], trajectories[j], epsilon)
-                matrix[i, j] = value
-                matrix[j, i] = value
-                done += 1
-                if progress is not None:
-                    progress(done, total)
+        rows = range(count - 1)
+        for row, values in _iter_matrix_rows(
+            rows, trajectories, None, epsilon, workers, batch_size
+        ):
+            matrix[row, row + 1 :] = values
+            matrix[row + 1 :, row] = values
+            done += count - 1 - row
+            if progress is not None and total:
+                progress(done, total)
         return matrix
     matrix = np.zeros((len(trajectories), len(others)), dtype=np.float64)
     total = len(trajectories) * len(others)
     done = 0
-    for i, row_trajectory in enumerate(trajectories):
-        for j, column_trajectory in enumerate(others):
-            if row_trajectory is column_trajectory:
-                matrix[i, j] = 0.0
-            else:
-                matrix[i, j] = edr(row_trajectory, column_trajectory, epsilon)
-            done += 1
-            if progress is not None:
-                progress(done, total)
+    rows = range(len(trajectories))
+    for row, values in _iter_matrix_rows(
+        rows, trajectories, others, epsilon, workers, batch_size
+    ):
+        matrix[row] = values
+        done += len(others)
+        if progress is not None and total:
+            progress(done, total)
     return matrix

@@ -22,7 +22,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .edr import edr
+from .edr import edr_matrix
+from .edr_batch import edr_many_bucketed
 from .trajectory import Trajectory
 
 __all__ = [
@@ -166,13 +167,20 @@ def compute_reference_column(
     known_columns = known_columns or {}
     reference = trajectories[reference_index]
     column = np.empty(len(trajectories), dtype=np.float64)
-    for candidate_index, candidate in enumerate(trajectories):
+    unknown: List[int] = []
+    for candidate_index in range(len(trajectories)):
         if candidate_index == reference_index:
             column[candidate_index] = 0.0
         elif candidate_index in known_columns:
             column[candidate_index] = known_columns[candidate_index][reference_index]
         else:
-            column[candidate_index] = edr(reference, candidate, epsilon)
+            unknown.append(candidate_index)
+    if unknown:
+        column[unknown] = edr_many_bucketed(
+            reference,
+            [trajectories[candidate_index] for candidate_index in unknown],
+            epsilon,
+        )
     return column
 
 
@@ -182,6 +190,8 @@ def build_reference_columns(
     reference_indices: Optional[Sequence[int]] = None,
     max_references: int = 400,
     progress: Optional[Callable[[int, int], None]] = None,
+    workers: Optional[int] = None,
+    known_columns: Optional[Dict[int, np.ndarray]] = None,
 ) -> Dict[int, np.ndarray]:
     """Precompute ``EDR(R, S_j)`` columns for the chosen references.
 
@@ -191,15 +201,67 @@ def build_reference_columns(
     reference-vs-reference block, which is computed once and mirrored by
     symmetry instead of twice.  ``progress`` (if given) is called as
     ``progress(completed_columns, total_columns)`` after each column.
+
+    ``known_columns`` maps reference indices whose columns are already
+    finished (e.g. cached by the database) to those columns; they are
+    reused both as results for any requested index and as symmetric
+    entries inside new columns.  ``workers`` (when greater than 1)
+    parallelizes the precompute over a process pool by decomposing it
+    into the symmetric reference-vs-reference block plus one rectangular
+    references-vs-rest matrix, both driven through
+    :func:`~repro.core.edr.edr_matrix`'s chunked row workers.
     """
     if reference_indices is None:
         reference_indices = range(min(max_references, len(trajectories)))
     reference_indices = list(reference_indices)
+    total = len(reference_indices)
+    known: Dict[int, np.ndarray] = dict(known_columns) if known_columns else {}
     columns: Dict[int, np.ndarray] = {}
-    for completed, reference_index in enumerate(reference_indices, start=1):
-        columns[reference_index] = compute_reference_column(
-            trajectories, epsilon, reference_index, known_columns=columns
+    worker_count = 1 if workers is None else max(1, int(workers))
+    pending = [index for index in reference_indices if index not in known]
+    if worker_count > 1 and len(pending) > 1:
+        pending_set = set(pending)
+        rest = [
+            index
+            for index in range(len(trajectories))
+            if index not in pending_set and index not in known
+        ]
+        pending_trajectories = [trajectories[index] for index in pending]
+        block = edr_matrix(pending_trajectories, epsilon, workers=worker_count)
+        rectangular = (
+            edr_matrix(
+                pending_trajectories,
+                epsilon,
+                others=[trajectories[index] for index in rest],
+                workers=worker_count,
+            )
+            if rest
+            else None
         )
+        for position, reference_index in enumerate(pending):
+            column = np.empty(len(trajectories), dtype=np.float64)
+            column[pending] = block[position]
+            for known_index, known_column in known.items():
+                column[known_index] = known_column[reference_index]
+            if rectangular is not None:
+                column[rest] = rectangular[position]
+            columns[reference_index] = column
+        for reference_index in reference_indices:
+            if reference_index in known:
+                columns[reference_index] = known[reference_index]
         if progress is not None:
-            progress(completed, len(reference_indices))
+            for completed in range(1, total + 1):
+                progress(completed, total)
+        return columns
+    for completed, reference_index in enumerate(reference_indices, start=1):
+        if reference_index in known:
+            columns[reference_index] = known[reference_index]
+        else:
+            column = compute_reference_column(
+                trajectories, epsilon, reference_index, known_columns=known
+            )
+            columns[reference_index] = column
+            known[reference_index] = column
+        if progress is not None:
+            progress(completed, total)
     return columns

@@ -22,10 +22,13 @@ import numpy as np
 
 from .database import TrajectoryDatabase
 from .edr import edr
+from .edr_batch import DEFAULT_REFINE_BATCH_SIZE, edr_many
 from .search import (
     Neighbor,
     Pruner,
     SearchStats,
+    _PendingBatches,
+    _normalized_batch_size,
     _prunes_candidate,
     _quick_bound_arrays,
 )
@@ -58,6 +61,7 @@ def range_search(
     radius: float,
     pruners: Sequence[Pruner],
     early_abandon: bool = False,
+    refine_batch_size: "int | None" = DEFAULT_REFINE_BATCH_SIZE,
 ) -> "tuple[List[Neighbor], SearchStats]":
     """Range query with a chain of pruners; scan-identical answers.
 
@@ -71,6 +75,11 @@ def range_search(
     (one vectorized pass per pruner, computed up front since the radius
     is fixed); dynamic pruners keep the scalar per-candidate path so the
     bounds reflect distances recorded earlier in this same query.
+
+    ``refine_batch_size`` batches the verification of surviving
+    candidates through the batched EDR kernel in length-bucketed groups
+    (the radius is a fixed threshold, so batching loses nothing to
+    bound staleness here).  ``None`` restores the scalar path.
     """
     if radius < 0.0:
         raise ValueError("radius must be non-negative")
@@ -79,6 +88,26 @@ def range_search(
     query_pruners = [pruner.for_query(query) for pruner in pruners]
     quick_arrays = _quick_bound_arrays(query_pruners)
     results: List[Neighbor] = []
+    batch_size = _normalized_batch_size(refine_batch_size)
+    pending = _PendingBatches(batch_size) if batch_size is not None else None
+
+    def verify_batch(candidate_indices: List[int]) -> None:
+        bound = radius if early_abandon else None
+        distances = edr_many(
+            query,
+            [database.trajectories[i] for i in candidate_indices],
+            database.epsilon,
+            bounds=bound,
+        )
+        stats.true_distance_computations += len(candidate_indices)
+        for candidate_index, distance in zip(candidate_indices, distances):
+            distance = float(distance)
+            if np.isfinite(distance):
+                for query_pruner in query_pruners:
+                    query_pruner.record(candidate_index, distance)
+                if distance <= radius:
+                    results.append(Neighbor(candidate_index, distance))
+
     for index in range(len(database)):
         pruned = False
         for query_pruner, quick_array in zip(query_pruners, quick_arrays):
@@ -88,15 +117,26 @@ def range_search(
                 break
         if pruned:
             continue
-        stats.true_distance_computations += 1
-        bound = radius if early_abandon else None
-        distance = edr(
-            query, database.trajectories[index], database.epsilon, bound=bound
-        )
-        if np.isfinite(distance):
-            for query_pruner in query_pruners:
-                query_pruner.record(index, distance)
-            if distance <= radius:
-                results.append(Neighbor(index, distance))
+        if pending is None:
+            stats.true_distance_computations += 1
+            bound = radius if early_abandon else None
+            distance = edr(
+                query, database.trajectories[index], database.epsilon, bound=bound
+            )
+            if np.isfinite(distance):
+                for query_pruner in query_pruners:
+                    query_pruner.record(index, distance)
+                if distance <= radius:
+                    results.append(Neighbor(index, distance))
+            continue
+        full_bucket = pending.add(index, int(database.lengths[index]))
+        if full_bucket is not None:
+            verify_batch(full_bucket)
+    if pending is not None:
+        for bucket in pending.drain():
+            verify_batch(bucket)
+        # Batches flush out of database order; restore the scalar
+        # path's index-ordered result list.
+        results.sort(key=lambda neighbor: neighbor.index)
     stats.elapsed_seconds = time.perf_counter() - start
     return results, stats

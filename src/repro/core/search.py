@@ -38,6 +38,7 @@ from ..index.mergejoin import (
 )
 from .database import TrajectoryDatabase
 from .edr import edr
+from .edr_batch import DEFAULT_REFINE_BATCH_SIZE, edr_many
 from .histogram import histogram_distance, histogram_distance_quick
 from .neartriangle import NearTrianglePruner as _NearTriangleState
 from .qgram import mean_value_qgrams
@@ -125,6 +126,9 @@ class _ResultList:
 
     def neighbors(self) -> List[Neighbor]:
         return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
 
 
 # ----------------------------------------------------------------------
@@ -581,11 +585,14 @@ class NearTrianglePruning(Pruner):
         database: TrajectoryDatabase,
         max_triangle: int = 400,
         policy: str = "first",
+        matrix_workers: Optional[int] = None,
     ) -> None:
         self._database = database
         self._max_triangle = max_triangle
         self.name = f"near-triangle(max={max_triangle}, {policy})"
-        self._columns = database.reference_columns(max_triangle, policy=policy)
+        self._columns = database.reference_columns(
+            max_triangle, policy=policy, workers=matrix_workers
+        )
 
     def for_query(self, query: Trajectory) -> QueryPruner:
         state = _NearTriangleState(self._columns, self._max_triangle)
@@ -646,6 +653,84 @@ def _true_distance(
     )
 
 
+class _PendingBatches:
+    """Length-bucketed buffer of candidates awaiting batched verification.
+
+    Engines with batched refinement push surviving candidates here
+    instead of paying a scalar ``edr`` call immediately.  Buckets group
+    lengths by power of two, so one batch's shared padded width is less
+    than twice any member's length; a bucket is handed back for
+    verification the moment it reaches the batch size, and
+    :meth:`drain` releases whatever remains at scan end.
+    """
+
+    def __init__(self, batch_size: int) -> None:
+        self._batch_size = batch_size
+        self._buckets: Dict[int, List[int]] = {}
+        self.total = 0
+
+    def add(self, candidate_index: int, length: int) -> Optional[List[int]]:
+        """Buffer one candidate; return a full bucket if this filled it."""
+        key = int(length).bit_length()
+        bucket = self._buckets.setdefault(key, [])
+        bucket.append(candidate_index)
+        self.total += 1
+        if len(bucket) >= self._batch_size:
+            del self._buckets[key]
+            self.total -= len(bucket)
+            return bucket
+        return None
+
+    def drain(self) -> List[List[int]]:
+        """Hand back every pending bucket (shortest lengths first)."""
+        buckets = [self._buckets[key] for key in sorted(self._buckets)]
+        self._buckets = {}
+        self.total = 0
+        return buckets
+
+
+def _refine_batch(
+    database: TrajectoryDatabase,
+    query: Trajectory,
+    candidate_indices: List[int],
+    result: _ResultList,
+    stats: SearchStats,
+    query_pruners: Sequence[QueryPruner],
+    early_abandon: bool,
+) -> None:
+    """Verify one candidate batch with the batched EDR kernel.
+
+    Exactly equivalent to a loop of :func:`_true_distance` + ``record``
+    + ``offer`` calls, except the k-th-best bound used for early
+    abandoning is the one in force when the batch is flushed (it can
+    only be looser than the scalar loop's per-candidate bound, so every
+    abandonment stays sound).  Abandoned candidates count as true
+    distance computations, matching the scalar early-abandon path.
+    """
+    best = result.best_so_far
+    bound = best if early_abandon and np.isfinite(best) else None
+    distances = edr_many(
+        query,
+        [database.trajectories[index] for index in candidate_indices],
+        database.epsilon,
+        bounds=bound,
+    )
+    stats.true_distance_computations += len(candidate_indices)
+    for candidate_index, distance in zip(candidate_indices, distances):
+        distance = float(distance)
+        if np.isfinite(distance):
+            for query_pruner in query_pruners:
+                query_pruner.record(candidate_index, distance)
+        result.offer(candidate_index, distance)
+
+
+def _normalized_batch_size(refine_batch_size: Optional[int]) -> Optional[int]:
+    """``None`` disables batching; so does any size that cannot batch."""
+    if refine_batch_size is None or refine_batch_size <= 1:
+        return None
+    return int(refine_batch_size)
+
+
 def knn_scan(
     database: TrajectoryDatabase, query: Trajectory, k: int
 ) -> SearchResult:
@@ -666,6 +751,7 @@ def knn_search(
     k: int,
     pruners: Sequence[Pruner],
     early_abandon: bool = False,
+    refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
 ) -> SearchResult:
     """Sequential k-NN with a chain of pruners (Figure 6's skeleton).
 
@@ -676,12 +762,24 @@ def knn_search(
     credited in the stats).  With ``early_abandon=True`` the EDR dynamic
     program itself stops as soon as the k-th distance is unreachable;
     abandoned candidates still count as true-distance computations.
+
+    ``refine_batch_size`` controls the refinement phase: surviving
+    candidates accumulate into length-bucketed batches of this size and
+    are verified together through the batched EDR kernel
+    (:func:`~repro.core.edr_batch.edr_many`) — the answers are exactly
+    the scalar loop's, but the per-candidate Python overhead is paid
+    once per batch.  The k-th-best bound a batch sees is the one in
+    force at flush time, so pruning decisions can only be more
+    conservative than the scalar loop's (never unsound).  ``None`` (or
+    any size below 2) restores the scalar per-candidate path.
     """
     start = time.perf_counter()
     result = _ResultList(k)
     stats = SearchStats(database_size=len(database))
     query_pruners = [pruner.for_query(query) for pruner in pruners]
     quick_arrays: Optional[List[Optional[np.ndarray]]] = None
+    batch_size = _normalized_batch_size(refine_batch_size)
+    pending = _PendingBatches(batch_size) if batch_size is not None else None
 
     for candidate_index in range(len(database)):
         best = result.best_so_far
@@ -698,12 +796,39 @@ def knn_search(
                     break
         if pruned:
             continue
-        bound = best if early_abandon and np.isfinite(best) else None
-        distance = _true_distance(database, query, candidate_index, stats, bound)
-        if np.isfinite(distance):
-            for query_pruner in query_pruners:
-                query_pruner.record(candidate_index, distance)
-        result.offer(candidate_index, distance)
+        if pending is None:
+            bound = best if early_abandon and np.isfinite(best) else None
+            distance = _true_distance(database, query, candidate_index, stats, bound)
+            if np.isfinite(distance):
+                for query_pruner in query_pruners:
+                    query_pruner.record(candidate_index, distance)
+            result.offer(candidate_index, distance)
+            continue
+        full_bucket = pending.add(
+            candidate_index, int(database.lengths[candidate_index])
+        )
+        if full_bucket is not None:
+            _refine_batch(
+                database, query, full_bucket, result, stats,
+                query_pruners, early_abandon,
+            )
+        elif not np.isfinite(result.best_so_far) and pending.total >= max(
+            k - len(result), 1
+        ):
+            # Seed the k-th-best bound as promptly as the scalar loop:
+            # once enough candidates are pending to fill the result,
+            # flush them so pruning can start firing.
+            for bucket in pending.drain():
+                _refine_batch(
+                    database, query, bucket, result, stats,
+                    query_pruners, early_abandon,
+                )
+    if pending is not None:
+        for bucket in pending.drain():
+            _refine_batch(
+                database, query, bucket, result, stats,
+                query_pruners, early_abandon,
+            )
     stats.elapsed_seconds = time.perf_counter() - start
     return result.neighbors(), stats
 
@@ -809,6 +934,7 @@ def knn_sorted_search(
     primary: Pruner,
     secondary: Sequence[Pruner] = (),
     early_abandon: bool = False,
+    refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
 ) -> SearchResult:
     """Combined search with sorted access on the primary pruner.
 
@@ -818,18 +944,27 @@ def knn_sorted_search(
     first bound that cannot beat the k-th distance; the remaining
     pruners filter the candidates that are actually visited.  This is
     that engine with any pruner in the primary role.
+
+    ``refine_batch_size`` batches the refinement phase exactly as in
+    :func:`knn_search`: visited survivors are verified through the
+    batched EDR kernel in length-bucketed groups, with the sorted break
+    and all pruning checks unchanged.  ``None`` restores the scalar
+    per-candidate verification.
     """
     start = time.perf_counter()
     result = _ResultList(k)
     stats = SearchStats(database_size=len(database))
     primary_query = primary.for_query(query)
     secondary_queries = [pruner.for_query(query) for pruner in secondary]
+    all_queries = [primary_query, *secondary_queries]
     # Order by the primary's *quick* bound: sound, so the sorted break
     # stays exact, but cheap enough to evaluate for the whole database —
     # one bulk kernel call instead of N Python calls.
     bounds = np.asarray(primary_query.bulk_quick_lower_bounds(), dtype=np.float64)
     secondary_arrays: Optional[List[Optional[np.ndarray]]] = None
     order = np.argsort(bounds, kind="stable")
+    batch_size = _normalized_batch_size(refine_batch_size)
+    pending = _PendingBatches(batch_size) if batch_size is not None else None
     for rank, candidate_index in enumerate(map(int, order)):
         best = result.best_so_far
         if np.isfinite(best) and bounds[candidate_index] > best:
@@ -872,12 +1007,35 @@ def knn_sorted_search(
                         break
         if pruned:
             continue
-        bound = best if early_abandon and np.isfinite(best) else None
-        distance = _true_distance(database, query, candidate_index, stats, bound)
-        if np.isfinite(distance):
-            primary_query.record(candidate_index, distance)
-            for query_pruner in secondary_queries:
-                query_pruner.record(candidate_index, distance)
-        result.offer(candidate_index, distance)
+        if pending is None:
+            bound = best if early_abandon and np.isfinite(best) else None
+            distance = _true_distance(database, query, candidate_index, stats, bound)
+            if np.isfinite(distance):
+                for query_pruner in all_queries:
+                    query_pruner.record(candidate_index, distance)
+            result.offer(candidate_index, distance)
+            continue
+        full_bucket = pending.add(
+            candidate_index, int(database.lengths[candidate_index])
+        )
+        if full_bucket is not None:
+            _refine_batch(
+                database, query, full_bucket, result, stats,
+                all_queries, early_abandon,
+            )
+        elif not np.isfinite(result.best_so_far) and pending.total >= max(
+            k - len(result), 1
+        ):
+            for bucket in pending.drain():
+                _refine_batch(
+                    database, query, bucket, result, stats,
+                    all_queries, early_abandon,
+                )
+    if pending is not None:
+        for bucket in pending.drain():
+            _refine_batch(
+                database, query, bucket, result, stats,
+                all_queries, early_abandon,
+            )
     stats.elapsed_seconds = time.perf_counter() - start
     return result.neighbors(), stats

@@ -183,13 +183,17 @@ class TestMatrix:
         assert matrix[0, 0] == edr(shared, other, 0.5)
         assert matrix[0, 0] == matrix[1, 1]
 
-    def test_symmetric_progress_reports_each_pair_once(self):
+    def test_symmetric_progress_reports_per_row_chunks(self):
+        """Progress fires once per matrix row (the batched-kernel chunk),
+        not per pair, so the callback stays off the hot path; the
+        cumulative count still ends exactly at the pair total."""
         rng = np.random.default_rng(15)
         trajectories = [random_trajectory(rng, 4) for _ in range(5)]
         reports = []
         edr_matrix(trajectories, 0.5, progress=lambda done, total: reports.append((done, total)))
         expected_total = 5 * 4 // 2
-        assert reports == [(i, expected_total) for i in range(1, expected_total + 1)]
+        # Row i covers the 4 - i pairs (i, j > i): chunks of 4, 3, 2, 1.
+        assert reports == [(4, expected_total), (7, expected_total), (9, expected_total), (10, expected_total)]
 
     def test_rectangular_progress_covers_every_entry(self):
         rng = np.random.default_rng(16)
@@ -197,4 +201,32 @@ class TestMatrix:
         columns = [random_trajectory(rng, 4) for _ in range(3)]
         reports = []
         edr_matrix(rows, 0.5, others=columns, progress=lambda done, total: reports.append((done, total)))
-        assert reports == [(i, 6) for i in range(1, 7)]
+        assert reports == [(3, 6), (6, 6)]
+
+    def test_parallel_matrix_matches_serial(self):
+        rng = np.random.default_rng(17)
+        trajectories = [random_trajectory(rng, rng.integers(3, 9)) for _ in range(7)]
+        serial = edr_matrix(trajectories, 0.5)
+        parallel = edr_matrix(trajectories, 0.5, workers=3)
+        assert np.array_equal(serial, parallel)
+        others = [random_trajectory(rng, rng.integers(3, 9)) for _ in range(4)]
+        serial_rect = edr_matrix(trajectories, 0.5, others=others)
+        parallel_rect = edr_matrix(trajectories, 0.5, others=others, workers=3)
+        assert np.array_equal(serial_rect, parallel_rect)
+
+    def test_parallel_matrix_progress_is_monotone_and_complete(self):
+        rng = np.random.default_rng(18)
+        trajectories = [random_trajectory(rng, 5) for _ in range(6)]
+        reports = []
+        edr_matrix(
+            trajectories,
+            0.5,
+            workers=2,
+            progress=lambda done, total: reports.append((done, total)),
+        )
+        total = 6 * 5 // 2
+        assert len(reports) == 5  # one chunk per row
+        assert all(total == reported_total for _, reported_total in reports)
+        cumulative = [done for done, _ in reports]
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == total

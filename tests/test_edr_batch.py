@@ -1,0 +1,379 @@
+"""Property tests for the batched EDR kernel (``edr_many``).
+
+The batched kernel's contract is *bit-exactness* against the scalar
+kernel: every finite entry equals ``edr(query, candidate)`` under
+``np.array_equal`` (same float64 operations, only stacked), and every
+:data:`~repro.core.edr.EARLY_ABANDONED` entry is backed by a true
+distance that provably exceeds the candidate's bound.  These tests fuzz
+that contract over mixed lengths, arities, epsilons, bands, and bound
+vectors, then check the engines built on top return scan-identical
+answers at several batch sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HistogramPruner,
+    NearTrianglePruning,
+    QgramMergeJoinPruner,
+    Trajectory,
+    TrajectoryDatabase,
+    edr,
+    edr_many,
+    edr_many_bucketed,
+    knn_scan,
+    knn_search,
+    knn_sorted_search,
+    range_scan,
+    range_search,
+)
+from repro.core.edr import EARLY_ABANDONED, edr_reference
+from repro.core.edr_batch import iter_length_buckets
+from repro.core.neartriangle import build_reference_columns
+from repro.eval import same_answers
+
+
+def random_trajectory(rng, length, ndim=2):
+    return rng.normal(size=(length, ndim))
+
+
+def random_candidates(rng, count, max_length, ndim=2, allow_empty=True):
+    low = 0 if allow_empty else 1
+    return [
+        random_trajectory(rng, int(rng.integers(low, max_length + 1)), ndim)
+        for _ in range(count)
+    ]
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    @pytest.mark.parametrize("epsilon", [0.0, 0.5, 10.0])
+    def test_matches_scalar_kernel(self, ndim, epsilon):
+        rng = np.random.default_rng(100 + ndim)
+        for trial in range(10):
+            query = random_trajectory(rng, int(rng.integers(0, 15)), ndim)
+            candidates = random_candidates(rng, 12, 17, ndim)
+            batched = edr_many(query, candidates, epsilon)
+            scalar = np.array(
+                [edr(query, candidate, epsilon) for candidate in candidates]
+            )
+            assert np.array_equal(batched, scalar)
+
+    def test_matches_reference_dp(self):
+        """Transitively: edr == edr_reference is tested elsewhere, but
+        anchor the batched kernel to the O(mn)-table reference directly
+        on a small workload."""
+        rng = np.random.default_rng(7)
+        query = random_trajectory(rng, 9)
+        candidates = random_candidates(rng, 8, 11)
+        batched = edr_many(query, candidates, 0.5)
+        reference = np.array(
+            [edr_reference(query, candidate, 0.5) for candidate in candidates]
+        )
+        assert np.array_equal(batched, reference)
+
+    def test_integer_valued_results(self):
+        """EDR counts unit-cost edits, so every finite value is a whole
+        number even after thousands of float64 min/accumulate steps."""
+        rng = np.random.default_rng(8)
+        query = random_trajectory(rng, 30)
+        values = edr_many(query, random_candidates(rng, 20, 40), 0.25)
+        assert np.array_equal(values, np.round(values))
+
+    def test_accepts_trajectory_objects(self):
+        rng = np.random.default_rng(9)
+        query = Trajectory(random_trajectory(rng, 6))
+        candidates = [Trajectory(random_trajectory(rng, 5)) for _ in range(4)]
+        assert np.array_equal(
+            edr_many(query, candidates, 0.5),
+            np.array([edr(query, c, 0.5) for c in candidates]),
+        )
+
+
+class TestEdgeCases:
+    def test_empty_candidate_list(self):
+        assert edr_many(np.zeros((3, 2)), [], 0.5).shape == (0,)
+
+    def test_empty_query_costs_each_length(self):
+        rng = np.random.default_rng(10)
+        candidates = random_candidates(rng, 6, 9)
+        values = edr_many(np.empty((0, 2)), candidates, 0.5)
+        assert np.array_equal(values, [len(c) for c in candidates])
+
+    def test_empty_candidates_cost_query_length(self):
+        query = np.zeros((5, 2))
+        values = edr_many(query, [np.empty((0, 2)), np.zeros((1, 2))], 0.5)
+        assert values[0] == 5.0
+        assert values[1] == edr(query, np.zeros((1, 2)), 0.5)
+
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            edr_many(np.zeros((2, 2)), [np.zeros((2, 2))], -0.1)
+
+    def test_negative_band_raises(self):
+        with pytest.raises(ValueError):
+            edr_many(np.zeros((2, 2)), [np.zeros((2, 2))], 0.5, band=-1)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            edr_many(np.zeros((2, 2)), [np.zeros((2, 3))], 0.5)
+
+
+class TestBandEquivalence:
+    @pytest.mark.parametrize("band", [0, 1, 3, 50])
+    def test_band_matches_scalar_kernel(self, band):
+        rng = np.random.default_rng(200 + band)
+        for trial in range(6):
+            query = random_trajectory(rng, int(rng.integers(1, 14)))
+            candidates = random_candidates(rng, 10, 16)
+            batched = edr_many(query, candidates, 0.5, band=band)
+            scalar = np.array(
+                [edr(query, c, 0.5, band=band) for c in candidates]
+            )
+            assert np.array_equal(batched, scalar)
+
+
+class TestBounds:
+    def test_finite_entries_exact_and_abandoned_entries_sound(self):
+        """With per-candidate bounds: a finite result is bit-exact, an
+        abandoned result's true distance provably exceeds its bound."""
+        rng = np.random.default_rng(300)
+        for trial in range(8):
+            query = random_trajectory(rng, int(rng.integers(1, 14)))
+            candidates = random_candidates(rng, 14, 16)
+            bounds = rng.integers(0, 12, size=len(candidates)).astype(float)
+            values = edr_many(query, candidates, 0.5, bounds=bounds)
+            for candidate, bound, value in zip(candidates, bounds, values):
+                true_distance = edr(query, candidate, 0.5)
+                if np.isfinite(value):
+                    assert value == true_distance
+                else:
+                    assert value == EARLY_ABANDONED
+                    assert true_distance > bound
+
+    def test_scalar_bound_broadcasts(self):
+        rng = np.random.default_rng(301)
+        query = random_trajectory(rng, 10)
+        candidates = random_candidates(rng, 10, 14)
+        broadcast = edr_many(query, candidates, 0.5, bounds=4.0)
+        explicit = edr_many(
+            query, candidates, 0.5, bounds=np.full(len(candidates), 4.0)
+        )
+        assert np.array_equal(broadcast, explicit)
+
+    def test_generous_bound_abandons_nothing(self):
+        rng = np.random.default_rng(302)
+        query = random_trajectory(rng, 12)
+        candidates = random_candidates(rng, 10, 14)
+        values = edr_many(query, candidates, 0.5, bounds=1e9)
+        assert np.isfinite(values).all()
+        assert np.array_equal(
+            values, np.array([edr(query, c, 0.5) for c in candidates])
+        )
+
+    def test_zero_bound_keeps_exact_zero_distances(self):
+        """A bound equal to the true distance must not abandon: the
+        row-minimum test uses <=, matching the scalar kernel."""
+        rng = np.random.default_rng(303)
+        query = random_trajectory(rng, 8)
+        candidates = [query.copy(), random_trajectory(rng, 8)]
+        values = edr_many(query, candidates, 0.5, bounds=0.0)
+        assert values[0] == 0.0
+
+    def test_bounds_and_band_compose(self):
+        rng = np.random.default_rng(304)
+        for trial in range(6):
+            query = random_trajectory(rng, int(rng.integers(1, 12)))
+            candidates = random_candidates(rng, 10, 14)
+            bounds = rng.integers(0, 10, size=len(candidates)).astype(float)
+            values = edr_many(query, candidates, 0.5, bounds=bounds, band=2)
+            for candidate, bound, value in zip(candidates, bounds, values):
+                banded = edr(query, candidate, 0.5, band=2)
+                if np.isfinite(value):
+                    assert value == banded
+                else:
+                    assert banded > bound
+
+
+class TestBucketing:
+    def test_buckets_partition_positions_sorted_by_length(self):
+        rng = np.random.default_rng(400)
+        lengths = rng.integers(0, 50, size=37)
+        buckets = list(iter_length_buckets(lengths, batch_size=5))
+        flat = np.concatenate(buckets)
+        assert sorted(flat.tolist()) == list(range(37))
+        assert all(len(bucket) <= 5 for bucket in buckets)
+        bucketed_lengths = [int(lengths[p]) for b in buckets for p in b]
+        assert bucketed_lengths == sorted(bucketed_lengths)
+
+    def test_empty_lengths_yield_no_buckets(self):
+        assert list(iter_length_buckets([], batch_size=4)) == []
+
+    @pytest.mark.parametrize("batch_size", [1, 3, None])
+    def test_bucketed_matches_unbucketed(self, batch_size):
+        rng = np.random.default_rng(401)
+        query = random_trajectory(rng, 11)
+        candidates = random_candidates(rng, 15, 20)
+        assert np.array_equal(
+            edr_many_bucketed(query, candidates, 0.5, batch_size=batch_size),
+            edr_many(query, candidates, 0.5),
+        )
+
+    def test_bucketed_respects_per_candidate_bounds(self):
+        rng = np.random.default_rng(402)
+        query = random_trajectory(rng, 11)
+        candidates = random_candidates(rng, 15, 20)
+        bounds = rng.integers(0, 9, size=len(candidates)).astype(float)
+        bucketed = edr_many_bucketed(
+            query, candidates, 0.5, bounds=bounds, batch_size=4
+        )
+        whole = edr_many(query, candidates, 0.5, bounds=bounds)
+        assert np.array_equal(bucketed, whole)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(77)
+    trajectories = [
+        Trajectory(
+            np.cumsum(rng.normal(size=(int(rng.integers(8, 36)), 2)), axis=0)
+        ).normalized()
+        for _ in range(60)
+    ]
+    database = TrajectoryDatabase(trajectories, epsilon=0.25)
+    queries = [
+        Trajectory(np.cumsum(rng.normal(size=(18, 2)), axis=0)).normalized()
+        for _ in range(2)
+    ]
+    return database, queries
+
+
+class TestEnginesWithBatchedRefinement:
+    @pytest.mark.parametrize("refine_batch_size", [None, 1, 2, 7, 64])
+    def test_knn_search_matches_scan(self, workload, refine_batch_size):
+        database, queries = workload
+        pruners = [HistogramPruner(database), QgramMergeJoinPruner(database, q=1)]
+        for query in queries:
+            oracle, _ = knn_scan(database, query, 5)
+            answer, stats = knn_search(
+                database,
+                query,
+                5,
+                pruners,
+                refine_batch_size=refine_batch_size,
+            )
+            assert same_answers(oracle, answer)
+            pruned = sum(stats.pruned_by.values())
+            assert pruned + stats.true_distance_computations == len(database)
+
+    @pytest.mark.parametrize("refine_batch_size", [None, 3, 64])
+    def test_knn_search_early_abandon_matches_scan(
+        self, workload, refine_batch_size
+    ):
+        database, queries = workload
+        pruners = [HistogramPruner(database), NearTrianglePruning(database, 20)]
+        for query in queries:
+            oracle, _ = knn_scan(database, query, 4)
+            answer, _ = knn_search(
+                database,
+                query,
+                4,
+                pruners,
+                early_abandon=True,
+                refine_batch_size=refine_batch_size,
+            )
+            assert same_answers(oracle, answer)
+
+    @pytest.mark.parametrize("refine_batch_size", [None, 2, 16])
+    def test_sorted_search_matches_scan(self, workload, refine_batch_size):
+        database, queries = workload
+        primary = HistogramPruner(database)
+        secondary = [QgramMergeJoinPruner(database, q=1)]
+        for query in queries:
+            oracle, _ = knn_scan(database, query, 6)
+            answer, _ = knn_sorted_search(
+                database,
+                query,
+                6,
+                primary,
+                secondary,
+                refine_batch_size=refine_batch_size,
+            )
+            assert same_answers(oracle, answer)
+
+    @pytest.mark.parametrize("refine_batch_size", [None, 2, 16])
+    @pytest.mark.parametrize("early_abandon", [False, True])
+    def test_range_search_matches_scan(
+        self, workload, refine_batch_size, early_abandon
+    ):
+        database, queries = workload
+        pruners = [HistogramPruner(database)]
+        for query in queries:
+            oracle, _ = range_scan(database, query, 12.0)
+            answer, _ = range_search(
+                database,
+                query,
+                12.0,
+                pruners,
+                early_abandon=early_abandon,
+                refine_batch_size=refine_batch_size,
+            )
+            assert [n.index for n in answer] == [n.index for n in oracle]
+            assert [n.distance for n in answer] == [n.distance for n in oracle]
+
+
+class TestParallelReferenceColumns:
+    def test_workers_produce_identical_columns(self):
+        rng = np.random.default_rng(500)
+        trajectories = [
+            Trajectory(random_trajectory(rng, int(rng.integers(4, 12))))
+            for _ in range(12)
+        ]
+        serial = build_reference_columns(trajectories, 0.5, max_references=4)
+        parallel = build_reference_columns(
+            trajectories, 0.5, max_references=4, workers=2
+        )
+        assert sorted(serial) == sorted(parallel)
+        for reference_index in serial:
+            assert np.array_equal(
+                serial[reference_index], parallel[reference_index]
+            )
+
+    def test_workers_reuse_known_columns(self):
+        rng = np.random.default_rng(501)
+        trajectories = [
+            Trajectory(random_trajectory(rng, int(rng.integers(4, 12))))
+            for _ in range(10)
+        ]
+        first = build_reference_columns(trajectories, 0.5, reference_indices=[0, 1])
+        poisoned = {0: first[0].copy()}
+        poisoned[0][5] = 987654.0
+        columns = build_reference_columns(
+            trajectories,
+            0.5,
+            reference_indices=[0, 2, 3],
+            workers=2,
+            known_columns=poisoned,
+        )
+        # The known column is returned as-is...
+        assert columns[0][5] == 987654.0
+        # ...and reused symmetrically inside the new columns.
+        assert columns[3][0] == poisoned[0][3]
+        assert columns[2][0] == poisoned[0][2]
+
+    def test_database_reference_columns_with_workers(self):
+        rng = np.random.default_rng(502)
+        trajectories = [
+            Trajectory(random_trajectory(rng, int(rng.integers(4, 12))))
+            for _ in range(14)
+        ]
+        serial_db = TrajectoryDatabase(trajectories, 0.5)
+        parallel_db = TrajectoryDatabase(trajectories, 0.5)
+        serial = serial_db.reference_columns(5)
+        parallel = parallel_db.reference_columns(5, workers=2)
+        assert sorted(serial) == sorted(parallel)
+        for reference_index in serial:
+            assert np.array_equal(
+                serial[reference_index], parallel[reference_index]
+            )

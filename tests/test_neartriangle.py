@@ -63,19 +63,22 @@ class TestReferenceColumns:
 
     def test_symmetric_entries_are_never_recomputed(self, monkeypatch):
         """Reference-vs-reference distances are mirrored by symmetry: with
-        R references over N trajectories, exactly R*N - R*(R+1)/2 EDR
-        calls happen (diagonals are free, each cross pair counted once)."""
+        R references over N trajectories, exactly R*N - R*(R+1)/2 pair
+        distances go through the batched kernel (diagonals are free,
+        each cross pair counted once)."""
         import repro.core.neartriangle as neartriangle_module
 
         trajectories = random_trajectories(8, 6)
-        calls = []
-        real_edr = neartriangle_module.edr
+        pair_counts = []
+        real_kernel = neartriangle_module.edr_many_bucketed
 
-        def counting_edr(first, second, epsilon):
-            calls.append((id(first), id(second)))
-            return real_edr(first, second, epsilon)
+        def counting_kernel(query, candidates, epsilon, **kwargs):
+            pair_counts.append(len(candidates))
+            return real_kernel(query, candidates, epsilon, **kwargs)
 
-        monkeypatch.setattr(neartriangle_module, "edr", counting_edr)
+        monkeypatch.setattr(
+            neartriangle_module, "edr_many_bucketed", counting_kernel
+        )
         references = 3
         columns = build_reference_columns(
             trajectories, 0.5, max_references=references
@@ -83,7 +86,7 @@ class TestReferenceColumns:
         expected_calls = references * len(trajectories) - (
             references * (references + 1) // 2
         )
-        assert len(calls) == expected_calls
+        assert sum(pair_counts) == expected_calls
         # And the mirrored values are identical both ways.
         for a in range(references):
             for b in range(references):
