@@ -1,0 +1,23 @@
+"""Benchmark: the query service's micro-batching throughput.
+
+Thin wrapper around :mod:`repro.service.bench` (the ``bench-serve`` CLI
+command) so the service benchmark sits next to the other standalone
+benchmarks.  Starts one in-process server per mode on a synthetic
+random-walk database and replays the same closed-loop client workload
+with micro-batching off (``max_batch=1``) and on, reporting the
+throughput ratio.
+
+Run it directly (it is a script, not a pytest module)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+Results are printed as a table and written to ``BENCH_service.json``
+in the repository root plus ``benchmarks/results/service.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.service.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

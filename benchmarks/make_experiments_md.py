@@ -212,6 +212,21 @@ SECTIONS = [
         "`python benchmarks/bench_edr_refine.py` (also writes "
         "`BENCH_edr_refine.json`).",
     ),
+    (
+        "service",
+        "Engineering — query service micro-batching under load",
+        "Not a paper experiment: the resident HTTP query service "
+        "(`repro-trajectory serve`, docs/SERVICE.md) measured by a "
+        "closed-loop client population, micro-batching off "
+        "(`max_batch=1`) versus on, with served `/knn` answers "
+        "oracle-asserted equal to direct `knn_search`.  The `skewed` "
+        "workload (Zipf-weighted hot queries, the result cache disabled) "
+        "shows in-window duplicate coalescing; the `distinct` workload "
+        "isolates pure batch dispatch, which on a single-core host is "
+        "expected to be near 1x.  Generated by "
+        "`python benchmarks/bench_service.py` (also writes "
+        "`BENCH_service.json`).",
+    ),
 ]
 
 

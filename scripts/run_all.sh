@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Full verification run: test suite, complete benchmark suite, and the
-# assembled EXPERIMENTS.md.  Writes test_output.txt / bench_output.txt
-# at the repository root.
-set -u
+# Full verification run: test suite, complete benchmark suite, the query
+# service smoke test + load benchmark, and the assembled EXPERIMENTS.md.
+# Writes test_output.txt / bench_output.txt at the repository root.
+set -euo pipefail
 cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-python -m pytest tests/ 2>&1 | tee test_output.txt
+python -m pytest tests/ -x -q 2>&1 | tee test_output.txt
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+python scripts/service_smoke.py
+python benchmarks/bench_service.py --count 400 --clients 8 --requests 4 \
+    --pool 16 --max-batch 8 --epsilon 1.0
 python benchmarks/make_experiments_md.py
 echo "run_all: done" >> bench_output.txt

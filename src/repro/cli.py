@@ -31,13 +31,7 @@ from .core.database import TrajectoryDatabase
 from .core.edr_batch import DEFAULT_REFINE_BATCH_SIZE
 from .core.join import similarity_join
 from .core.rangequery import range_search
-from .core.search import (
-    HistogramPruner,
-    NearTrianglePruning,
-    Pruner,
-    QgramMergeJoinPruner,
-    knn_search,
-)
+from .core.search import Pruner, knn_search
 from .core.matching import suggest_epsilon
 from .core.trajectory import Trajectory
 from .data import (
@@ -51,9 +45,12 @@ from .data import (
     save_csv,
     save_npz,
 )
-from .distances.base import available_distances, get_distance
+from .distances.base import EPSILON_FUNCTIONS, available_distances, get_distance
 from .eval.classification import leave_one_out_error
 from .eval.clustering import clustering_score
+from .service import ServiceConfig, run_server
+from .service import bench as service_bench
+from .service.pruning import PRUNER_CHOICES, build_pruners
 
 __all__ = ["main", "build_parser"]
 
@@ -64,9 +61,6 @@ GENERATORS = {
     "nhl": lambda count, seed: make_nhl_like(count=count, seed=seed),
     "mixed": lambda count, seed: make_mixed_set(count=count, seed=seed),
 }
-
-EPSILON_FUNCTIONS = {"edr", "lcss", "lcss_distance"}
-
 
 def _load(path: str) -> List[Trajectory]:
     if path.endswith(".csv"):
@@ -99,28 +93,10 @@ def _build_pruners(
     database: TrajectoryDatabase,
     matrix_workers: Optional[int] = None,
 ) -> List[Pruner]:
-    pruners: List[Pruner] = []
-    for name in filter(None, (part.strip() for part in names.split(","))):
-        if name == "histogram":
-            pruners.append(HistogramPruner(database))
-        elif name == "histogram-1d":
-            pruners.append(HistogramPruner(database, per_axis=True))
-        elif name == "qgram":
-            pruners.append(QgramMergeJoinPruner(database, q=1))
-        elif name == "nti":
-            pruners.append(
-                NearTrianglePruning(
-                    database, max_triangle=50, matrix_workers=matrix_workers
-                )
-            )
-        elif name == "none":
-            continue
-        else:
-            raise SystemExit(
-                f"unknown pruner {name!r}; "
-                "choose from histogram, histogram-1d, qgram, nti, none"
-            )
-    return pruners
+    try:
+        return build_pruners(database, names, matrix_workers=matrix_workers)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 # ----------------------------------------------------------------------
@@ -338,6 +314,37 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    trajectories = _load(args.file)
+    epsilon = _epsilon(args.epsilon, trajectories)
+    database = TrajectoryDatabase(trajectories, epsilon)
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            pruners=args.pruners,
+            engine=args.engine,
+            k_default=args.k,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            cache_size=args.cache_size,
+            queue_limit=args.queue_limit,
+            request_timeout_s=args.request_timeout,
+            matrix_workers=args.matrix_workers,
+            refine_batch_size=args.refine_batch_size,
+        ).validated()
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    print(f"epsilon = {epsilon:.4f}; pruners = {config.pruners or 'none'}")
+    run_server(database, config)
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    results = service_bench.run(args)
+    return 0 if results else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -497,6 +504,39 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--functions", default="euclidean,dtw,erp,lcss_distance,edr")
     cluster.add_argument("--epsilon", type=float, default=None)
     cluster.set_defaults(handler=cmd_cluster)
+
+    serve = commands.add_parser(
+        "serve", help="run the HTTP query service over a trajectory file"
+    )
+    serve.add_argument("file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--epsilon", type=float, default=None)
+    serve.add_argument(
+        "--pruners",
+        default="histogram,qgram",
+        help=f"comma list: {', '.join(PRUNER_CHOICES)}",
+    )
+    serve.add_argument("--engine", choices=BATCH_ENGINES, default="search")
+    serve.add_argument("--k", type=int, default=10, help="default k for /knn")
+    serve.add_argument("--max-batch", type=int, default=16)
+    serve.add_argument("--max-delay-ms", type=float, default=5.0)
+    serve.add_argument("--cache-size", type=int, default=256)
+    serve.add_argument("--queue-limit", type=int, default=64)
+    serve.add_argument("--request-timeout", type=float, default=60.0)
+    serve.add_argument(
+        "--refine-batch-size", type=int, default=DEFAULT_REFINE_BATCH_SIZE
+    )
+    serve.add_argument("--matrix-workers", type=int, default=None)
+    serve.set_defaults(handler=cmd_serve)
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="closed-loop load benchmark of the query service "
+        "(writes BENCH_service.json)",
+    )
+    service_bench.add_arguments(bench_serve)
+    bench_serve.set_defaults(handler=cmd_bench_serve)
 
     return parser
 

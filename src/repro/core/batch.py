@@ -53,7 +53,7 @@ from .search import (
 )
 from .trajectory import Trajectory
 
-__all__ = ["knn_batch", "BatchResult", "BATCH_ENGINES"]
+__all__ = ["knn_batch", "warm_pruners", "BatchResult", "BATCH_ENGINES"]
 
 BATCH_ENGINES = ("scan", "search", "sorted")
 
@@ -115,13 +115,15 @@ def _run_engine(
     )
 
 
-def _warm_pruners(pruners: Sequence[Pruner], probe: Trajectory) -> None:
+def warm_pruners(pruners: Sequence[Pruner], probe: Trajectory) -> None:
     """Force every database-side artifact to exist before queries fan out.
 
     Pruner construction is lazy in places (reference columns, pooled
     Q-gram arrays build on first use); one throwaway ``for_query`` per
     pruner materializes them in the parent so concurrent workers never
-    race to build — or redundantly rebuild — the same cache.
+    race to build — or redundantly rebuild — the same cache.  Long-lived
+    callers (the query service, batch jobs) call this once at startup so
+    no request ever pays index-construction latency.
     """
     for pruner in pruners:
         pruner.for_query(probe)
@@ -212,7 +214,7 @@ def knn_batch(
 
     start = time.perf_counter()
     if queries and pruners:
-        _warm_pruners(pruners, queries[0])
+        warm_pruners(pruners, queries[0])
     warm_seconds = time.perf_counter() - start
 
     if chosen == "serial" or workers == 1 or len(queries) <= 1:

@@ -17,6 +17,7 @@ from ..core.trajectory import Trajectory
 
 __all__ = [
     "DistanceFunction",
+    "EPSILON_FUNCTIONS",
     "register_distance",
     "get_distance",
     "available_distances",
@@ -24,6 +25,11 @@ __all__ = [
 ]
 
 DistanceFunction = Callable[..., float]
+
+# Registered distances whose second positional parameter is the matching
+# threshold ε (Definition 1 and the LCSS pair); callers resolving a
+# distance by name consult this to know whether to thread ε through.
+EPSILON_FUNCTIONS = frozenset({"edr", "lcss", "lcss_distance"})
 
 _REGISTRY: Dict[str, DistanceFunction] = {}
 

@@ -1,0 +1,189 @@
+"""Micro-batching of concurrent k-NN requests.
+
+The point of serving from one resident database is amortization; the
+micro-batcher adds the per-request half of it.  Concurrent requests with
+the same search parameters (one *group* per parameter signature) are
+collected for a short window — until ``max_batch`` distinct queries are
+pending or ``max_delay`` has elapsed since the group opened — and then
+dispatched as a single :func:`repro.knn_batch` call on the dispatch
+executor, so the vectorized bulk-bound and batched-EDR kernels run once
+per batch instead of once per request.
+
+Two things fall out of the window for free:
+
+* **Duplicate coalescing** — requests whose query digest matches one
+  already pending in the window attach to the same future and are
+  answered by the same single computation.  Under skewed (hot-query)
+  traffic this is the dominant saving; the LRU cache catches repeats
+  *across* windows, the batcher catches them *within* one.
+* **Backpressure shaping** — while a batch computes, the next window
+  fills; a closed-loop client population therefore self-organizes into
+  full batches without any explicit coordination.
+
+``max_batch=1`` disables both: every request dispatches alone the
+moment it arrives.  That configuration is the baseline the
+``bench-serve`` harness measures against.
+
+The batcher is event-loop-confined: every method except the executor-run
+batch body must be called from the loop thread.  Waiters are handed
+``asyncio.shield``-ed futures, so a per-request timeout cancels only the
+waiter, never the shared computation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = ["MicroBatcher"]
+
+BatchRunner = Callable[[List[object]], Sequence[object]]
+
+
+class _Group:
+    """One open batching window: the pending distinct queries of a key."""
+
+    __slots__ = ("runner", "order", "futures", "submitted", "timer")
+
+    def __init__(self, runner: BatchRunner) -> None:
+        self.runner = runner
+        self.order: List[Tuple[Hashable, object]] = []  # (digest, payload)
+        self.futures: Dict[Hashable, asyncio.Future] = {}
+        self.submitted = 0
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class MicroBatcher:
+    def __init__(
+        self,
+        *,
+        max_batch: int,
+        max_delay: float,
+        executor: Executor,
+        on_batch: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay < 0.0:
+            raise ValueError("max_delay must be non-negative")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._executor = executor
+        self._on_batch = on_batch
+        self._groups: Dict[Hashable, _Group] = {}
+        self._outstanding: "set[asyncio.Future]" = set()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        key: Hashable,
+        digest: Hashable,
+        payload: object,
+        runner: BatchRunner,
+    ) -> Tuple[object, dict]:
+        """Enqueue one request; resolves to ``(result, batch_meta)``.
+
+        ``key`` groups requests that may legally share one batch (same
+        k, pruners, engine...); ``digest`` identifies the query content
+        within the group — equal digests coalesce onto one computation.
+        ``runner`` receives the list of distinct payloads (in arrival
+        order) on the dispatch executor and must return one result per
+        payload; all submissions for a key must pass an equivalent
+        runner.
+        """
+        loop = asyncio.get_running_loop()
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _Group(runner)
+            if self.max_batch > 1:
+                group.timer = loop.call_later(
+                    self.max_delay, self._flush, key
+                )
+        group.submitted += 1
+        future = group.futures.get(digest)
+        if future is None:
+            future = loop.create_future()
+            group.futures[digest] = future
+            group.order.append((digest, payload))
+            if len(group.order) >= self.max_batch:
+                self._flush(key)
+        return await asyncio.shield(future)
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    def _flush(self, key: Hashable) -> None:
+        group = self._groups.pop(key, None)
+        if group is None:
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+        payloads = [payload for _, payload in group.order]
+        meta = {
+            "batch_size": len(payloads),
+            "submitted": group.submitted,
+            "coalesced": group.submitted - len(payloads),
+        }
+        if self._on_batch is not None:
+            self._on_batch(group.submitted, len(payloads))
+        loop = asyncio.get_running_loop()
+        work = loop.run_in_executor(self._executor, group.runner, payloads)
+        self._outstanding.add(work)
+        work.add_done_callback(
+            lambda done, group=group, meta=meta: self._deliver(group, meta, done)
+        )
+
+    def _deliver(
+        self, group: _Group, meta: dict, work: asyncio.Future
+    ) -> None:
+        self._outstanding.discard(work)
+        try:
+            results = work.result()
+            if len(results) != len(group.order):
+                raise RuntimeError(
+                    f"batch runner returned {len(results)} results "
+                    f"for {len(group.order)} queries"
+                )
+        except BaseException as error:  # delivered, not swallowed
+            for _, future in group.futures.items():
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (digest, _), result in zip(group.order, results):
+            future = group.futures[digest]
+            if not future.done():
+                future.set_result((result, meta))
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Distinct queries waiting in open windows (not yet dispatched)."""
+        return sum(len(group.order) for group in self._groups.values())
+
+    @property
+    def outstanding(self) -> int:
+        """Dispatched batches still computing."""
+        return len(self._outstanding)
+
+    def flush_pending(self) -> None:
+        """Dispatch every open window now (used by graceful drain)."""
+        for key in list(self._groups):
+            self._flush(key)
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Flush open windows and wait for dispatched batches to finish.
+
+        Returns True when everything completed within ``timeout``.
+        """
+        self.flush_pending()
+        if not self._outstanding:
+            return True
+        done, pending = await asyncio.wait(
+            list(self._outstanding), timeout=timeout
+        )
+        return not pending

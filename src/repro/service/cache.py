@@ -1,0 +1,106 @@
+"""LRU result cache for served query responses.
+
+Keys are full request signatures — the query's content digest plus every
+parameter that can change the answer (k or radius, ε is fixed per
+database, the canonical pruner spec, engine, refinement knobs) — so a
+hit is guaranteed to be the byte-identical response the computation
+would produce.  Values are the response payload dicts; the cache stores
+them as-is and callers must not mutate what they get back (the service
+layer copies before annotating).
+
+Thread-safety: the event loop reads, the dispatch worker writes — every
+operation takes one small lock.  ``capacity=0`` disables the cache
+entirely (every ``get`` is a bypass, not a miss, so hit-rate accounting
+stays meaningful).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+import numpy as np
+
+__all__ = ["ResultCache", "query_digest"]
+
+
+def query_digest(points: np.ndarray) -> str:
+    """A content digest of a query trajectory's point array.
+
+    Two queries get the same digest exactly when their float64 point
+    arrays are byte-identical (shape included) — the same condition
+    under which every engine in this library returns the same answer.
+    """
+    array = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    digest = hashlib.sha1()
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """A bounded LRU mapping of request signatures to response payloads."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: Hashable) -> Optional[dict]:
+        """The cached payload for ``key``, refreshed to most-recent, or None."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: dict) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        looked_up = self.hits + self.misses
+        return self.hits / looked_up if looked_up else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 6),
+            }

@@ -1,0 +1,176 @@
+"""Thin synchronous client for the trajectory query service.
+
+``http.client`` over one keep-alive connection — the closed-loop load
+generator runs one :class:`ServiceClient` per worker thread, so the
+connection is reused across a client's whole request stream.  The class
+is not thread-safe; give each thread its own instance.
+
+Non-2xx responses raise :class:`ServiceError` carrying the HTTP status,
+the decoded error payload, and — for 503 admission refusals — the
+server's ``Retry-After`` hint in seconds.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.trajectory import Trajectory
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+QueryLike = Union[int, Trajectory, np.ndarray, list]
+
+
+class ServiceError(Exception):
+    """A non-2xx service response."""
+
+    def __init__(
+        self,
+        status: int,
+        payload: dict,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        message = payload.get("error", f"HTTP {status}")
+        super().__init__(f"{status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.retry_after = retry_after
+
+
+def _query_value(query: QueryLike) -> object:
+    """JSON form of a query: a database index or a list of points."""
+    if isinstance(query, bool):
+        raise TypeError("query must be an index, Trajectory, or point array")
+    if isinstance(query, (int, np.integer)):
+        return int(query)
+    if isinstance(query, Trajectory):
+        return query.points.tolist()
+    return np.asarray(query, dtype=np.float64).tolist()
+
+
+class ServiceClient:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.RemoteDisconnected,
+                http.client.CannotSendRequest,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                # A dropped keep-alive connection gets one clean retry.
+                self.close()
+                if attempt:
+                    raise
+            except socket.timeout:
+                self.close()
+                raise
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if not 200 <= response.status < 300:
+            retry_after: Optional[float] = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            raise ServiceError(response.status, decoded, retry_after)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def knn(
+        self,
+        query: QueryLike,
+        k: Optional[int] = None,
+        pruners: Optional[str] = None,
+    ) -> dict:
+        payload: dict = {"query": _query_value(query)}
+        if k is not None:
+            payload["k"] = k
+        if pruners is not None:
+            payload["pruners"] = pruners
+        return self._request("POST", "/knn", payload)
+
+    def range_query(
+        self,
+        query: QueryLike,
+        radius: float,
+        pruners: Optional[str] = None,
+    ) -> dict:
+        payload: dict = {"query": _query_value(query), "radius": radius}
+        if pruners is not None:
+            payload["pruners"] = pruners
+        return self._request("POST", "/range", payload)
+
+    def distance(
+        self,
+        first: QueryLike,
+        second: QueryLike,
+        function: str = "edr",
+        epsilon: Optional[float] = None,
+    ) -> dict:
+        payload: dict = {
+            "first": _query_value(first),
+            "second": _query_value(second),
+            "function": function,
+        }
+        if epsilon is not None:
+            payload["epsilon"] = epsilon
+        return self._request("POST", "/distance", payload)

@@ -1,0 +1,116 @@
+"""Configuration for the trajectory query service.
+
+One dataclass holds every serving knob so the CLI, the benchmark
+harness, and the tests construct servers the same way.  ``validated()``
+is called once at server construction; ``public()`` is what ``/stats``
+echoes back (no derived state, just the knobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from ..core.batch import BATCH_ENGINES
+from ..core.edr_batch import DEFAULT_REFINE_BATCH_SIZE
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Every knob of the query service, with serving-sane defaults.
+
+    Search parameters
+    -----------------
+    ``pruners`` is the default pruner chain (same comma syntax as the
+    CLI; per-request override allowed); ``engine`` is the
+    :func:`repro.knn_batch` engine used for k-NN dispatch — the default
+    ``"search"`` makes served answers literally those of
+    :func:`repro.knn_search`.
+
+    Micro-batching
+    --------------
+    Concurrent k-NN requests are collected until ``max_batch`` distinct
+    queries are pending or ``max_delay_ms`` has passed since the first,
+    then dispatched as one :func:`repro.knn_batch` call.  ``max_batch=1``
+    disables batching (and with it duplicate coalescing): every request
+    dispatches alone, which is the baseline ``bench-serve`` measures
+    against.
+
+    Admission control
+    -----------------
+    At most ``queue_limit`` requests may be queued or executing; beyond
+    that the server answers 503 with a ``Retry-After: retry_after_s``
+    header instead of building an unbounded backlog.  Each admitted
+    request is also bounded by ``request_timeout_s`` (a 504 on expiry —
+    the underlying computation is not interrupted, only the waiter).
+    On SIGTERM the server stops accepting, flushes pending batches, and
+    waits up to ``drain_timeout_s`` for in-flight work.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+
+    # Search parameters
+    pruners: str = "histogram,qgram"
+    engine: str = "search"
+    k_default: int = 10
+    early_abandon: bool = False
+    refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE
+    matrix_workers: Optional[int] = None
+
+    # Micro-batching
+    max_batch: int = 16
+    max_delay_ms: float = 5.0
+    batch_executor: str = "auto"
+    batch_workers: Optional[int] = None
+
+    # Result cache
+    cache_size: int = 256
+
+    # Admission control
+    queue_limit: int = 64
+    request_timeout_s: float = 60.0
+    retry_after_s: float = 1.0
+    drain_timeout_s: float = 10.0
+
+    # Transport
+    max_body_bytes: int = 32 * 1024 * 1024
+    latency_window: int = 2048
+
+    def validated(self) -> "ServiceConfig":
+        """Return self after range-checking every knob (raises ValueError)."""
+        if self.engine not in BATCH_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {', '.join(BATCH_ENGINES)}"
+            )
+        if self.k_default < 1:
+            raise ValueError("k_default must be at least 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_delay_ms < 0.0:
+            raise ValueError("max_delay_ms must be non-negative")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if self.request_timeout_s <= 0.0:
+            raise ValueError("request_timeout_s must be positive")
+        if self.retry_after_s < 0.0:
+            raise ValueError("retry_after_s must be non-negative")
+        if self.drain_timeout_s < 0.0:
+            raise ValueError("drain_timeout_s must be non-negative")
+        if self.max_body_bytes < 1024:
+            raise ValueError("max_body_bytes must be at least 1 KiB")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be at least 1")
+        return self
+
+    @property
+    def max_delay_seconds(self) -> float:
+        return self.max_delay_ms / 1000.0
+
+    def public(self) -> dict:
+        """The configuration as echoed on ``/stats``."""
+        return asdict(self)

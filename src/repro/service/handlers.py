@@ -1,0 +1,530 @@
+"""Request handling for the trajectory query service.
+
+:class:`TrajectoryService` is the transport-independent core of the
+server: it owns the resident database, the warmed pruner chains, the
+micro-batcher, the result cache, the metrics registry, and the single
+dispatch executor.  The HTTP layer (:mod:`repro.service.server`) parses
+requests off the wire and hands ``(method, path, body)`` to
+:meth:`TrajectoryService.handle`, which returns
+``(status, payload, extra_headers)``.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness: status, uptime, database size, drain state.
+``GET /stats``
+    Metrics snapshot: request/latency/batcher/cache counters plus the
+    aggregated :class:`repro.SearchStats` pruning counters, and the
+    serving configuration.
+``POST /knn``
+    ``{"query": [[x, y], ...] | index, "k": 10, "pruners": "..."}`` —
+    exact k-NN under EDR, answered through the micro-batched
+    :func:`repro.knn_batch` path.  Responses are exactly (ids,
+    distances, tie order) what :func:`repro.knn_search` returns for the
+    same parameters.
+``POST /range``
+    ``{"query": ..., "radius": r, "pruners": "..."}`` — exact range
+    query via :func:`repro.range_search`.
+``POST /distance``
+    ``{"first": ..., "second": ..., "function": "edr"}`` — one direct
+    distance computation between two trajectories (database indices or
+    inline point lists).
+
+Concurrency model
+-----------------
+The event loop validates, consults the cache, and applies admission
+control; all numeric work runs on one dispatch worker thread, so batches
+execute in arrival order and the GIL-released numpy kernels inside a
+batch are the unit of compute.  Admission control bounds the number of
+admitted-but-unfinished requests at ``queue_limit``; excess requests get
+an immediate 503 with a ``Retry-After`` header.  Each admitted request
+waits at most ``request_timeout_s`` (504 on expiry; the shared batch
+computation itself is never interrupted — a coalesced neighbour may
+still be served by it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.batch import knn_batch, warm_pruners
+from ..core.database import TrajectoryDatabase
+from ..core.rangequery import range_search
+from ..core.search import Neighbor, Pruner, SearchStats
+from ..core.trajectory import Trajectory
+from ..distances.base import EPSILON_FUNCTIONS, available_distances, get_distance
+from .batcher import MicroBatcher
+from .cache import ResultCache, query_digest
+from .config import ServiceConfig
+from .metrics import MetricsRegistry
+from .pruning import build_pruners, canonical_pruner_spec
+
+__all__ = ["TrajectoryService", "RequestError"]
+
+JSON_HEADERS = {"Content-Type": "application/json"}
+
+
+class RequestError(Exception):
+    """A client-visible error: HTTP status, message, optional headers."""
+
+    def __init__(
+        self, status: int, message: str, headers: Optional[dict] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+class TrajectoryService:
+    """The resident query service around one warmed database."""
+
+    def __init__(self, database: TrajectoryDatabase, config: ServiceConfig) -> None:
+        self.database = database
+        self.config = config.validated()
+        self.metrics = MetricsRegistry(config.latency_window)
+        self.cache = ResultCache(config.cache_size)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-dispatch"
+        )
+        self.batcher = MicroBatcher(
+            max_batch=config.max_batch,
+            max_delay=config.max_delay_seconds,
+            executor=self._executor,
+            on_batch=self.metrics.record_batch,
+        )
+        self._pruner_chains: Dict[str, List[Pruner]] = {}
+        self._inflight = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Warm-up and lifecycle
+    # ------------------------------------------------------------------
+    def warm(self) -> Dict[str, float]:
+        """Build every index the default configuration will use, up front.
+
+        Returns the per-artifact build-seconds report of
+        :meth:`repro.TrajectoryDatabase.warm` so callers (the ``serve``
+        command logs it) can see what startup paid for.
+        """
+        start = time.perf_counter()
+        spec = canonical_pruner_spec(self.config.pruners)
+        report = self.database.warm(
+            q=1 if "qgram" in spec else None,
+            histogram_bins=1.0 if "histogram" in spec else None,
+            per_axis="histogram-1d" in spec,
+            references=50 if "nti" in spec else 0,
+            workers=self.config.matrix_workers,
+        )
+        self._pruner_chain(spec)
+        report["pruner_chain"] = time.perf_counter() - start - sum(report.values())
+        return report
+
+    def _pruner_chain(self, spec: str) -> List[Pruner]:
+        """The built, warmed pruner chain for a canonical spec (cached).
+
+        Called from the dispatch worker (and once from ``warm``); the
+        single-worker executor serializes dispatch, so construction
+        cannot race with itself.
+        """
+        chain = self._pruner_chains.get(spec)
+        if chain is None:
+            chain = build_pruners(
+                self.database, spec, matrix_workers=self.config.matrix_workers
+            )
+            warm_pruners(chain, self.database.trajectories[0])
+            self._pruner_chains[spec] = chain
+        return chain
+
+    def begin_drain(self) -> None:
+        """Stop admitting compute requests (healthz/stats keep answering)."""
+        self._draining = True
+
+    async def drain(self) -> bool:
+        """Flush pending batches and wait out in-flight work (bounded)."""
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        completed = await self.batcher.drain(timeout=self.config.drain_timeout_s)
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        return completed and self._inflight == 0
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # HTTP-facing entry point
+    # ------------------------------------------------------------------
+    async def handle(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, dict, dict]:
+        route = path.split("?", 1)[0]
+        start = time.perf_counter()
+        self.metrics.record_request(route)
+        try:
+            status, payload, headers = await self._dispatch(method, route, body)
+        except RequestError as error:
+            status, payload, headers = (
+                error.status,
+                {"error": error.message},
+                error.headers,
+            )
+        except asyncio.TimeoutError:
+            status, payload, headers = (
+                504,
+                {"error": "request timed out"},
+                {},
+            )
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            status, payload, headers = (
+                500,
+                {"error": f"internal error: {type(error).__name__}: {error}"},
+                {},
+            )
+        self.metrics.record_response(route, status, time.perf_counter() - start)
+        return status, payload, headers
+
+    async def _dispatch(
+        self, method: str, route: str, body: bytes
+    ) -> Tuple[int, dict, dict]:
+        if route == "/healthz":
+            self._require_method(method, "GET")
+            return 200, self._healthz(), {}
+        if route == "/stats":
+            self._require_method(method, "GET")
+            return 200, self._stats(), {}
+        if route == "/knn":
+            self._require_method(method, "POST")
+            return await self._handle_knn(self._json_body(body))
+        if route == "/range":
+            self._require_method(method, "POST")
+            return await self._handle_range(self._json_body(body))
+        if route == "/distance":
+            self._require_method(method, "POST")
+            return await self._handle_distance(self._json_body(body))
+        raise RequestError(404, f"unknown path {route!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": round(self.metrics.uptime_seconds, 3),
+            "database_size": len(self.database),
+            "epsilon": self.database.epsilon,
+        }
+
+    def _stats(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.snapshot()
+        snapshot["admission"] = {
+            "queue_limit": self.config.queue_limit,
+            "inflight": self._inflight,
+            "pending_batched": self.batcher.pending,
+            "outstanding_batches": self.batcher.outstanding,
+            "draining": self._draining,
+        }
+        snapshot["database"] = {
+            "size": len(self.database),
+            "epsilon": self.database.epsilon,
+            "ndim": self.database.ndim,
+            "max_length": self.database.max_length,
+        }
+        snapshot["config"] = self.config.public()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Query endpoints
+    # ------------------------------------------------------------------
+    async def _handle_knn(self, request: dict) -> Tuple[int, dict, dict]:
+        query = self._trajectory(request, "query")
+        k = self._positive_int(request.get("k", self.config.k_default), "k")
+        spec = self._spec(request)
+        refine = self.config.refine_batch_size
+        cache_key = (
+            "knn",
+            query_digest(query.points),
+            k,
+            spec,
+            self.config.engine,
+            self.config.early_abandon,
+            refine,
+        )
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            return 200, {**cached, "meta": {"cached": True}}, {}
+        self._admit()
+        try:
+            result, meta = await asyncio.wait_for(
+                self.batcher.submit(
+                    key=cache_key[2:],  # every answer-shaping parameter
+                    digest=cache_key,
+                    payload=query,
+                    runner=partial(self._run_knn_batch, spec, k),
+                ),
+                timeout=self.config.request_timeout_s,
+            )
+        finally:
+            self._release()
+        self.cache.put(cache_key, result)
+        payload = {
+            **result,
+            "meta": {
+                "cached": False,
+                "engine": self.config.engine,
+                "batch_size": meta["batch_size"],
+                "coalesced": meta["coalesced"],
+            },
+        }
+        return 200, payload, {}
+
+    def _run_knn_batch(
+        self, spec: str, k: int, queries: Sequence[Trajectory]
+    ) -> List[dict]:
+        """Dispatch-thread body: one ``knn_batch`` call for the window."""
+        pruners = self._pruner_chain(spec)
+        batch = knn_batch(
+            self.database,
+            queries,
+            k,
+            pruners,
+            engine=self.config.engine,
+            workers=self.config.batch_workers,
+            executor=self.config.batch_executor,
+            early_abandon=self.config.early_abandon,
+            refine_batch_size=self.config.refine_batch_size,
+        )
+        self.metrics.record_search_stats(
+            batch.stats, seconds=batch.elapsed_seconds
+        )
+        return [
+            {
+                "neighbors": _neighbors_payload(neighbors),
+                "stats": _stats_payload(stats),
+            }
+            for neighbors, stats in batch
+        ]
+
+    async def _handle_range(self, request: dict) -> Tuple[int, dict, dict]:
+        query = self._trajectory(request, "query")
+        radius = self._radius(request)
+        spec = self._spec(request)
+        cache_key = (
+            "range",
+            query_digest(query.points),
+            radius,
+            spec,
+            self.config.early_abandon,
+            self.config.refine_batch_size,
+        )
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            return 200, {**cached, "meta": {"cached": True}}, {}
+        self._admit()
+        try:
+            loop = asyncio.get_running_loop()
+            result = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor,
+                    partial(self._run_range, spec, radius, query),
+                ),
+                timeout=self.config.request_timeout_s,
+            )
+        finally:
+            self._release()
+        self.cache.put(cache_key, result)
+        return 200, {**result, "meta": {"cached": False}}, {}
+
+    def _run_range(self, spec: str, radius: float, query: Trajectory) -> dict:
+        pruners = self._pruner_chain(spec)
+        results, stats = range_search(
+            self.database,
+            query,
+            radius,
+            pruners,
+            early_abandon=self.config.early_abandon,
+            refine_batch_size=self.config.refine_batch_size,
+        )
+        self.metrics.record_search_stats([stats])
+        return {
+            "results": _neighbors_payload(results),
+            "stats": _stats_payload(stats),
+        }
+
+    async def _handle_distance(self, request: dict) -> Tuple[int, dict, dict]:
+        first = self._trajectory(request, "first")
+        second = self._trajectory(request, "second")
+        name = str(request.get("function", "edr")).lower()
+        if name not in available_distances():
+            raise RequestError(
+                400,
+                f"unknown distance function {name!r}; "
+                f"known: {', '.join(available_distances())}",
+            )
+        epsilon: Optional[float] = None
+        if name in EPSILON_FUNCTIONS:
+            raw = request.get("epsilon", self.database.epsilon)
+            try:
+                epsilon = float(raw)
+            except (TypeError, ValueError):
+                raise RequestError(400, "epsilon must be a number") from None
+            if epsilon < 0.0 or not math.isfinite(epsilon):
+                raise RequestError(400, "epsilon must be non-negative and finite")
+        self._admit()
+        try:
+            loop = asyncio.get_running_loop()
+            value = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor,
+                    partial(_compute_distance, name, first, second, epsilon),
+                ),
+                timeout=self.config.request_timeout_s,
+            )
+        finally:
+            self._release()
+        payload = {"distance": value, "function": name}
+        if epsilon is not None:
+            payload["epsilon"] = epsilon
+        return 200, payload, {}
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        retry_after = str(max(1, math.ceil(self.config.retry_after_s)))
+        if self._draining:
+            raise RequestError(
+                503, "server is draining", {"Retry-After": retry_after}
+            )
+        if self._inflight >= self.config.queue_limit:
+            raise RequestError(
+                503,
+                f"server overloaded ({self._inflight} requests in flight)",
+                {"Retry-After": retry_after},
+            )
+        self._inflight += 1
+
+    def _release(self) -> None:
+        self._inflight -= 1
+
+    # ------------------------------------------------------------------
+    # Request parsing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method != expected:
+            raise RequestError(405, f"method {method} not allowed (use {expected})")
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            raise RequestError(400, "request body must be a JSON object")
+        try:
+            request = json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(400, f"invalid JSON body: {error}") from None
+        if not isinstance(request, dict):
+            raise RequestError(400, "request body must be a JSON object")
+        return request
+
+    def _trajectory(self, request: dict, field: str) -> Trajectory:
+        value = request.get(field)
+        if value is None:
+            raise RequestError(400, f"missing required field {field!r}")
+        if isinstance(value, bool):
+            raise RequestError(400, f"{field} must be an index or a point list")
+        if isinstance(value, int):
+            if not 0 <= value < len(self.database):
+                raise RequestError(
+                    400,
+                    f"{field} index {value} out of range "
+                    f"[0, {len(self.database)})",
+                )
+            return self.database.trajectories[value]
+        try:
+            points = np.asarray(value, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise RequestError(
+                400, f"{field} must be a database index or a list of points"
+            ) from None
+        if points.ndim != 2 or points.shape[0] < 1:
+            raise RequestError(
+                400, f"{field} must be a non-empty list of points"
+            )
+        if points.shape[1] != self.database.ndim:
+            raise RequestError(
+                400,
+                f"{field} arity {points.shape[1]} does not match "
+                f"database arity {self.database.ndim}",
+            )
+        if not np.isfinite(points).all():
+            raise RequestError(400, f"{field} contains non-finite coordinates")
+        return Trajectory(points)
+
+    def _spec(self, request: dict) -> str:
+        raw = request.get("pruners", self.config.pruners)
+        if not isinstance(raw, str):
+            raise RequestError(400, "pruners must be a comma-separated string")
+        try:
+            return canonical_pruner_spec(raw)
+        except ValueError as error:
+            raise RequestError(400, str(error)) from None
+
+    @staticmethod
+    def _positive_int(value: object, field: str) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise RequestError(400, f"{field} must be a positive integer")
+        if value < 1:
+            raise RequestError(400, f"{field} must be at least 1")
+        return value
+
+    def _radius(self, request: dict) -> float:
+        value = request.get("radius")
+        if value is None:
+            raise RequestError(400, "missing required field 'radius'")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise RequestError(400, "radius must be a number")
+        radius = float(value)
+        if radius < 0.0 or not math.isfinite(radius):
+            raise RequestError(400, "radius must be non-negative and finite")
+        return radius
+
+
+# ----------------------------------------------------------------------
+# Payload shaping
+# ----------------------------------------------------------------------
+def _neighbors_payload(neighbors: Sequence[Neighbor]) -> List[dict]:
+    return [
+        {"index": int(neighbor.index), "distance": float(neighbor.distance)}
+        for neighbor in neighbors
+    ]
+
+
+def _stats_payload(stats: SearchStats) -> dict:
+    return {
+        "database_size": stats.database_size,
+        "true_distance_computations": stats.true_distance_computations,
+        "pruning_power": round(stats.pruning_power, 6),
+        "pruned_by": dict(stats.pruned_by),
+        "elapsed_seconds": round(stats.elapsed_seconds, 6),
+    }
+
+
+def _compute_distance(
+    name: str,
+    first: Trajectory,
+    second: Trajectory,
+    epsilon: Optional[float],
+) -> float:
+    function = get_distance(name)
+    if epsilon is not None:
+        return float(function(first, second, epsilon))
+    return float(function(first, second))

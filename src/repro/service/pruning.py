@@ -1,0 +1,73 @@
+"""Pruner-chain construction from a comma-separated spec string.
+
+The CLI and the query service share one syntax for choosing a pruner
+chain (``"histogram,qgram"``...).  The service additionally needs a
+*canonical* form of the spec, because it keys built pruner chains and
+cached results on it — ``" qgram, histogram "`` and ``"qgram,histogram"``
+must hit the same chain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.database import TrajectoryDatabase
+from ..core.search import (
+    HistogramPruner,
+    NearTrianglePruning,
+    Pruner,
+    QgramMergeJoinPruner,
+)
+
+__all__ = ["PRUNER_CHOICES", "build_pruners", "canonical_pruner_spec"]
+
+PRUNER_CHOICES = ("histogram", "histogram-1d", "qgram", "nti", "none")
+
+
+def canonical_pruner_spec(spec: str) -> str:
+    """Normalize a spec: trim parts, drop empties and ``none``, keep order.
+
+    Order is preserved (pruner order matters to the engines), so two
+    specs are equivalent exactly when their canonical forms are equal.
+    Unknown names are rejected here, before any construction work.
+    """
+    parts: List[str] = []
+    for part in (piece.strip() for piece in spec.split(",")):
+        if not part or part == "none":
+            continue
+        if part not in PRUNER_CHOICES:
+            raise ValueError(
+                f"unknown pruner {part!r}; choose from {', '.join(PRUNER_CHOICES)}"
+            )
+        parts.append(part)
+    return ",".join(parts)
+
+
+def build_pruners(
+    database: TrajectoryDatabase,
+    spec: str,
+    matrix_workers: Optional[int] = None,
+    max_triangle: int = 50,
+) -> List[Pruner]:
+    """Build the pruner chain named by ``spec`` against ``database``.
+
+    Raises :class:`ValueError` on unknown names — callers decide whether
+    that is a CLI exit or an HTTP 400.
+    """
+    pruners: List[Pruner] = []
+    for name in filter(None, canonical_pruner_spec(spec).split(",")):
+        if name == "histogram":
+            pruners.append(HistogramPruner(database))
+        elif name == "histogram-1d":
+            pruners.append(HistogramPruner(database, per_axis=True))
+        elif name == "qgram":
+            pruners.append(QgramMergeJoinPruner(database, q=1))
+        elif name == "nti":
+            pruners.append(
+                NearTrianglePruning(
+                    database,
+                    max_triangle=max_triangle,
+                    matrix_workers=matrix_workers,
+                )
+            )
+    return pruners

@@ -150,6 +150,44 @@ class TestKnobs:
             knn_batch(database, queries, 2, workers=0)
 
 
+class TestEdgeCases:
+    def test_k_exceeds_database_size(self, workload):
+        database, queries = workload
+        batch = knn_batch(
+            database, queries[:2], len(database) + 25, _pruners(database)
+        )
+        for query, (neighbors, _) in zip(queries, batch):
+            assert len(neighbors) == len(database)
+            expected, _ = knn_scan(database, query, len(database) + 25)
+            assert same_answers(expected, neighbors)
+
+    def test_duplicate_queries_get_identical_answers(self, workload):
+        database, queries = workload
+        duplicated = [queries[0], queries[1], queries[0], queries[0]]
+        batch = knn_batch(database, duplicated, 3, _pruners(database))
+        reference = [(n.index, n.distance) for n in batch.neighbors[0]]
+        for position in (2, 3):
+            assert [
+                (n.index, n.distance) for n in batch.neighbors[position]
+            ] == reference
+
+    def test_thread_and_process_executors_agree(self, workload):
+        database, queries = workload
+        pruners = _pruners(database)
+        threaded = knn_batch(
+            database, queries[:3], 3, pruners, workers=2, executor="thread"
+        )
+        processed = knn_batch(
+            database, queries[:3], 3, pruners, workers=2, executor="process"
+        )
+        assert threaded.executor == "thread"
+        assert processed.executor == "process"
+        for left, right in zip(threaded.neighbors, processed.neighbors):
+            assert [(n.index, n.distance) for n in left] == [
+                (n.index, n.distance) for n in right
+            ]
+
+
 class TestCli:
     def test_knn_batch_subcommand(self, tmp_path, capsys):
         path = str(tmp_path / "db.npz")

@@ -1,0 +1,354 @@
+"""Integration tests: the served API against an in-process HTTP server.
+
+The acceptance bar for the service is exactness: ``/knn`` and ``/range``
+responses must equal direct :func:`repro.knn_search` /
+:func:`repro.range_search` calls byte for byte — same ids, same float
+distances (JSON round-trips float64 exactly), same tie order.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import (
+    Trajectory,
+    TrajectoryDatabase,
+    knn_search,
+    range_search,
+)
+from repro.core.batch import warm_pruners
+from repro.service import (
+    ServerHandle,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+from repro.service.pruning import build_pruners
+
+
+@pytest.fixture(scope="module")
+def database():
+    rng = np.random.default_rng(7)
+    trajectories = [
+        Trajectory(
+            np.cumsum(rng.normal(size=(int(rng.integers(10, 30)), 2)), axis=0)
+        )
+        for _ in range(60)
+    ]
+    return TrajectoryDatabase(trajectories, epsilon=0.8)
+
+
+@pytest.fixture(scope="module")
+def server(database):
+    config = ServiceConfig(
+        port=0, max_batch=4, max_delay_ms=2.0, cache_size=32
+    )
+    with ServerHandle.start(database, config) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(server.host, server.port) as service_client:
+        yield service_client
+
+
+def _direct_knn(database, query, k, spec="histogram,qgram"):
+    pruners = build_pruners(database, spec)
+    warm_pruners(pruners, database.trajectories[0])
+    neighbors, _ = knn_search(database, query, k, pruners)
+    return [
+        {"index": int(n.index), "distance": float(n.distance)}
+        for n in neighbors
+    ]
+
+
+def _direct_range(database, query, radius, spec="histogram,qgram"):
+    pruners = build_pruners(database, spec)
+    warm_pruners(pruners, database.trajectories[0])
+    results, _ = range_search(database, query, radius, pruners)
+    return [
+        {"index": int(n.index), "distance": float(n.distance)}
+        for n in results
+    ]
+
+
+class TestExactness:
+    def test_knn_equals_direct_search(self, database, client):
+        for index in (0, 7, 23):
+            query = database.trajectories[index]
+            served = client.knn(query, k=5)
+            assert served["neighbors"] == _direct_knn(database, query, 5)
+
+    def test_knn_accepts_raw_point_lists(self, database, client):
+        query = database.trajectories[3]
+        served = client.knn(query.points.tolist(), k=4)
+        assert served["neighbors"] == _direct_knn(database, query, 4)
+
+    def test_knn_by_database_index(self, database, client):
+        served = client.knn(11, k=3)
+        assert served["neighbors"] == _direct_knn(
+            database, database.trajectories[11], 3
+        )
+
+    def test_knn_with_novel_query(self, database, client):
+        rng = np.random.default_rng(99)
+        points = np.cumsum(rng.normal(size=(18, 2)), axis=0)
+        served = client.knn(points, k=5)
+        assert served["neighbors"] == _direct_knn(
+            database, Trajectory(points), 5
+        )
+
+    def test_knn_alternate_pruner_spec(self, database, client):
+        query = database.trajectories[9]
+        served = client.knn(query, k=5, pruners="histogram")
+        assert served["neighbors"] == _direct_knn(
+            database, query, 5, spec="histogram"
+        )
+
+    def test_range_equals_direct_search(self, database, client):
+        query = database.trajectories[5]
+        served = client.range_query(query, 12.0)
+        assert served["results"] == _direct_range(database, query, 12.0)
+
+    def test_range_zero_radius_finds_the_query_itself(self, database, client):
+        query = database.trajectories[8]
+        served = client.range_query(query, 0.0)
+        assert served["results"] == _direct_range(database, query, 0.0)
+        assert any(hit["index"] == 8 for hit in served["results"])
+
+    def test_distance_endpoint_matches_direct_edr(self, database, client):
+        from repro.distances import edr
+
+        served = client.distance(2, 14)
+        expected = edr(
+            database.trajectories[2],
+            database.trajectories[14],
+            database.epsilon,
+        )
+        assert served["distance"] == float(expected)
+        assert served["function"] == "edr"
+        assert served["epsilon"] == database.epsilon
+
+    def test_concurrent_knn_requests_all_exact(self, database, server):
+        indices = [1, 4, 4, 16, 28, 28, 28, 35]
+        outcomes = [None] * len(indices)
+
+        def fetch(position, index):
+            with ServiceClient(server.host, server.port) as service_client:
+                outcomes[position] = service_client.knn(index, k=3)
+
+        threads = [
+            threading.Thread(target=fetch, args=(position, index))
+            for position, index in enumerate(indices)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index, served in zip(indices, outcomes):
+            assert served["neighbors"] == _direct_knn(
+                database, database.trajectories[index], 3
+            )
+
+
+class TestCaching:
+    def test_repeat_query_is_served_from_cache(self, database, server):
+        with ServiceClient(server.host, server.port) as service_client:
+            rng = np.random.default_rng(123)
+            points = np.cumsum(rng.normal(size=(15, 2)), axis=0)
+            first = service_client.knn(points, k=2)
+            second = service_client.knn(points, k=2)
+        assert first["meta"]["cached"] is False
+        assert second["meta"]["cached"] is True
+        assert second["neighbors"] == first["neighbors"]
+
+    def test_different_k_misses_the_cache(self, database, server):
+        with ServiceClient(server.host, server.port) as service_client:
+            rng = np.random.default_rng(124)
+            points = np.cumsum(rng.normal(size=(15, 2)), axis=0)
+            service_client.knn(points, k=2)
+            other = service_client.knn(points, k=3)
+        assert other["meta"]["cached"] is False
+        assert len(other["neighbors"]) == 3
+
+
+class TestIntrospection:
+    def test_healthz(self, database, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["database_size"] == len(database)
+        assert health["epsilon"] == database.epsilon
+
+    def test_stats_shape(self, database, client):
+        client.knn(0, k=2)
+        stats = client.stats()
+        assert stats["database"]["size"] == len(database)
+        assert stats["requests"]["/knn"] >= 1
+        assert stats["responses"]["200"] >= 1
+        assert "/knn" in stats["latency"]
+        assert stats["search"]["queries"] >= 1
+        assert 0.0 <= stats["search"]["pruning_power"] <= 1.0
+        assert stats["cache"]["capacity"] == 32
+        assert stats["config"]["engine"] == "search"
+        assert stats["admission"]["queue_limit"] >= 1
+
+
+class TestValidation:
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/knn")
+        assert excinfo.value.status == 405
+
+    def test_missing_query_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/knn", {"k": 3})
+        assert excinfo.value.status == 400
+        assert "query" in str(excinfo.value)
+
+    def test_invalid_json_is_400(self, server):
+        request = urllib.request.Request(
+            f"{server.base_url}/knn",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        assert "invalid JSON" in json.loads(excinfo.value.read())["error"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"query": 0, "k": 0},
+            {"query": 0, "k": "five"},
+            {"query": 0, "k": True},
+            {"query": -1, "k": 3},
+            {"query": 10**9, "k": 3},
+            {"query": [[0.0, 0.0]], "k": 3, "pruners": "bogus"},
+            {"query": [], "k": 3},
+            {"query": [[0.0, 1.0, 2.0]], "k": 3},
+            {"query": [[float("nan")]], "k": 3},
+            {"query": True, "k": 3},
+        ],
+    )
+    def test_bad_knn_payloads_are_400(self, client, payload):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/knn", payload)
+        assert excinfo.value.status == 400
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"query": 0},
+            {"query": 0, "radius": -1.0},
+            {"query": 0, "radius": float("inf")},
+            {"query": 0, "radius": "big"},
+        ],
+    )
+    def test_bad_range_payloads_are_400(self, client, payload):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/range", payload)
+        assert excinfo.value.status == 400
+
+    def test_unknown_distance_function_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                "POST",
+                "/distance",
+                {"first": 0, "second": 1, "function": "hausdorff"},
+            )
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_413(self, database):
+        config = ServiceConfig(port=0, max_body_bytes=1024)
+        with ServerHandle.start(database, config, warm=False) as handle:
+            request = urllib.request.Request(
+                f"{handle.base_url}/knn",
+                data=b"x" * 2048,
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 413
+
+
+class TestAdmissionControl:
+    def test_overload_returns_503_with_retry_after(self, database):
+        config = ServiceConfig(
+            port=0,
+            queue_limit=1,
+            max_batch=1,
+            cache_size=0,
+            retry_after_s=2.0,
+        )
+        with ServerHandle.start(database, config) as handle:
+            rejections = []
+            successes = []
+
+            def fire(index):
+                try:
+                    with ServiceClient(handle.host, handle.port) as sc:
+                        sc.knn(index, k=3)
+                        successes.append(index)
+                except ServiceError as error:
+                    rejections.append(error)
+
+            threads = [
+                threading.Thread(target=fire, args=(index,))
+                for index in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert successes  # the admitted request(s) completed
+            assert rejections  # the flood tripped admission control
+            for error in rejections:
+                assert error.status == 503
+                assert error.retry_after == 2.0
+            stats = ServiceClient(handle.host, handle.port).stats()
+            assert stats["rejected"] == len(rejections)
+
+    def test_request_timeout_returns_504(self, database):
+        config = ServiceConfig(
+            port=0, request_timeout_s=0.001, max_batch=1, cache_size=0
+        )
+        with ServerHandle.start(database, config) as handle:
+            with ServiceClient(handle.host, handle.port) as sc:
+                with pytest.raises(ServiceError) as excinfo:
+                    sc.knn(0, k=5)
+                assert excinfo.value.status == 504
+
+
+class TestLifecycle:
+    def test_graceful_stop_completes_inflight_work(self, database):
+        config = ServiceConfig(port=0, max_batch=4, max_delay_ms=20.0)
+        handle = ServerHandle.start(database, config)
+        outcomes = []
+
+        def fire():
+            with ServiceClient(handle.host, handle.port) as sc:
+                outcomes.append(sc.knn(2, k=3))
+
+        thread = threading.Thread(target=fire)
+        thread.start()
+        time.sleep(0.05)  # request in flight (or batched) when stop begins
+        handle.stop()
+        thread.join(timeout=30)
+        assert outcomes and outcomes[0]["neighbors"]
+        assert not handle._thread.is_alive()
+
+    def test_port_zero_binds_an_ephemeral_port(self, server):
+        assert server.port > 0

@@ -1,0 +1,385 @@
+"""Unit tests for the service building blocks: cache, metrics, batcher."""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.search import SearchStats
+from repro.service import ResultCache, query_digest
+from repro.service.batcher import MicroBatcher
+from repro.service.config import ServiceConfig
+from repro.service.metrics import LatencyWindow, MetricsRegistry
+from repro.service.pruning import canonical_pruner_spec
+
+
+class TestQueryDigest:
+    def test_identical_content_same_digest(self):
+        points = np.array([[0.0, 1.0], [2.0, 3.0]])
+        assert query_digest(points) == query_digest(points.copy())
+        assert query_digest(points) == query_digest(points.tolist())
+
+    def test_different_content_different_digest(self):
+        points = np.array([[0.0, 1.0], [2.0, 3.0]])
+        assert query_digest(points) != query_digest(points + 1e-12)
+
+    def test_shape_is_part_of_the_digest(self):
+        flat = np.arange(6.0)
+        assert query_digest(flat.reshape(2, 3)) != query_digest(
+            flat.reshape(3, 2)
+        )
+
+    def test_non_contiguous_views_digest_by_content(self):
+        points = np.arange(12.0).reshape(3, 4)
+        view = points[:, ::2]
+        assert query_digest(view) == query_digest(np.ascontiguousarray(view))
+
+
+class TestResultCache:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") == {"v": 1}  # refreshes "a"
+        cache.put("c", {"v": 3})           # evicts "b", the oldest
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("c") == {"v": 3}
+        assert cache.evictions == 1
+
+    def test_hit_miss_accounting(self):
+        cache = ResultCache(4)
+        assert cache.get("missing") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        snapshot = cache.snapshot()
+        assert snapshot["size"] == 1
+        assert snapshot["hit_rate"] == 0.5
+
+    def test_zero_capacity_disables_without_counting(self):
+        cache = ResultCache(0)
+        assert not cache.enabled
+        cache.put("k", {"v": 1})
+        assert cache.get("k") is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ResultCache(-1)
+
+
+class TestLatencyWindow:
+    def test_percentiles_over_window(self):
+        window = LatencyWindow(capacity=100)
+        for value in range(1, 101):  # 0.001s .. 0.1s
+            window.observe(value / 1000.0)
+        summary = window.summary()
+        assert summary["count"] == 100
+        assert summary["p50_ms"] == pytest.approx(51.0)
+        assert summary["p99_ms"] == pytest.approx(100.0)
+        assert summary["max_ms"] == pytest.approx(100.0)
+
+    def test_ring_buffer_bounds_memory(self):
+        window = LatencyWindow(capacity=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            window.observe(value)
+        summary = window.summary()
+        assert summary["count"] == 5
+        assert summary["window"] == 4  # the 1.0 observation fell out
+
+    def test_empty_window(self):
+        assert LatencyWindow().summary() == {"count": 0, "window": 0}
+
+
+class TestMetricsRegistry:
+    def test_status_classification(self):
+        metrics = MetricsRegistry()
+        for status in (200, 503, 504, 400):
+            metrics.record_response("/knn", status, 0.01)
+        snapshot = metrics.snapshot()
+        assert snapshot["rejected"] == 1
+        assert snapshot["timeouts"] == 1
+        assert snapshot["errors"] == 1
+        assert snapshot["responses"]["200"] == 1
+
+    def test_batch_accounting(self):
+        metrics = MetricsRegistry()
+        metrics.record_batch(submitted=8, unique=3)
+        metrics.record_batch(submitted=2, unique=2)
+        batcher = metrics.snapshot()["batcher"]
+        assert batcher["batches"] == 2
+        assert batcher["requests"] == 10
+        assert batcher["unique_computed"] == 5
+        assert batcher["coalesced"] == 5
+        assert batcher["max_batch_size"] == 8
+        assert batcher["mean_batch_size"] == 5.0
+
+    def test_search_stats_aggregation(self):
+        metrics = MetricsRegistry()
+        first = SearchStats(database_size=100)
+        first.true_distance_computations = 20
+        first.pruned_by["histogram"] = 80
+        second = SearchStats(database_size=100)
+        second.true_distance_computations = 40
+        metrics.record_search_stats([first, second])
+        search = metrics.snapshot()["search"]
+        assert search["queries"] == 2
+        assert search["candidates"] == 200
+        assert search["true_distance_computations"] == 60
+        assert search["pruning_power"] == pytest.approx(0.7)
+        assert search["pruned_by"] == {"histogram": 80}
+
+
+class TestServiceConfig:
+    def test_defaults_validate(self):
+        config = ServiceConfig().validated()
+        assert config.max_delay_seconds == pytest.approx(0.005)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("max_batch", 0),
+            ("max_delay_ms", -1.0),
+            ("cache_size", -1),
+            ("queue_limit", 0),
+            ("request_timeout_s", 0.0),
+            ("engine", "quantum"),
+            ("k_default", 0),
+        ],
+    )
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ServiceConfig(**{field: value}).validated()
+
+
+class TestCanonicalPrunerSpec:
+    def test_normalizes_whitespace_and_none(self):
+        assert canonical_pruner_spec(" histogram , none , qgram ") == (
+            "histogram,qgram"
+        )
+        assert canonical_pruner_spec("none") == ""
+        assert canonical_pruner_spec("") == ""
+
+    def test_order_is_preserved(self):
+        assert canonical_pruner_spec("qgram,histogram") == "qgram,histogram"
+
+    def test_unknown_pruner_rejected(self):
+        with pytest.raises(ValueError, match="unknown pruner"):
+            canonical_pruner_spec("histogram,bogus")
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestMicroBatcher:
+    def test_window_batches_concurrent_submissions(self):
+        calls = []
+
+        def runner(payloads):
+            calls.append(list(payloads))
+            return [payload * 10 for payload in payloads]
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    max_batch=8, max_delay=0.05, executor=executor
+                )
+                results = await asyncio.gather(
+                    batcher.submit("key", "a", 1, runner),
+                    batcher.submit("key", "b", 2, runner),
+                    batcher.submit("key", "c", 3, runner),
+                )
+                return results
+
+        results = _run(scenario())
+        assert calls == [[1, 2, 3]]  # one dispatch, arrival order
+        values = [value for value, _ in results]
+        assert values == [10, 20, 30]
+        assert all(meta["batch_size"] == 3 for _, meta in results)
+
+    def test_duplicate_digests_coalesce(self):
+        calls = []
+
+        def runner(payloads):
+            calls.append(list(payloads))
+            return [payload * 10 for payload in payloads]
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    max_batch=8, max_delay=0.05, executor=executor
+                )
+                return await asyncio.gather(
+                    batcher.submit("key", "same", 7, runner),
+                    batcher.submit("key", "same", 7, runner),
+                    batcher.submit("key", "same", 7, runner),
+                    batcher.submit("key", "other", 1, runner),
+                )
+
+        results = _run(scenario())
+        assert calls == [[7, 1]]  # duplicates computed once
+        assert [value for value, _ in results] == [70, 70, 70, 10]
+        meta = results[0][1]
+        assert meta["submitted"] == 4
+        assert meta["coalesced"] == 2
+
+    def test_full_window_flushes_before_delay(self):
+        def runner(payloads):
+            return list(payloads)
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    max_batch=2, max_delay=30.0, executor=executor
+                )
+                return await asyncio.wait_for(
+                    asyncio.gather(
+                        batcher.submit("key", "a", 1, runner),
+                        batcher.submit("key", "b", 2, runner),
+                    ),
+                    timeout=5.0,
+                )
+
+        results = _run(scenario())  # would hang for 30s if delay governed
+        assert [value for value, _ in results] == [1, 2]
+
+    def test_distinct_keys_never_share_a_batch(self):
+        calls = []
+
+        def runner(payloads):
+            calls.append(sorted(payloads))
+            return list(payloads)
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    max_batch=8, max_delay=0.02, executor=executor
+                )
+                await asyncio.gather(
+                    batcher.submit(("k", 3), "a", 1, runner),
+                    batcher.submit(("k", 5), "a", 2, runner),
+                )
+
+        _run(scenario())
+        assert sorted(calls) == [[1], [2]]
+
+    def test_max_batch_one_dispatches_immediately(self):
+        calls = []
+
+        def runner(payloads):
+            calls.append(list(payloads))
+            return list(payloads)
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    max_batch=1, max_delay=30.0, executor=executor
+                )
+                await asyncio.gather(
+                    batcher.submit("key", "a", 1, runner),
+                    batcher.submit("key", "b", 2, runner),
+                )
+
+        _run(scenario())
+        assert calls in ([[1], [2]], [[2], [1]])
+
+    def test_runner_failure_reaches_every_waiter(self):
+        def runner(payloads):
+            raise RuntimeError("kaboom")
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    max_batch=4, max_delay=0.01, executor=executor
+                )
+                return await asyncio.gather(
+                    batcher.submit("key", "a", 1, runner),
+                    batcher.submit("key", "a", 1, runner),
+                    return_exceptions=True,
+                )
+
+        outcomes = _run(scenario())
+        assert len(outcomes) == 2
+        assert all(isinstance(out, RuntimeError) for out in outcomes)
+
+    def test_wrong_result_count_is_an_error(self):
+        def runner(payloads):
+            return [1]  # one short
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    max_batch=2, max_delay=0.01, executor=executor
+                )
+                return await asyncio.gather(
+                    batcher.submit("key", "a", 1, runner),
+                    batcher.submit("key", "b", 2, runner),
+                    return_exceptions=True,
+                )
+
+        outcomes = _run(scenario())
+        assert all(isinstance(out, RuntimeError) for out in outcomes)
+
+    def test_timeout_of_one_waiter_spares_the_batch(self):
+        started = []
+
+        def runner(payloads):
+            started.append(list(payloads))
+            import time as time_module
+
+            time_module.sleep(0.1)
+            return [payload * 10 for payload in payloads]
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    max_batch=2, max_delay=0.01, executor=executor
+                )
+                impatient = asyncio.create_task(
+                    asyncio.wait_for(
+                        batcher.submit("key", "a", 1, runner), timeout=0.02
+                    )
+                )
+                patient = asyncio.create_task(
+                    batcher.submit("key", "b", 2, runner)
+                )
+                with pytest.raises(asyncio.TimeoutError):
+                    await impatient
+                value, _ = await patient
+                return value
+
+        assert _run(scenario()) == 20
+        # One uninterrupted computation covering both queries.
+        assert len(started) == 1
+        assert sorted(started[0]) == [1, 2]
+
+    def test_drain_flushes_open_windows(self):
+        def runner(payloads):
+            return list(payloads)
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = MicroBatcher(
+                    max_batch=8, max_delay=30.0, executor=executor
+                )
+                waiter = asyncio.create_task(
+                    batcher.submit("key", "a", 1, runner)
+                )
+                await asyncio.sleep(0)  # let the submission register
+                assert batcher.pending == 1
+                assert await batcher.drain(timeout=5.0)
+                value, _ = await waiter
+                return value
+
+        assert _run(scenario()) == 1
+
+    def test_invalid_parameters_rejected(self):
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            with pytest.raises(ValueError, match="max_batch"):
+                MicroBatcher(max_batch=0, max_delay=0.01, executor=executor)
+            with pytest.raises(ValueError, match="max_delay"):
+                MicroBatcher(max_batch=2, max_delay=-0.1, executor=executor)

@@ -1,0 +1,108 @@
+"""``TrajectoryDatabase.warm`` must make later queries construction-free."""
+
+import numpy as np
+import pytest
+
+import repro.core.database as database_module
+from repro import (
+    HistogramPruner,
+    NearTrianglePruning,
+    QgramMergeJoinPruner,
+    Trajectory,
+    TrajectoryDatabase,
+    knn_search,
+)
+from repro.core.rangequery import range_search
+
+
+def _database(count=30, seed=3, epsilon=0.5):
+    rng = np.random.default_rng(seed)
+    trajectories = [
+        Trajectory(
+            np.cumsum(rng.normal(size=(int(rng.integers(8, 25)), 2)), axis=0)
+        )
+        for _ in range(count)
+    ]
+    return TrajectoryDatabase(trajectories, epsilon)
+
+
+def _forbid_index_construction(monkeypatch):
+    """Any database-side artifact build after this point is a failure."""
+
+    def boom(*args, **kwargs):
+        raise AssertionError("index construction triggered after warm()")
+
+    monkeypatch.setattr(database_module, "mean_value_qgrams", boom)
+    monkeypatch.setattr(
+        database_module.HistogramSpace, "for_trajectories", boom
+    )
+    monkeypatch.setattr(database_module, "build_reference_columns", boom)
+
+
+class TestWarmReport:
+    def test_reports_each_requested_artifact(self):
+        database = _database()
+        report = database.warm(q=1, histogram_bins=1.0, references=4)
+        assert "qgram_means_2d(q=1)" in report
+        assert "qgram_means_1d(q=1, axis=0)" in report
+        assert "histograms(delta=1)" in report
+        assert "histograms(delta=1, axis=1)" in report
+        assert "reference_columns(4, first)" in report
+        assert all(seconds >= 0.0 for seconds in report.values())
+
+    def test_none_skips_artifact_families(self):
+        database = _database()
+        report = database.warm(q=None, histogram_bins=None, references=0)
+        assert report == {}
+
+    def test_accepts_iterables_and_trees(self):
+        database = _database(count=12)
+        report = database.warm(
+            q=[1, 2], histogram_bins=[1.0, 2.0], per_axis=False, trees=True
+        )
+        assert "qgram_means_2d(q=2)" in report
+        assert "qgram_rtree(q=1)" in report
+        assert "qgram_bptree(q=2)" in report
+        assert "histograms(delta=2)" in report
+
+    def test_warm_twice_reuses_cached_artifacts(self):
+        database = _database()
+        database.warm(q=1, histogram_bins=1.0)
+        first = database.flat_qgram_means(1)
+        second_report = database.warm(q=1, histogram_bins=1.0)
+        assert database.flat_qgram_means(1) is first
+        assert set(second_report) >= {"qgram_means_2d(q=1)"}
+
+
+class TestNoConstructionAfterWarm:
+    def test_post_warm_queries_build_nothing(self, monkeypatch):
+        database = _database()
+        database.warm(q=1, histogram_bins=1.0, references=5)
+        _forbid_index_construction(monkeypatch)
+
+        pruners = [
+            HistogramPruner(database),
+            QgramMergeJoinPruner(database, q=1),
+            NearTrianglePruning(database, max_triangle=5),
+        ]
+        neighbors, stats = knn_search(
+            database, database.trajectories[0], 3, pruners
+        )
+        assert len(neighbors) == 3
+        assert stats.database_size == len(database)
+        results, _ = range_search(
+            database, database.trajectories[1], 10.0, pruners
+        )
+        assert all(result.distance <= 10.0 for result in results)
+
+    def test_guard_catches_cold_databases(self, monkeypatch):
+        # The inverse direction keeps the guard honest: without warm(),
+        # the same query path must trip the construction tripwire.
+        database = _database()
+        _forbid_index_construction(monkeypatch)
+        with pytest.raises(AssertionError, match="after warm"):
+            pruners = [
+                HistogramPruner(database),
+                QgramMergeJoinPruner(database, q=1),
+            ]
+            knn_search(database, database.trajectories[0], 3, pruners)
