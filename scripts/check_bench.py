@@ -1,0 +1,151 @@
+"""Benchmark regression guard: fresh BENCH_*.json versus baselines.
+
+Compares every ``BENCH_*.json`` present in both a baseline directory
+(typically the committed copies, saved aside before regenerating) and a
+fresh directory (typically the repository root after a benchmark run).
+Only *higher-is-better* metrics are compared — numeric leaves whose key
+contains ``speedup``, ``throughput``, ``qps``, or ``rps`` — because
+absolute latencies shift with dataset size and machine, while relative
+gains are what the benchmarks exist to defend.
+
+A fresh value more than ``--tolerance`` (default 30%) below its baseline
+fails the run, which is how CI catches a change that quietly destroys a
+documented win.  Metrics present on only one side are reported but never
+fail: benchmark configurations evolve.  Files whose recorded dataset
+size (``database_size`` / ``trajectories`` / ``count`` leaves) differs
+between the two sides are skipped entirely — speedups measured on
+different workloads are not comparable, and a guard that compares them
+anyway only produces noise.
+
+    python scripts/check_bench.py --baseline bench_baselines --fresh .
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, Tuple
+
+HIGHER_BETTER = ("speedup", "throughput", "qps", "rps")
+SIZE_KEYS = ("database_size", "trajectories", "count")
+
+
+def _metric_leaves(node, path: str = "") -> Iterator[Tuple[str, float]]:
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else str(key)
+            yield from _metric_leaves(value, child)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from _metric_leaves(value, f"{path}[{index}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        leaf = path.rsplit(".", 1)[-1].lower()
+        if any(marker in leaf for marker in HIGHER_BETTER):
+            yield path, float(node)
+
+
+def _size_leaves(node, path: str = "") -> Iterator[Tuple[str, float]]:
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else str(key)
+            yield from _size_leaves(value, child)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        if path.rsplit(".", 1)[-1].lower() in SIZE_KEYS:
+            yield path, float(node)
+
+
+def _load_payload(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read {path}: {error}") from None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="directory holding the baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=".",
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression before failing (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    baseline_dir = Path(args.baseline)
+    fresh_dir = Path(args.fresh)
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"no BENCH_*.json baselines under {baseline_dir}")
+        return 1
+
+    failures = []
+    compared = 0
+    for baseline_path in baseline_files:
+        fresh_path = fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            print(f"skip {baseline_path.name}: no fresh copy")
+            continue
+        baseline_payload = _load_payload(baseline_path)
+        fresh_payload = _load_payload(fresh_path)
+        baseline_sizes = dict(_size_leaves(baseline_payload))
+        fresh_sizes = dict(_size_leaves(fresh_payload))
+        drifted = {
+            key
+            for key in set(baseline_sizes) & set(fresh_sizes)
+            if baseline_sizes[key] != fresh_sizes[key]
+        }
+        if drifted:
+            print(
+                f"skip {baseline_path.name}: dataset size differs "
+                f"({', '.join(sorted(drifted))})"
+            )
+            continue
+        baseline = dict(_metric_leaves(baseline_payload))
+        fresh = dict(_metric_leaves(fresh_payload))
+        common = sorted(set(baseline) & set(fresh))
+        uncommon = len(set(baseline) ^ set(fresh))
+        if uncommon:
+            print(
+                f"{baseline_path.name}: {uncommon} metric(s) on one side "
+                "only (configuration drift, not compared)"
+            )
+        for metric in common:
+            compared += 1
+            floor = baseline[metric] * (1.0 - args.tolerance)
+            status = "ok" if fresh[metric] >= floor else "REGRESSION"
+            print(
+                f"{status:>10}  {baseline_path.name}:{metric}  "
+                f"baseline {baseline[metric]:.3f}  fresh {fresh[metric]:.3f}"
+            )
+            if fresh[metric] < floor:
+                failures.append((baseline_path.name, metric))
+
+    if not compared:
+        print("no comparable metrics found")
+        return 1
+    if failures:
+        print(
+            f"\n{len(failures)} metric(s) regressed by more than "
+            f"{args.tolerance:.0%}:"
+        )
+        for name, metric in failures:
+            print(f"  {name}:{metric}")
+        return 1
+    print(f"\nall {compared} compared metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

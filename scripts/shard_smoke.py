@@ -1,0 +1,84 @@
+"""Shard smoke test: a 2-shard server must answer like a 1-shard one.
+
+Starts the query service twice over the same synthetic database — once
+unsharded, once with ``shards=2`` (the shared-memory intra-query
+engine) — and asserts over real HTTP that every ``/knn`` answer is
+byte-for-byte identical, and that the sharded server's ``/stats``
+reports the shard topology.  Exits non-zero on any divergence, so CI
+and ``scripts/run_all.sh`` can gate on it.
+
+    PYTHONPATH=src python scripts/shard_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Trajectory, TrajectoryDatabase
+from repro.service import ServerHandle, ServiceClient, ServiceConfig
+
+
+def _database(count: int = 160, seed: int = 4) -> TrajectoryDatabase:
+    rng = np.random.default_rng(seed)
+    trajectories = [
+        Trajectory(
+            np.cumsum(rng.normal(size=(int(rng.integers(15, 50)), 2)), axis=0)
+        )
+        for _ in range(count)
+    ]
+    return TrajectoryDatabase(trajectories, epsilon=0.5)
+
+
+def _serve_answers(database, shards: int, query_indices, k: int):
+    config = ServiceConfig(
+        port=0, max_batch=1, cache_size=0, shards=shards
+    )
+    with ServerHandle.start(database, config) as handle:
+        with ServiceClient(handle.host, handle.port) as client:
+            answers = {
+                index: client.knn(database.trajectories[index], k=k)[
+                    "neighbors"
+                ]
+                for index in query_indices
+            }
+            stats = client.stats()
+    return answers, stats
+
+
+def main() -> int:
+    database = _database()
+    query_indices = (0, 33, 92, 141)
+    unsharded, _ = _serve_answers(database, 1, query_indices, k=5)
+    sharded, stats = _serve_answers(database, 2, query_indices, k=5)
+
+    for index in query_indices:
+        if sharded[index] != unsharded[index]:
+            print(
+                f"FAIL: /knn diverged on query {index}: "
+                f"{sharded[index]} != {unsharded[index]}"
+            )
+            return 1
+
+    sharding = stats.get("sharding", {})
+    if not sharding.get("enabled"):
+        print(f"FAIL: sharded server /stats reports sharding {sharding}")
+        return 1
+    if sharding.get("shards") != 2 or sharding.get("queries") != len(
+        query_indices
+    ):
+        print(f"FAIL: unexpected shard topology in /stats: {sharding}")
+        return 1
+
+    print(
+        f"shard smoke ok: {len(query_indices)} queries identical across "
+        f"1 and 2 shards (start method "
+        f"{sharding.get('start_method')!r}, per-shard stats for "
+        f"{len(sharding.get('per_shard', []))} shard(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

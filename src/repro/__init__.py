@@ -42,6 +42,7 @@ from .core.join import similarity_join
 from .core.lcss_search import knn_lcss_scan, knn_lcss_search
 from .core.qgram import mean_value_qgrams
 from .core.rangequery import range_scan, range_search
+from .core.sharding import ShardedDatabase, ShardedSearchStats
 from .core.trajectory import Trajectory
 from .distances.base import available_distances, get_distance
 from .distances.dtw import dtw
@@ -81,6 +82,8 @@ __all__ = [
     "knn_qgram_index",
     "knn_batch",
     "BatchResult",
+    "ShardedDatabase",
+    "ShardedSearchStats",
     "knn_lcss_scan",
     "knn_lcss_search",
     "edr_alignment",

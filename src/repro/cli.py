@@ -180,13 +180,19 @@ def cmd_knn_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         refine_batch_size=args.refine_batch_size,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
     )
     total_computed = sum(s.true_distance_computations for s in batch.stats)
     total_candidates = sum(s.database_size for s in batch.stats)
+    shard_note = (
+        f", {batch.extra['shards']} shard(s)" if "shards" in batch.extra else ""
+    )
     print(
         f"epsilon = {epsilon:.4f}; {len(queries)} queries in "
         f"{batch.elapsed_seconds:.3f}s "
-        f"({batch.executor}, {batch.workers} worker(s), engine={args.engine})"
+        f"({batch.executor}, {batch.workers} worker(s), "
+        f"engine={args.engine}{shard_note})"
     )
     print(
         f"true distance computations: {total_computed}/{total_candidates} "
@@ -332,6 +338,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             request_timeout_s=args.request_timeout,
             matrix_workers=args.matrix_workers,
             refine_batch_size=args.refine_batch_size,
+            shards=args.shards,
+            shard_workers=args.shard_workers,
         ).validated()
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -439,6 +447,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-pool workers for the near-triangle reference-matrix precompute",
     )
+    knn_batch_command.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="answer each query with N-way intra-query shard parallelism "
+        "(>1 enables the shared-memory sharded engine)",
+    )
+    knn_batch_command.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help="shard worker pool size (default: one per shard)",
+    )
     knn_batch_command.set_defaults(handler=cmd_knn_batch)
 
     range_command = commands.add_parser("range", help="range query under EDR")
@@ -528,6 +549,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--refine-batch-size", type=int, default=DEFAULT_REFINE_BATCH_SIZE
     )
     serve.add_argument("--matrix-workers", type=int, default=None)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the database across N shared-memory shards and "
+        "answer each k-NN query with intra-query parallelism (>1 enables)",
+    )
+    serve.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help="shard worker pool size (default: one per shard)",
+    )
     serve.set_defaults(handler=cmd_serve)
 
     bench_serve = commands.add_parser(

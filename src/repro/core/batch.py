@@ -42,6 +42,7 @@ from typing import List, Optional, Sequence
 
 from .database import TrajectoryDatabase
 from .edr_batch import DEFAULT_REFINE_BATCH_SIZE
+from .mp import process_context
 from .search import (
     Neighbor,
     Pruner,
@@ -171,6 +172,9 @@ def knn_batch(
     executor: str = "auto",
     early_abandon: bool = False,
     refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
+    shards: Optional[int] = None,
+    shard_workers: Optional[int] = None,
+    sharded=None,
 ) -> BatchResult:
     """Answer many k-NN queries against one database.
 
@@ -197,6 +201,17 @@ def knn_batch(
         Candidate-batch size for the engines' batched EDR refinement
         (see :func:`repro.knn_search`); ``None`` restores the scalar
         per-candidate verification.
+    shards / shard_workers / sharded:
+        The *intra*-query parallelism axis.  ``shards > 1`` partitions
+        the database and runs every query through the shared-memory
+        :class:`~repro.core.sharding.ShardedDatabase` engine (queries
+        stay sequential: each one occupies the whole shard pool).
+        ``sharded`` passes a prebuilt engine instead — the long-lived
+        path used by the query service, which keeps its worker pool and
+        shared-memory blocks resident across requests.  Answers are
+        byte-for-byte those of the serial engines either way; the
+        pruner chain must map onto the spec families
+        (histogram/histogram-1d/qgram/nti).
     """
     if engine not in BATCH_ENGINES:
         raise ValueError(
@@ -205,6 +220,15 @@ def knn_batch(
         )
     queries = list(queries)
     pruners = list(pruners)
+    if sharded is not None or (shards is not None and shards > 1):
+        if engine == "scan":
+            raise ValueError(
+                "sharded execution applies to the pruned engines, not 'scan'"
+            )
+        return _knn_batch_sharded(
+            database, queries, k, pruners, engine, early_abandon,
+            refine_batch_size, shards, shard_workers, sharded,
+        )
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 1:
@@ -247,28 +271,87 @@ def knn_batch(
             "early_abandon": early_abandon,
             "refine_batch_size": refine_batch_size,
         }
-        try:
-            import multiprocessing
-
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-fork platforms
-            context = None
-        pool_arguments = dict(
+        context, start_method = process_context("fork")
+        with ProcessPoolExecutor(
             max_workers=workers,
+            mp_context=context,
             initializer=_initialize_worker,
             initargs=(state,),
-        )
-        if context is not None:
-            pool_arguments["mp_context"] = context
-        with ProcessPoolExecutor(**pool_arguments) as pool:
+        ) as pool:
             results = list(pool.map(_process_task, range(len(queries))))
+        for _, stats in results:
+            stats.start_method = start_method
 
     elapsed = time.perf_counter() - start
+    extra = {"warm_seconds": warm_seconds, "engine": engine}
+    if chosen == "process":
+        extra["start_method"] = start_method
     return BatchResult(
         neighbors=[neighbors for neighbors, _ in results],
         stats=[stats for _, stats in results],
         elapsed_seconds=elapsed,
         executor=chosen,
         workers=1 if chosen == "serial" else workers,
-        extra={"warm_seconds": warm_seconds, "engine": engine},
+        extra=extra,
+    )
+
+
+def _knn_batch_sharded(
+    database: TrajectoryDatabase,
+    queries: Sequence[Trajectory],
+    k: int,
+    pruners: Sequence[Pruner],
+    engine: str,
+    early_abandon: bool,
+    refine_batch_size: Optional[int],
+    shards: Optional[int],
+    shard_workers: Optional[int],
+    sharded,
+) -> BatchResult:
+    """Run the batch through the sharded intra-query engine.
+
+    ``engine`` ("search"/"sorted") is accepted for interface symmetry:
+    the sharded pipeline is a sorted scan whose answers equal both
+    serial engines, so the choice only labels the result.
+    """
+    from .sharding import ShardedDatabase, pruner_spec_of
+
+    spec = pruner_spec_of(pruners)
+    owned = sharded is None
+    if owned:
+        sharded = ShardedDatabase(
+            database,
+            shards,
+            specs=[spec],
+            workers=shard_workers,
+        )
+    elif not sharded.supports(spec):
+        raise ValueError(
+            f"prebuilt sharded engine lacks artifacts for pruner spec {spec!r}"
+        )
+    start = time.perf_counter()
+    try:
+        results = [
+            sharded.knn_search(
+                query, k, spec=spec, early_abandon=early_abandon,
+                refine_batch_size=refine_batch_size,
+            )
+            for query in queries
+        ]
+    finally:
+        if owned:
+            sharded.close()
+    elapsed = time.perf_counter() - start
+    return BatchResult(
+        neighbors=[neighbors for neighbors, _ in results],
+        stats=[stats for _, stats in results],
+        elapsed_seconds=elapsed,
+        executor="sharded",
+        workers=sharded.workers,
+        extra={
+            "engine": engine,
+            "shards": sharded.shards,
+            "shard_mode": sharded.mode,
+            "start_method": sharded.start_method,
+        },
     )

@@ -406,8 +406,20 @@ class TrajectoryDatabase:
         np.savez_compressed(path, **arrays)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "TrajectoryDatabase":
-        """Load a database saved with :meth:`save`, artifacts included."""
+    def load(
+        cls, path: Union[str, Path], warm: bool = False
+    ) -> "TrajectoryDatabase":
+        """Load a database saved with :meth:`save`, artifacts included.
+
+        With ``warm=True`` the *derived* artifacts the archive does not
+        carry — pooled Q-gram mean arrays and array-backed histogram
+        stores, which rebuild deterministically from the saved sorted
+        means and histogram dicts — are materialized eagerly before
+        returning, so a long-lived process (``serve`` cold-start) pays
+        one load pass instead of lazy per-first-query builds.  The
+        result is indistinguishable from building the same artifacts
+        from scratch and warming them.
+        """
         with np.load(path, allow_pickle=False) as archive:
             count = int(archive["count"])
             labels = [str(value) or None for value in archive["labels"]]
@@ -458,4 +470,14 @@ class TrajectoryDatabase:
                     database._reference_column_store.setdefault(
                         reference_index, column
                     )
+        if warm:
+            for q in manifest["means2d"]:
+                database.flat_qgram_means(q)
+            for q, axis in manifest["means1d"]:
+                database.flat_qgram_means_1d(q, axis)
+            for delta, axis_flag in manifest["histograms"]:
+                database.histogram_arrays(
+                    delta=float(delta),
+                    axis=None if axis_flag == -1 else axis_flag,
+                )
         return database

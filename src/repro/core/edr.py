@@ -282,20 +282,15 @@ def _iter_matrix_rows(
         "epsilon": epsilon,
         "batch_size": batch_size,
     }
-    try:
-        import multiprocessing
+    from .mp import process_context
 
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platforms
-        context = None
-    pool_arguments = dict(
+    context, _ = process_context("fork")
+    with ProcessPoolExecutor(
         max_workers=worker_count,
+        mp_context=context,
         initializer=_initialize_matrix_worker,
         initargs=(state,),
-    )
-    if context is not None:
-        pool_arguments["mp_context"] = context
-    with ProcessPoolExecutor(**pool_arguments) as pool:
+    ) as pool:
         futures = [pool.submit(_matrix_row_task, row) for row in rows]
         for future in as_completed(futures):
             yield future.result()

@@ -453,6 +453,46 @@ class HistogramArrayStore:
             self._counts = counts
             self._sparse = False
 
+    @classmethod
+    def from_state(
+        cls,
+        ndim: int,
+        lo: np.ndarray,
+        shape: np.ndarray,
+        totals: np.ndarray,
+        counts,
+        sparse: bool = False,
+    ) -> "HistogramArrayStore":
+        """Rebuild a store from its raw arrays, skipping the binning pass.
+
+        The sharded engine packs a store's row slice (``totals`` and
+        ``counts``) into shared memory together with the *parent grid*
+        (``lo``/``shape``): shard stores must keep the global grid, not
+        re-derive one from their own rows, or the neighborhood columns —
+        and therefore the quick bounds — would shift at shard borders.
+        ``counts`` is the dense ``(count, cells)`` matrix, or the CSR
+        triple ``(data, indices, indptr)`` when ``sparse`` is true.
+        """
+        store = cls.__new__(cls)
+        store.ndim = int(ndim)
+        store._lo = np.asarray(lo, dtype=np.int64)
+        store._shape = np.asarray(shape, dtype=np.int64)
+        store.cells = int(np.prod(store._shape))
+        store.totals = np.asarray(totals, dtype=np.int64)
+        store.count = len(store.totals)
+        if sparse:
+            if _scipy_sparse is None:  # pragma: no cover - needs scipy absent
+                raise RuntimeError("CSR histogram state needs scipy")
+            data, indices, indptr = counts
+            store._counts = _scipy_sparse.csr_matrix(
+                (data, indices, indptr), shape=(store.count, store.cells)
+            )
+            store._sparse = True
+        else:
+            store._counts = counts
+            store._sparse = False
+        return store
+
     def _ravel(self, keys: np.ndarray) -> np.ndarray:
         """Flat grid column of every (in-grid) d-dimensional bin index."""
         return np.ravel_multi_index(tuple((keys - self._lo).T), tuple(self._shape))

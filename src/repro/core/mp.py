@@ -1,0 +1,63 @@
+"""Process-pool context selection, shared by every parallel engine.
+
+The parallel paths (``knn_batch``'s process executor, ``edr_matrix``'s
+row workers, the sharded query engine) all prefer the ``fork`` start
+method: children inherit the database, the pruner state, and module
+globals through copy-on-write memory, so nothing is pickled per worker.
+Platforms without ``fork`` (Windows, macOS under the ``spawn`` default)
+used to fall back *silently* to the default context, which both hides a
+real behavioral difference (initializer state is pickled per worker,
+inherited synchronization primitives are unavailable) and makes
+performance reports ambiguous.  :func:`process_context` centralizes the
+choice: it returns the context *and* the chosen start-method name so
+callers can surface it (``SearchStats``, the service's ``/stats``), and
+it warns exactly once per process when the fork preference cannot be
+honored.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from typing import Tuple
+
+__all__ = ["process_context", "start_method_name"]
+
+_warned_fallback = False
+
+
+def process_context(prefer: str = "fork") -> Tuple[object, str]:
+    """The preferred multiprocessing context and its start-method name.
+
+    Returns ``(context, method)`` where ``method`` is the start method
+    actually selected (``"fork"`` where available, else the platform
+    default).  On the first fallback a single :class:`RuntimeWarning` is
+    emitted; subsequent calls stay quiet so per-query engines do not
+    spam.
+    """
+    global _warned_fallback
+    try:
+        return multiprocessing.get_context(prefer), prefer
+    except ValueError:
+        context = multiprocessing.get_context()
+        method = context.get_start_method()
+        if not _warned_fallback:
+            _warned_fallback = True
+            warnings.warn(
+                f"multiprocessing start method {prefer!r} is unavailable on "
+                f"this platform; falling back to {method!r} (worker state is "
+                "pickled per worker instead of inherited, and the sharded "
+                "engine's cooperative bound is disabled)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return context, method
+
+
+def start_method_name(prefer: str = "fork") -> str:
+    """The start method :func:`process_context` would select, by name."""
+    try:
+        multiprocessing.get_context(prefer)
+        return prefer
+    except ValueError:
+        return multiprocessing.get_context().get_start_method()

@@ -72,12 +72,19 @@ class Neighbor:
 
 @dataclass
 class SearchStats:
-    """Counters for one k-NN query, in the paper's Section 5 vocabulary."""
+    """Counters for one k-NN query, in the paper's Section 5 vocabulary.
+
+    ``start_method`` is set by engines that ran (part of) the query on a
+    process pool: the multiprocessing start method the pool used, so
+    performance numbers are attributable (fork inherits state; spawn
+    pickles it per worker).  ``None`` means the query ran in-process.
+    """
 
     database_size: int
     true_distance_computations: int = 0
     pruned_by: Dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    start_method: Optional[str] = None
 
     @property
     def pruning_power(self) -> float:
@@ -95,34 +102,45 @@ SearchResult = Tuple[List[Neighbor], SearchStats]
 
 
 class _ResultList:
-    """The paper's ``result`` array: k best (index, distance), sorted."""
+    """The paper's ``result`` array: k best (index, distance), sorted.
+
+    Ties are broken *canonically* on the database index: the list holds
+    the k smallest ``(distance, index)`` pairs, regardless of the order
+    offers arrive in.  This makes the k-NN answer a pure function of the
+    candidate distances — every engine (database-order scan, sorted
+    scan, the sharded round engine merging shard results concurrently)
+    returns byte-for-byte the same neighbors, which is what lets the
+    sharded engine assert exact equality against the serial one.
+    Exactness is unaffected: engines prune on ``bound > best_so_far``
+    (strictly), so an equal-distance candidate that could displace a
+    larger-index member is never pruned away.
+    """
 
     def __init__(self, k: int) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         self.k = k
         self._items: List[Neighbor] = []
-        self._distances: List[float] = []  # parallel sort keys for bisect
+        self._keys: List[Tuple[float, int]] = []  # parallel bisect keys
 
     @property
     def best_so_far(self) -> float:
         """The current k-th distance — infinite until k answers exist."""
         if len(self._items) < self.k:
             return float("inf")
-        return self._distances[-1]
+        return self._keys[-1][0]
 
     def offer(self, index: int, distance: float) -> None:
         if not np.isfinite(distance):
             return
-        if len(self._items) >= self.k and distance >= self.best_so_far:
+        key = (distance, index)
+        if len(self._items) >= self.k and key >= self._keys[-1]:
             return
-        # Insert after every equal distance (bisect_right) so ties keep
-        # offer order, exactly like the previous linear insertion.
-        position = bisect_right(self._distances, distance)
+        position = bisect_right(self._keys, key)
         self._items.insert(position, Neighbor(index, distance))
-        self._distances.insert(position, distance)
+        self._keys.insert(position, key)
         del self._items[self.k :]
-        del self._distances[self.k :]
+        del self._keys[self.k :]
 
     def neighbors(self) -> List[Neighbor]:
         return list(self._items)
@@ -154,12 +172,20 @@ class QueryPruner:
         more expensive) than :meth:`quick_lower_bound`; engines consult
         the quick bound first and pay the exact bound only when the
         quick bound fails to prune.
+    ``exact_stage_cheap``
+        Cost class of :meth:`exact_lower_bound` relative to one batched
+        EDR verification.  False marks exact stages that can cost more
+        than the refinement they try to avoid (the 2-D histogram bound
+        runs a Python max-flow); cost-aware engines may then skip the
+        exact stage and verify directly — a pure scheduling choice that
+        never changes answers, only which stage pays for the candidate.
     """
 
     name: str = "base"
     database_size: int = 0
     dynamic: bool = False
     two_stage: bool = False
+    exact_stage_cheap: bool = True
 
     def lower_bound(
         self, candidate_index: int, threshold: float = float("inf")
@@ -250,6 +276,12 @@ class _HistogramQuery(QueryPruner):
         self._database = database_histograms
         self._stores = array_stores
         self.database_size = len(database_histograms[0])
+        # 1-D bins take the exact greedy; d-D bins run the Python
+        # max-flow, which can cost more than one batched EDR row.
+        self.exact_stage_cheap = all(
+            len(next(iter(histogram), (0,))) == 1
+            for histogram in query_histograms
+        )
 
     def lower_bound(
         self, candidate_index: int, threshold: float = float("inf")

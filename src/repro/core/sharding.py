@@ -1,0 +1,1031 @@
+"""Sharded intra-query parallelism over shared-memory shards.
+
+A single large query on the classic engines occupies one core end to
+end; :class:`ShardedDatabase` splits one query's work across N database
+shards instead.  The layout:
+
+* **Shared-memory shards.**  The database is partitioned into N
+  contiguous shards whose trajectory points, length offsets, Q-gram
+  mean arrays, histogram count matrices (on the *global* grid), and
+  near-triangle reference columns are packed into one
+  :class:`~repro.core.shm.SharedArrayBlock` per shard.  A persistent
+  worker pool maps the blocks once at startup; per-task messages carry
+  only scalars and candidate ids — zero database-sized pickling.
+
+* **Coordinator-brain rounds.**  The coordinator computes the global
+  visit order from the primary pruner's bulk quick bounds (gathered per
+  shard in a parallel filter phase) and walks it in rounds of
+  ``refine_batch_size`` candidates.  Within a round the pruning
+  threshold ``B`` (the current k-th best distance, or the range radius)
+  is *frozen*: the coordinator makes every quick-bound pruning decision
+  and the sorted-scan break itself, and ships the surviving candidates
+  to their shard workers, which run the staged exact bounds and the
+  batched EDR kernel.  Because every decision is a pure function of
+  ``(candidate, B)`` and the sequence of ``B`` values is derived from
+  the global order alone, both the answers *and* the per-pruner
+  counters are independent of the shard count.
+
+* **Cooperative bound tightening.**  Shards additionally share the
+  running k-th-best bound through a ``multiprocessing.Value``: the
+  coordinator republishes it as each shard's round results merge, and
+  workers re-read it at refine-batch boundaries, so a tight bound found
+  in one shard shrinks the early-abandon budget in all others
+  mid-round.  The shared bound only ever tightens below the frozen
+  ``B``, so every abandonment it causes is sound.
+
+**Exactness.**  Results are byte-for-byte identical to the serial
+engines: every pruning decision compares a proven lower bound (paper
+Theorems 1–6) strictly against a threshold that is never below the
+final k-th distance, and the canonical result list makes the answer a
+pure function of the surviving candidates' distances — so merge order,
+shard count, and execution mode cannot change it.  See
+``docs/SHARDING.md`` for the full argument.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .database import TrajectoryDatabase
+from .edr_batch import DEFAULT_REFINE_BATCH_SIZE, edr_many, iter_length_buckets
+from .histogram import HistogramArrayStore, HistogramSpace
+from .mp import process_context
+from .search import (
+    HistogramPruner,
+    NearTrianglePruning,
+    Neighbor,
+    Pruner,
+    QgramMergeJoinPruner,
+    QueryPruner,
+    SearchStats,
+    _ResultList,
+)
+from .shm import SharedArrayBlock
+from .trajectory import Trajectory
+
+__all__ = ["ShardedDatabase", "ShardedSearchStats", "pruner_spec_of"]
+
+_QGRAM_Q = 1  # the spec-built merge-join pruner is q=1 (service default)
+
+
+def canonical_pruner_spec(spec: str) -> str:
+    """Deferred import of the shared spec canonicalizer.
+
+    ``service.pruning`` imports ``core.search``; importing it lazily
+    here keeps ``core`` importable without touching the service package
+    at module-load time (no cycle through ``core.batch``).
+    """
+    from ..service.pruning import canonical_pruner_spec as _canonical
+
+    return _canonical(spec)
+
+
+@dataclass
+class ShardedSearchStats(SearchStats):
+    """Aggregated counters plus the per-shard breakdown.
+
+    ``per_shard[s]`` holds shard ``s``'s own :class:`SearchStats`
+    (credits attributed to the shard owning each candidate); the
+    inherited fields are their sums.  ``rounds`` counts frozen-bound
+    refinement rounds; ``shards`` the shard count.
+    """
+
+    per_shard: List[SearchStats] = field(default_factory=list)
+    rounds: int = 0
+    shards: int = 0
+
+
+def pruner_spec_of(pruners: Sequence[Pruner]) -> str:
+    """The service spec string equivalent to a built pruner chain.
+
+    The sharded engine rebuilds pruner chains *inside* shard workers
+    from the spec, so callers holding constructed pruner objects (such
+    as ``knn_batch``) must map them back.  Only the spec-buildable
+    configurations are accepted; anything else raises ``ValueError``.
+    """
+    parts: List[str] = []
+    for pruner in pruners:
+        if isinstance(pruner, HistogramPruner):
+            if pruner._delta != 1.0:
+                raise ValueError("sharded execution supports histogram delta=1 only")
+            parts.append("histogram-1d" if pruner._per_axis else "histogram")
+        elif isinstance(pruner, QgramMergeJoinPruner):
+            if pruner._q != _QGRAM_Q or not pruner._two_dimensional:
+                raise ValueError("sharded execution supports the 2-D q=1 Q-gram pruner only")
+            parts.append("qgram")
+        elif isinstance(pruner, NearTrianglePruning):
+            parts.append("nti")
+        else:
+            raise ValueError(
+                f"pruner {pruner.name!r} has no sharded equivalent; use the spec "
+                "families histogram/histogram-1d/qgram/nti"
+            )
+    return ",".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Shard packing (coordinator side)
+# ----------------------------------------------------------------------
+def _histogram_variants(part: str, ndim: int) -> List[Tuple[float, Optional[int]]]:
+    if part == "histogram":
+        return [(1.0, None)]
+    return [(1.0, axis) for axis in range(ndim)]
+
+
+def _pack_shard(
+    database: TrajectoryDatabase,
+    start: int,
+    stop: int,
+    parts: Sequence[str],
+    max_triangle: int,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """One shard's artifact arrays (for shm) and its small pickled meta.
+
+    Histogram stores are row-sliced but keep the parent's grid
+    (``lo``/``shape``) and the parent's :class:`HistogramSpace` origin:
+    re-anchoring at the shard's own minima would shift every bin index
+    at shard borders and change the bounds.  Q-gram pools are re-pooled
+    from the shard's per-trajectory sorted means (the global pool is
+    sorted across owners and cannot be sliced).
+    """
+    trajectories = database.trajectories[start:stop]
+    arrays: Dict[str, np.ndarray] = {}
+    meta: Dict[str, object] = {
+        "start": int(start),
+        "stop": int(stop),
+        "epsilon": database.epsilon,
+        "ndim": database.ndim,
+        "qgram": None,
+        "hist": [],
+        "nti": None,
+    }
+
+    points = [t.points for t in trajectories]
+    offsets = np.zeros(len(points) + 1, dtype=np.int64)
+    np.cumsum([len(p) for p in points], out=offsets[1:])
+    arrays["points"] = (
+        np.concatenate(points) if offsets[-1] else np.empty((0, database.ndim))
+    )
+    arrays["offsets"] = offsets
+
+    if "qgram" in parts:
+        from ..index.mergejoin import flatten_sorted_means
+
+        means = database.sorted_qgram_means(_QGRAM_Q)[start:stop]
+        qoffsets = np.zeros(len(means) + 1, dtype=np.int64)
+        np.cumsum([len(m) for m in means], out=qoffsets[1:])
+        arrays["qg2_values"] = (
+            np.concatenate(means) if qoffsets[-1] else np.empty((0, database.ndim))
+        )
+        arrays["qg2_offsets"] = qoffsets
+        pool_values, pool_owners = flatten_sorted_means(means)
+        arrays["qg2_pool_values"] = pool_values
+        arrays["qg2_pool_owners"] = pool_owners
+        meta["qgram"] = {"q": _QGRAM_Q}
+
+    variants: List[Tuple[float, Optional[int]]] = []
+    for part in parts:
+        if part in ("histogram", "histogram-1d"):
+            for variant in _histogram_variants(part, database.ndim):
+                if variant not in variants:
+                    variants.append(variant)
+    for tag_index, (delta, axis) in enumerate(variants):
+        tag = f"h{tag_index}"
+        space, built = database.histograms(delta=delta, axis=axis)
+        store = database.histogram_arrays(delta=delta, axis=axis)
+        shard_histograms = built[start:stop]
+        key_rows: List[np.ndarray] = []
+        count_rows: List[np.ndarray] = []
+        koffsets = np.zeros(len(shard_histograms) + 1, dtype=np.int64)
+        for index, histogram in enumerate(shard_histograms):
+            koffsets[index + 1] = koffsets[index] + len(histogram)
+            if histogram:
+                keys = sorted(histogram)
+                key_rows.append(np.asarray(keys, dtype=np.int64).reshape(len(keys), -1))
+                count_rows.append(
+                    np.asarray([histogram[key] for key in keys], dtype=np.int64)
+                )
+        ndim_h = 1 if axis is not None else database.ndim
+        arrays[f"{tag}_keys"] = (
+            np.concatenate(key_rows)
+            if key_rows
+            else np.empty((0, ndim_h), dtype=np.int64)
+        )
+        arrays[f"{tag}_kcounts"] = (
+            np.concatenate(count_rows) if count_rows else np.empty(0, dtype=np.int64)
+        )
+        arrays[f"{tag}_koffsets"] = koffsets
+        arrays[f"{tag}_totals"] = store.totals[start:stop]
+        sparse = store._sparse
+        if sparse:
+            sliced = store._counts[start:stop]
+            arrays[f"{tag}_data"] = sliced.data
+            arrays[f"{tag}_indices"] = sliced.indices
+            arrays[f"{tag}_indptr"] = sliced.indptr
+        else:
+            arrays[f"{tag}_counts"] = store._counts[start:stop]
+        meta["hist"].append(
+            {
+                "tag": tag,
+                "delta": float(delta),
+                "axis": axis,
+                "ndim": ndim_h,
+                "origin": [float(v) for v in space.origin],
+                "bin_size": float(space.bin_size),
+                "lo": [int(v) for v in store._lo],
+                "shape": [int(v) for v in store._shape],
+                "sparse": bool(sparse),
+            }
+        )
+
+    if "nti" in parts:
+        columns = database.reference_columns(max_triangle, policy="first")
+        reference_ids = np.asarray(sorted(columns), dtype=np.int64)
+        arrays["nti_matrix"] = np.stack(
+            [columns[int(rid)][start:stop] for rid in reference_ids]
+        ) if len(reference_ids) else np.empty((0, stop - start))
+        arrays["nti_refs"] = reference_ids
+        meta["nti"] = {"max_triangle": int(max_triangle), "policy": "first"}
+
+    return arrays, meta
+
+
+# ----------------------------------------------------------------------
+# Shard runtime (worker side — also used in-process in inline mode)
+# ----------------------------------------------------------------------
+_QUERY_CACHE_LIMIT = 8
+
+
+class _ShardRuntime:
+    """One attached shard: database view, injected artifacts, query cache."""
+
+    def __init__(self, manifest: Dict[str, object], meta: Dict[str, object]) -> None:
+        self.block = SharedArrayBlock.attach(manifest)
+        self.meta = meta
+        arrays = self.block.arrays()
+        offsets = arrays["offsets"]
+        points = arrays["points"]
+        trajectories = [
+            Trajectory(points[offsets[i] : offsets[i + 1]])
+            for i in range(len(offsets) - 1)
+        ]
+        self.database = TrajectoryDatabase(trajectories, float(meta["epsilon"]))
+
+        if meta["qgram"] is not None:
+            q = int(meta["qgram"]["q"])
+            qoffsets = arrays["qg2_offsets"]
+            values = arrays["qg2_values"]
+            self.database._sorted_means_2d[q] = [
+                values[qoffsets[i] : qoffsets[i + 1]]
+                for i in range(len(qoffsets) - 1)
+            ]
+            self.database._flat_means_2d[q] = (
+                arrays["qg2_pool_values"],
+                arrays["qg2_pool_owners"],
+            )
+
+        for variant in meta["hist"]:
+            tag = variant["tag"]
+            axis = variant["axis"]
+            space = HistogramSpace(variant["origin"], variant["bin_size"])
+            keys = arrays[f"{tag}_keys"]
+            kcounts = arrays[f"{tag}_kcounts"]
+            koffsets = arrays[f"{tag}_koffsets"]
+            histograms = []
+            for i in range(len(koffsets) - 1):
+                lo, hi = int(koffsets[i]), int(koffsets[i + 1])
+                histograms.append(
+                    {
+                        tuple(map(int, key)): int(count)
+                        for key, count in zip(
+                            keys[lo:hi].tolist(), kcounts[lo:hi].tolist()
+                        )
+                    }
+                )
+            key = (float(variant["delta"]), axis)
+            self.database._histograms[key] = (space, histograms)
+            if variant["sparse"]:
+                counts = (
+                    arrays[f"{tag}_data"],
+                    arrays[f"{tag}_indices"],
+                    arrays[f"{tag}_indptr"],
+                )
+            else:
+                counts = arrays[f"{tag}_counts"]
+            self.database._histogram_arrays[key] = HistogramArrayStore.from_state(
+                variant["ndim"],
+                np.asarray(variant["lo"], dtype=np.int64),
+                np.asarray(variant["shape"], dtype=np.int64),
+                arrays[f"{tag}_totals"],
+                counts,
+                sparse=variant["sparse"],
+            )
+
+        # Near-triangle reference column slices (global reference ids,
+        # shard-local candidate axis).  The cooperative NTI state itself
+        # is coordinator-owned — it must see the global record order —
+        # but the columns ride in the shard's block so shard-local
+        # engines can consult them without touching the parent.
+        self.reference_columns: Dict[int, np.ndarray] = {}
+        if meta["nti"] is not None:
+            matrix = arrays["nti_matrix"]
+            for row, reference_id in enumerate(arrays["nti_refs"].tolist()):
+                self.reference_columns[int(reference_id)] = matrix[row]
+
+        self._chains: Dict[str, Dict[int, Optional[Pruner]]] = {}
+        self._queries: "Dict[Tuple[str, str], Dict[str, object]]" = {}
+
+    def chain(self, spec: str) -> Dict[int, Optional[Pruner]]:
+        """Static pruners of ``spec`` rebuilt against the shard view.
+
+        Keyed by chain position; dynamic entries (``nti``) are ``None``
+        — the coordinator evaluates those with global state.
+        """
+        if spec not in self._chains:
+            chain: Dict[int, Optional[Pruner]] = {}
+            for position, name in enumerate(p for p in spec.split(",") if p):
+                if name == "histogram":
+                    chain[position] = HistogramPruner(self.database)
+                elif name == "histogram-1d":
+                    chain[position] = HistogramPruner(self.database, per_axis=True)
+                elif name == "qgram":
+                    chain[position] = QgramMergeJoinPruner(self.database, q=_QGRAM_Q)
+                elif name == "nti":
+                    chain[position] = None
+                else:  # pragma: no cover - specs are pre-validated
+                    raise ValueError(f"unknown pruner {name!r}")
+            self._chains[spec] = chain
+        return self._chains[spec]
+
+    def query_state(
+        self, spec: str, digest: str, query_points: np.ndarray
+    ) -> Dict[str, object]:
+        """Per-(query, spec) pruner state, LRU-cached per shard.
+
+        Refine tasks can land on any pool worker, so every task carries
+        the query points and the state rebuilds on a cache miss; repeat
+        rounds of the same query on the same worker hit the cache.
+        """
+        key = (spec, digest)
+        state = self._queries.pop(key, None)
+        if state is None:
+            query = Trajectory(query_points)
+            pruners = {
+                position: pruner.for_query(query)
+                for position, pruner in self.chain(spec).items()
+                if pruner is not None
+            }
+            quick = {
+                position: np.asarray(
+                    query_pruner.bulk_quick_lower_bounds(), dtype=np.float64
+                )
+                for position, query_pruner in pruners.items()
+            }
+            state = {"query": query, "pruners": pruners, "quick": quick}
+        self._queries[key] = state
+        while len(self._queries) > _QUERY_CACHE_LIMIT:
+            self._queries.pop(next(iter(self._queries)))
+        return state
+
+    def filter(
+        self, spec: str, digest: str, query_points: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """Bulk quick-bound arrays of every static pruner, shard-local."""
+        state = self.query_state(spec, digest, query_points)
+        return dict(state["quick"])
+
+    def refine(
+        self,
+        spec: str,
+        digest: str,
+        query_points: np.ndarray,
+        members: List[int],
+        threshold: float,
+        early_abandon: bool,
+        exact_positions: List[int],
+        batch_size: int,
+        shared_value,
+    ) -> List[Tuple[str, float]]:
+        """Staged exact bounds + batched EDR for one round's shard group.
+
+        Every member already passed all quick bounds at ``threshold``
+        (the coordinator pruned the rest), so the work here is: the
+        exact stage of each two-stage pruner in ``exact_positions``
+        (chain order), then the batched EDR kernel over the survivors,
+        length-bucketed.  Outcomes align with ``members``: ``("p", i)``
+        — pruned by the exact stage of chain position ``i`` — or
+        ``("d", distance)`` with ``inf`` marking an early abandon.
+
+        With ``early_abandon`` the EDR budget is ``threshold`` tightened
+        by the shared cooperative bound, re-read at every bucket
+        boundary; both only shrink below the frozen round threshold, so
+        abandonments stay sound.
+        """
+        state = self.query_state(spec, digest, query_points)
+        pruners: Dict[int, QueryPruner] = state["pruners"]
+        query: Trajectory = state["query"]
+        outcomes: List[Optional[Tuple[str, float]]] = [None] * len(members)
+        survivors: List[int] = []
+        survivor_slots: List[int] = []
+        finite = np.isfinite(threshold)
+        for slot, local_index in enumerate(members):
+            pruned_at = None
+            if finite:
+                for position in exact_positions:
+                    if pruners[position].exact_lower_bound(local_index) > threshold:
+                        pruned_at = position
+                        break
+            if pruned_at is not None:
+                outcomes[slot] = ("p", float(pruned_at))
+            else:
+                survivors.append(local_index)
+                survivor_slots.append(slot)
+        if survivors:
+            lengths = self.database.lengths[survivors]
+            for bucket in iter_length_buckets(lengths, batch_size):
+                bound = None
+                if early_abandon:
+                    limit = threshold
+                    if shared_value is not None:
+                        limit = min(limit, float(shared_value.value))
+                    bound = limit if np.isfinite(limit) else None
+                indices = [survivors[int(position)] for position in bucket]
+                distances = edr_many(
+                    query,
+                    [self.database.trajectories[i] for i in indices],
+                    self.database.epsilon,
+                    bounds=bound,
+                )
+                for position, distance in zip(bucket, distances):
+                    outcomes[survivor_slots[int(position)]] = ("d", float(distance))
+        return outcomes  # type: ignore[return-value]
+
+    def close(self) -> None:
+        self.block.close()
+
+
+class _WorkerState:
+    """Per-process registry of attached shard runtimes."""
+
+    def __init__(self, payload: Dict[str, object], shared_value) -> None:
+        self._payload = payload
+        self.shared_value = shared_value
+        self._runtimes: Dict[int, _ShardRuntime] = {}
+
+    def runtime(self, shard_id: int) -> _ShardRuntime:
+        if shard_id not in self._runtimes:
+            shard = self._payload["shards"][shard_id]
+            self._runtimes[shard_id] = _ShardRuntime(shard["manifest"], shard["meta"])
+        return self._runtimes[shard_id]
+
+    def close(self) -> None:
+        for runtime in self._runtimes.values():
+            runtime.close()
+        self._runtimes = {}
+
+
+_POOL_STATE: Optional[_WorkerState] = None
+
+
+def _pool_initializer(payload: Dict[str, object], shared_value) -> None:
+    global _POOL_STATE
+    _POOL_STATE = _WorkerState(payload, shared_value)
+
+
+def _pool_filter(shard_id, spec, digest, query_points):
+    return _POOL_STATE.runtime(shard_id).filter(spec, digest, query_points)
+
+
+def _pool_refine(
+    shard_id, spec, digest, query_points, members, threshold,
+    early_abandon, exact_positions, batch_size,
+):
+    return _POOL_STATE.runtime(shard_id).refine(
+        spec, digest, query_points, members, threshold,
+        early_abandon, exact_positions, batch_size, _POOL_STATE.shared_value,
+    )
+
+
+class _InlineValue:
+    """In-process stand-in for the shared cooperative bound."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = float("inf")) -> None:
+        self.value = value
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+class ShardedDatabase:
+    """Partition-parallel exact search over a warmed database.
+
+    Parameters
+    ----------
+    database:
+        The parent database.  Artifacts needed by ``specs`` are built
+        (or reused) at construction and packed into shared memory.
+    shards:
+        Number of contiguous partitions (clamped to the database size).
+    specs:
+        Pruner-chain specs (service syntax) the shards must be able to
+        serve; the union of their families decides what gets packed.
+    mode:
+        ``"process"`` — persistent worker pool over shared memory (the
+        production path); ``"inline"`` — the identical pipeline executed
+        in-process, for deterministic tests and cheap single-shard use.
+    workers:
+        Pool size (process mode); defaults to the shard count.
+    exact_stage:
+        Scheduling policy for two-stage pruners' exact bounds on
+        refine-phase survivors: ``"auto"`` pays them only when the
+        pruner declares them cheap (``exact_stage_cheap``), ``"always"``
+        / ``"never"`` force either way.  Pure scheduling — answers are
+        identical under all three; only the pruned-vs-refined credit
+        split moves (deterministically, for any fixed policy).
+    """
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        shards: int = 2,
+        *,
+        specs: Sequence[str] = ("histogram,qgram",),
+        mode: str = "process",
+        workers: Optional[int] = None,
+        max_triangle: int = 50,
+        refine_batch_size: int = DEFAULT_REFINE_BATCH_SIZE,
+        exact_stage: str = "auto",
+    ) -> None:
+        if mode not in ("process", "inline"):
+            raise ValueError("mode must be 'process' or 'inline'")
+        if exact_stage not in ("auto", "always", "never"):
+            raise ValueError("exact_stage must be 'auto', 'always', or 'never'")
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self._database = database
+        self.shards = min(int(shards), len(database))
+        self.mode = mode
+        self.workers = int(workers) if workers else self.shards
+        self._max_triangle = int(max_triangle)
+        self._round_size = max(2, int(refine_batch_size))
+        self._exact_stage = exact_stage
+
+        canonical: List[str] = []
+        for spec in specs:
+            normalized = canonical_pruner_spec(spec)
+            if normalized not in canonical:
+                canonical.append(normalized)
+        if not canonical:
+            canonical = [""]
+        self.specs = tuple(canonical)
+        self._packed_parts = sorted(
+            {part for spec in self.specs for part in spec.split(",") if part}
+        )
+
+        sizes = [len(piece) for piece in np.array_split(np.arange(len(database)), self.shards)]
+        starts = np.zeros(self.shards + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
+        self._starts = starts
+        self._shard_ids = np.repeat(np.arange(self.shards), sizes)
+
+        self._blocks: List[SharedArrayBlock] = []
+        shard_payload: Dict[int, Dict[str, object]] = {}
+        for shard_id in range(self.shards):
+            arrays, meta = _pack_shard(
+                database,
+                int(starts[shard_id]),
+                int(starts[shard_id + 1]),
+                self._packed_parts,
+                self._max_triangle,
+            )
+            block = SharedArrayBlock.create(arrays)
+            self._blocks.append(block)
+            shard_payload[shard_id] = {"manifest": block.manifest, "meta": meta}
+        self._payload = {"shards": shard_payload}
+
+        self._pools: Optional[List[ProcessPoolExecutor]] = None
+        self._value = None
+        self._inline_state: Optional[_WorkerState] = None
+        self._start_method: Optional[str] = None
+        self._parent_chains: Dict[str, List[Pruner]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._database)
+
+    @property
+    def database(self) -> TrajectoryDatabase:
+        return self._database
+
+    @property
+    def boundaries(self) -> List[Tuple[int, int]]:
+        """Global ``[start, stop)`` row range of every shard."""
+        return [
+            (int(self._starts[s]), int(self._starts[s + 1]))
+            for s in range(self.shards)
+        ]
+
+    @property
+    def start_method(self) -> Optional[str]:
+        """Start method of the worker pool (None before first use / inline)."""
+        return self._start_method
+
+    def supports(self, spec: str) -> bool:
+        """Whether the packed artifacts can serve ``spec``."""
+        try:
+            parts = [p for p in canonical_pruner_spec(spec).split(",") if p]
+        except ValueError:
+            return False
+        return all(part in self._packed_parts for part in parts)
+
+    # ------------------------------------------------------------------
+    # Execution plumbing
+    # ------------------------------------------------------------------
+    def _ensure_ready(self) -> None:
+        if self._closed:
+            raise RuntimeError("sharded database is closed")
+        if self.mode == "inline":
+            if self._inline_state is None:
+                self._value = _InlineValue()
+                self._inline_state = _WorkerState(self._payload, self._value)
+            return
+        if self._pools is None:
+            context, method = process_context("fork")
+            self._start_method = method
+            # Synchronized values travel only by inheritance, so the
+            # cooperative bound needs fork; without it workers fall back
+            # to the frozen round threshold (still exact, just no
+            # mid-round cross-shard tightening).
+            self._value = context.Value("d", float("inf"), lock=False) if method == "fork" else None
+            # One single-worker pool per worker slot, with shards pinned
+            # to slots (shard s -> pool s % W): a shard's tasks always
+            # land on the same process, so its attached block and its
+            # per-query pruner state are built exactly once — a shared
+            # pool's round-robin would rebuild the query state on
+            # whichever worker each round's task happened to reach.
+            slots = max(1, min(self.workers, self.shards))
+            self._pools = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=context,
+                    initializer=_pool_initializer,
+                    initargs=(self._payload, self._value),
+                )
+                for _ in range(slots)
+            ]
+
+    def _pool_for(self, shard_id: int) -> ProcessPoolExecutor:
+        return self._pools[shard_id % len(self._pools)]
+
+    def _inline_refine(self, shard_id, *args):
+        return self._inline_state.runtime(shard_id).refine(*args, self._value)
+
+    def _parent_chain(self, spec: str) -> List[Pruner]:
+        if spec not in self._parent_chains:
+            from ..service.pruning import build_pruners
+
+            self._parent_chains[spec] = build_pruners(
+                self._database, spec, max_triangle=self._max_triangle
+            )
+        return self._parent_chains[spec]
+
+    # ------------------------------------------------------------------
+    # Public search API
+    # ------------------------------------------------------------------
+    def knn_search(
+        self,
+        query: Trajectory,
+        k: int,
+        spec: Optional[str] = None,
+        early_abandon: bool = False,
+        refine_batch_size: Optional[int] = None,
+    ) -> Tuple[List[Neighbor], ShardedSearchStats]:
+        """Exact k-NN, byte-for-byte equal to the serial ``knn_search``."""
+        return self._run(
+            query, spec, k=k, radius=None,
+            early_abandon=early_abandon, refine_batch_size=refine_batch_size,
+        )
+
+    def knn_sorted_search(
+        self,
+        query: Trajectory,
+        k: int,
+        spec: Optional[str] = None,
+        early_abandon: bool = False,
+        refine_batch_size: Optional[int] = None,
+    ) -> Tuple[List[Neighbor], ShardedSearchStats]:
+        """Alias of :meth:`knn_search` — the sharded pipeline *is* a
+        sorted scan (global quick-bound order with a sorted break), and
+        the canonical result list makes the serial ``knn_search`` and
+        ``knn_sorted_search`` answers identical already."""
+        return self.knn_search(
+            query, k, spec=spec, early_abandon=early_abandon,
+            refine_batch_size=refine_batch_size,
+        )
+
+    def range_search(
+        self,
+        query: Trajectory,
+        radius: float,
+        spec: Optional[str] = None,
+        early_abandon: bool = False,
+        refine_batch_size: Optional[int] = None,
+    ) -> Tuple[List[Neighbor], ShardedSearchStats]:
+        """Exact range query; answers equal the serial ``range_search``."""
+        if radius < 0.0:
+            raise ValueError("radius must be non-negative")
+        return self._run(
+            query, spec, k=None, radius=float(radius),
+            early_abandon=early_abandon, refine_batch_size=refine_batch_size,
+        )
+
+    # ------------------------------------------------------------------
+    # The frozen-bound round engine
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        query: Trajectory,
+        spec: Optional[str],
+        k: Optional[int],
+        radius: Optional[float],
+        early_abandon: bool,
+        refine_batch_size: Optional[int],
+    ) -> Tuple[List[Neighbor], ShardedSearchStats]:
+        start_time = time.perf_counter()
+        self._ensure_ready()
+        spec = canonical_pruner_spec(spec if spec is not None else self.specs[0])
+        if not self.supports(spec):
+            raise ValueError(
+                f"spec {spec!r} needs artifact families outside the packed set "
+                f"{self._packed_parts}"
+            )
+        round_size = (
+            self._round_size
+            if refine_batch_size is None
+            else max(2, int(refine_batch_size))
+        )
+        knn = radius is None
+        result = _ResultList(k) if knn else None
+        range_hits: List[Neighbor] = []
+        total = len(self._database)
+        per_shard = [
+            SearchStats(database_size=int(self._starts[s + 1] - self._starts[s]))
+            for s in range(self.shards)
+        ]
+
+        chain = self._parent_chain(spec)
+        query_pruners = [pruner.for_query(query) for pruner in chain]
+        names = [query_pruner.name for query_pruner in query_pruners]
+        query_points = np.ascontiguousarray(query.points)
+        digest = hashlib.sha1(query_points.tobytes()).hexdigest()
+
+        if self._value is not None:
+            self._value.value = radius if not knn else float("inf")
+
+        # ---- filter phase: shard-parallel bulk quick bounds ----------
+        shard_quick = self._dispatch_filter(spec, digest, query_points)
+        quick: List[Optional[np.ndarray]] = []
+        for position, query_pruner in enumerate(query_pruners):
+            if query_pruner.dynamic:
+                quick.append(None)
+            else:
+                quick.append(
+                    np.concatenate(
+                        [shard_quick[s][position] for s in range(self.shards)]
+                    )
+                )
+        if quick and quick[0] is not None:
+            order_keys = quick[0]
+        elif query_pruners:
+            # Dynamic primary: order by its initial (pre-scan) bounds,
+            # exactly like the serial sorted engine's frozen array.
+            order_keys = np.asarray(
+                query_pruners[0].bulk_quick_lower_bounds(), dtype=np.float64
+            )
+        else:
+            order_keys = np.zeros(total, dtype=np.float64)
+        order = np.argsort(order_keys, kind="stable")
+
+        exact_positions = [
+            position
+            for position, query_pruner in enumerate(query_pruners)
+            if quick[position] is not None
+            and query_pruner.two_stage
+            and (
+                self._exact_stage == "always"
+                or (self._exact_stage == "auto" and query_pruner.exact_stage_cheap)
+            )
+        ]
+
+        # ---- frozen-bound rounds -------------------------------------
+        position_in_order = 0
+        rounds = 0
+        while position_in_order < total:
+            threshold = result.best_so_far if knn else radius
+            finite = np.isfinite(threshold)
+            chunk: List[int] = []
+            while position_in_order < total and len(chunk) < round_size:
+                candidate = int(order[position_in_order])
+                if finite and query_pruners:
+                    if order_keys[candidate] > threshold:
+                        # Sorted break: every remaining ordered bound
+                        # also exceeds the frozen threshold.
+                        remaining = order[position_in_order:]
+                        counts = np.bincount(
+                            self._shard_ids[remaining], minlength=self.shards
+                        )
+                        for shard_id, count in enumerate(counts.tolist()):
+                            if count:
+                                per_shard[shard_id].pruned_by[names[0]] = (
+                                    per_shard[shard_id].pruned_by.get(names[0], 0)
+                                    + count
+                                )
+                        position_in_order = total
+                        break
+                    pruned = False
+                    for p, query_pruner in enumerate(query_pruners):
+                        if quick[p] is None:
+                            prunes = query_pruner.lower_bound(candidate, threshold) > threshold
+                        else:
+                            prunes = quick[p][candidate] > threshold
+                        if prunes:
+                            per_shard[int(self._shard_ids[candidate])].credit(names[p])
+                            pruned = True
+                            break
+                    if pruned:
+                        position_in_order += 1
+                        continue
+                chunk.append(candidate)
+                position_in_order += 1
+            if not chunk:
+                continue
+            rounds += 1
+
+            groups: Dict[int, List[int]] = {}
+            for candidate in chunk:
+                groups.setdefault(int(self._shard_ids[candidate]), []).append(candidate)
+            outcomes = self._dispatch_refine(
+                groups, spec, digest, query_points, threshold,
+                early_abandon, exact_positions, round_size, result,
+            )
+            # Deterministic merge pass in global chunk order: stats,
+            # range hits, and dynamic-pruner records all follow the
+            # partition-independent order, not completion order.
+            cursors = {shard_id: 0 for shard_id in groups}
+            for candidate in chunk:
+                shard_id = int(self._shard_ids[candidate])
+                outcome = outcomes[shard_id][cursors[shard_id]]
+                cursors[shard_id] += 1
+                kind, payload = outcome
+                if kind == "p":
+                    per_shard[shard_id].credit(names[int(payload)])
+                    continue
+                per_shard[shard_id].true_distance_computations += 1
+                distance = float(payload)
+                if np.isfinite(distance):
+                    for query_pruner in query_pruners:
+                        query_pruner.record(candidate, distance)
+                    if not knn and distance <= radius:
+                        range_hits.append(Neighbor(candidate, distance))
+
+        stats = ShardedSearchStats(
+            database_size=total,
+            per_shard=per_shard,
+            rounds=rounds,
+            shards=self.shards,
+            start_method=self._start_method if self.mode == "process" else None,
+        )
+        for shard_stats in per_shard:
+            shard_stats.start_method = stats.start_method
+            stats.true_distance_computations += shard_stats.true_distance_computations
+            for name, count in shard_stats.pruned_by.items():
+                stats.pruned_by[name] = stats.pruned_by.get(name, 0) + count
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        if knn:
+            return result.neighbors(), stats
+        range_hits.sort(key=lambda neighbor: neighbor.index)
+        return range_hits, stats
+
+    # ------------------------------------------------------------------
+    # Dispatch (process pool or inline)
+    # ------------------------------------------------------------------
+    def _dispatch_filter(
+        self, spec: str, digest: str, query_points: np.ndarray
+    ) -> Dict[int, Dict[int, np.ndarray]]:
+        if self.mode == "inline":
+            return {
+                shard_id: self._inline_state.runtime(shard_id).filter(
+                    spec, digest, query_points
+                )
+                for shard_id in range(self.shards)
+            }
+        futures = {
+            self._pool_for(shard_id).submit(
+                _pool_filter, shard_id, spec, digest, query_points
+            ): shard_id
+            for shard_id in range(self.shards)
+        }
+        return {shard_id: future.result() for future, shard_id in futures.items()}
+
+    def _dispatch_refine(
+        self,
+        groups: Dict[int, List[int]],
+        spec: str,
+        digest: str,
+        query_points: np.ndarray,
+        threshold: float,
+        early_abandon: bool,
+        exact_positions: List[int],
+        batch_size: int,
+        result: Optional[_ResultList],
+    ) -> Dict[int, List[Tuple[str, float]]]:
+        """Run one round's shard groups; merge k-NN offers eagerly.
+
+        Offers into the canonical result list are commutative, so they
+        happen as each shard completes — and the shared bound is
+        republished immediately, tightening still-running shards'
+        early-abandon budget mid-round.  Everything order-sensitive
+        (stats, records) waits for the caller's deterministic pass.
+        """
+        local_groups = {
+            shard_id: [c - int(self._starts[shard_id]) for c in members]
+            for shard_id, members in groups.items()
+        }
+        outcomes: Dict[int, List[Tuple[str, float]]] = {}
+
+        def merge(shard_id: int, shard_outcomes: List[Tuple[str, float]]) -> None:
+            outcomes[shard_id] = shard_outcomes
+            if result is None:
+                return
+            base = int(self._starts[shard_id])
+            for local_index, (kind, payload) in zip(local_groups[shard_id], shard_outcomes):
+                if kind == "d":
+                    result.offer(base + local_index, float(payload))
+            if self._value is not None:
+                best = result.best_so_far
+                if best < self._value.value:
+                    self._value.value = best
+
+        if self.mode == "inline":
+            for shard_id, members in local_groups.items():
+                merge(
+                    shard_id,
+                    self._inline_refine(
+                        shard_id, spec, digest, query_points, members,
+                        threshold, early_abandon, exact_positions, batch_size,
+                    ),
+                )
+            return outcomes
+        futures = {
+            self._pool_for(shard_id).submit(
+                _pool_refine, shard_id, spec, digest, query_points, members,
+                threshold, early_abandon, exact_positions, batch_size,
+            ): shard_id
+            for shard_id, members in local_groups.items()
+        }
+        for future in as_completed(futures):
+            merge(futures[future], future.result())
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and release every shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+            self._pools = None
+        if self._inline_state is not None:
+            self._inline_state.close()
+            self._inline_state = None
+        for block in self._blocks:
+            block.close()
+            block.unlink()
+        self._blocks = []
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,138 @@
+"""Named numpy arrays packed into one shared-memory segment.
+
+The sharded query engine keeps every per-shard pruning artifact —
+trajectory points, length offsets, Q-gram mean pools, histogram count
+matrices, near-triangle reference columns — in POSIX shared memory so
+that a persistent worker pool maps them once and every query task ships
+only scalars (a digest, a bound, a handful of candidate ids).  This is
+what makes per-task dispatch cheap: nothing database-sized is pickled,
+ever, and unlike fork's copy-on-write pages the mapping stays shared for
+the lifetime of a long-lived service process no matter how Python's
+allocator churns the parent heap.
+
+:class:`SharedArrayBlock` is the container: a dictionary of named arrays
+laid out back-to-back (64-byte aligned) in a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment, described
+by a small picklable *manifest* ``{name, entries: {key: (dtype, shape,
+offset)}}``.  Workers :meth:`attach` by manifest and get read-only numpy
+views straight into the mapping.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+__all__ = ["SharedArrayBlock"]
+
+# Cache-line alignment for every packed array: keeps vectorized kernels
+# on their happy path and makes offsets independent of insertion order
+# quirks.
+_ALIGN = 64
+
+
+def _aligned(size: int) -> int:
+    return (size + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrayBlock:
+    """A set of named read-only numpy arrays in one shared-memory segment.
+
+    Create in the owning process with :meth:`create`, hand the
+    :attr:`manifest` to workers (it is tiny and picklable), and
+    :meth:`attach` there.  The creating process is the *owner* and must
+    eventually call :meth:`unlink`; every process (owner included)
+    should :meth:`close` when done with its mapping.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        entries: Dict[str, Tuple[str, Tuple[int, ...], int]],
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self._entries = entries
+        self._owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayBlock":
+        """Pack ``arrays`` into a fresh segment (contents are copied once)."""
+        entries: Dict[str, Tuple[str, Tuple[int, ...], int]] = {}
+        offset = 0
+        prepared: Dict[str, np.ndarray] = {}
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            prepared[key] = array
+            entries[key] = (array.dtype.str, tuple(array.shape), offset)
+            offset += _aligned(array.nbytes)
+        segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for key, array in prepared.items():
+            dtype, shape, start = entries[key]
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=start)
+            view[...] = array
+        return cls(segment, entries, owner=True)
+
+    @property
+    def manifest(self) -> Dict[str, object]:
+        """Picklable description sufficient to :meth:`attach` elsewhere."""
+        return {"name": self._segment.name, "entries": dict(self._entries)}
+
+    @classmethod
+    def attach(cls, manifest: Mapping[str, object]) -> "SharedArrayBlock":
+        """Map an existing segment described by a :attr:`manifest`."""
+        segment = shared_memory.SharedMemory(name=manifest["name"])
+        return cls(segment, dict(manifest["entries"]), owner=False)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Read-only views of every packed array, keyed by name.
+
+        The views alias the mapping directly — zero copies — and stay
+        valid until :meth:`close`.  Callers must not let them outlive
+        the block.
+        """
+        views: Dict[str, np.ndarray] = {}
+        for key, (dtype, shape, offset) in self._entries.items():
+            view = np.ndarray(shape, dtype=dtype, buffer=self._segment.buf, offset=offset)
+            view.setflags(write=False)
+            views[key] = view
+        return views
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        return self._segment.size
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        if not self._closed:
+            self._closed = True
+            self._segment.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after every close)."""
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -60,6 +60,12 @@ class ServiceConfig:
     refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE
     matrix_workers: Optional[int] = None
 
+    # Intra-query sharding (``shards > 1`` routes supported k-NN specs
+    # through the resident shared-memory ShardedDatabase engine; answers
+    # are unchanged, only the execution is partition-parallel).
+    shards: int = 1
+    shard_workers: Optional[int] = None
+
     # Micro-batching
     max_batch: int = 16
     max_delay_ms: float = 5.0
@@ -87,6 +93,10 @@ class ServiceConfig:
             )
         if self.k_default < 1:
             raise ValueError("k_default must be at least 1")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ValueError("shard_workers must be at least 1 (or None)")
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if self.max_delay_ms < 0.0:

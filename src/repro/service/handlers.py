@@ -102,6 +102,7 @@ class TrajectoryService:
             on_batch=self.metrics.record_batch,
         )
         self._pruner_chains: Dict[str, List[Pruner]] = {}
+        self._sharded = None  # resident ShardedDatabase when config.shards > 1
         self._inflight = 0
         self._draining = False
 
@@ -126,6 +127,21 @@ class TrajectoryService:
         )
         self._pruner_chain(spec)
         report["pruner_chain"] = time.perf_counter() - start - sum(report.values())
+        if self.config.shards > 1 and self._sharded is None:
+            from ..core.sharding import ShardedDatabase
+
+            shard_start = time.perf_counter()
+            refine = self.config.refine_batch_size
+            kwargs = {} if refine is None else {"refine_batch_size": refine}
+            self._sharded = ShardedDatabase(
+                self.database,
+                self.config.shards,
+                specs=[spec],
+                mode="process",
+                workers=self.config.shard_workers,
+                **kwargs,
+            )
+            report["sharding"] = time.perf_counter() - shard_start
         return report
 
     def _pruner_chain(self, spec: str) -> List[Pruner]:
@@ -158,6 +174,9 @@ class TrajectoryService:
 
     def close(self) -> None:
         self._executor.shutdown(wait=False)
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
 
     # ------------------------------------------------------------------
     # HTTP-facing entry point
@@ -239,6 +258,14 @@ class TrajectoryService:
             "max_length": self.database.max_length,
         }
         snapshot["config"] = self.config.public()
+        sharding = snapshot.setdefault("sharding", {})
+        sharding["enabled"] = self._sharded is not None
+        if self._sharded is not None:
+            sharding["shards"] = self._sharded.shards
+            sharding["workers"] = self._sharded.workers
+            sharding["mode"] = self._sharded.mode
+            sharding["start_method"] = self._sharded.start_method
+            sharding["boundaries"] = self._sharded.boundaries
         return snapshot
 
     # ------------------------------------------------------------------
@@ -291,17 +318,37 @@ class TrajectoryService:
     ) -> List[dict]:
         """Dispatch-thread body: one ``knn_batch`` call for the window."""
         pruners = self._pruner_chain(spec)
-        batch = knn_batch(
-            self.database,
-            queries,
-            k,
-            pruners,
-            engine=self.config.engine,
-            workers=self.config.batch_workers,
-            executor=self.config.batch_executor,
-            early_abandon=self.config.early_abandon,
-            refine_batch_size=self.config.refine_batch_size,
-        )
+        sharded = self._sharded
+        if (
+            sharded is not None
+            and self.config.engine != "scan"
+            and pruners
+            and sharded.supports(spec)
+        ):
+            # Intra-query parallelism: the resident shard engine answers
+            # each query across the whole pool (answers unchanged).
+            batch = knn_batch(
+                self.database,
+                queries,
+                k,
+                pruners,
+                engine=self.config.engine,
+                early_abandon=self.config.early_abandon,
+                refine_batch_size=self.config.refine_batch_size,
+                sharded=sharded,
+            )
+        else:
+            batch = knn_batch(
+                self.database,
+                queries,
+                k,
+                pruners,
+                engine=self.config.engine,
+                workers=self.config.batch_workers,
+                executor=self.config.batch_executor,
+                early_abandon=self.config.early_abandon,
+                refine_batch_size=self.config.refine_batch_size,
+            )
         self.metrics.record_search_stats(
             batch.stats, seconds=batch.elapsed_seconds
         )

@@ -104,6 +104,16 @@ class MetricsRegistry:
         self.search_seconds = 0.0
         self.pruned_by: Counter = Counter()
 
+        # Sharded-execution accounting: queries answered by the
+        # partition-parallel engine, their bound-republish rounds, and
+        # the per-shard split of the same SearchStats counters.
+        self.sharded_queries = 0
+        self.sharded_rounds = 0
+        self._shard_tallies: Dict[int, dict] = {}
+        # Which multiprocessing start methods actually served searches
+        # (``fork`` everywhere it exists; the fallback method where not).
+        self.start_methods: Counter = Counter()
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
@@ -146,6 +156,29 @@ class MetricsRegistry:
                     per_query.true_distance_computations
                 )
                 self.pruned_by.update(per_query.pruned_by)
+                method = getattr(per_query, "start_method", None)
+                if method:
+                    self.start_methods[method] += 1
+                per_shard = getattr(per_query, "per_shard", None)
+                if per_shard:
+                    self.sharded_queries += 1
+                    self.sharded_rounds += getattr(per_query, "rounds", 0)
+                    for shard_id, shard_stats in enumerate(per_shard):
+                        tally = self._shard_tallies.setdefault(
+                            shard_id,
+                            {
+                                "queries": 0,
+                                "candidates": 0,
+                                "true_distance_computations": 0,
+                                "pruned_by": Counter(),
+                            },
+                        )
+                        tally["queries"] += 1
+                        tally["candidates"] += shard_stats.database_size
+                        tally["true_distance_computations"] += (
+                            shard_stats.true_distance_computations
+                        )
+                        tally["pruned_by"].update(shard_stats.pruned_by)
                 if seconds is None:
                     self.search_seconds += per_query.elapsed_seconds
             if seconds is not None:
@@ -197,5 +230,26 @@ class MetricsRegistry:
                     else 0.0,
                     "pruned_by": dict(self.pruned_by),
                     "engine_seconds": round(self.search_seconds, 6),
+                },
+                "multiprocessing": {
+                    "start_methods": dict(self.start_methods),
+                },
+                "sharding": {
+                    "queries": self.sharded_queries,
+                    "rounds": self.sharded_rounds,
+                    "per_shard": [
+                        {
+                            "shard": shard_id,
+                            "queries": tally["queries"],
+                            "candidates": tally["candidates"],
+                            "true_distance_computations": (
+                                tally["true_distance_computations"]
+                            ),
+                            "pruned_by": dict(tally["pruned_by"]),
+                        }
+                        for shard_id, tally in sorted(
+                            self._shard_tallies.items()
+                        )
+                    ],
                 },
             }

@@ -92,6 +92,54 @@ class TestRoundTrip:
         actual, _ = knn_search(loaded, query, 3, pruners)
         assert same_answers(expected, actual)
 
+    def test_load_warm_equals_build_plus_warm(self, built_database, tmp_path):
+        path = tmp_path / "db.npz"
+        built_database.save(path)
+        loaded = TrajectoryDatabase.load(path, warm=True)
+        # warm=True must eagerly rebuild the derived search-time arrays
+        # for every *persisted* artifact family — same cache keys, same
+        # contents as building them lazily on the original database.
+        assert set(loaded._flat_means_2d) == {1, 2}
+        assert set(loaded._flat_means_1d) == {(1, 0)}
+        assert set(loaded._histogram_arrays) == {
+            (1.0, None),
+            (2.0, None),
+            (1.0, 1),
+        }
+        for q in (1, 2):
+            expected = built_database.flat_qgram_means(q)
+            for a, b in zip(expected, loaded._flat_means_2d[q]):
+                assert np.array_equal(np.asarray(a), np.asarray(b))
+        for delta, axis in loaded._histogram_arrays:
+            expected = built_database.histogram_arrays(delta=delta, axis=axis)
+            got = loaded._histogram_arrays[(delta, axis)]
+            assert np.array_equal(expected.totals, got.totals)
+
+    def test_load_warm_searches_identically(self, built_database, tmp_path):
+        path = tmp_path / "db.npz"
+        built_database.save(path)
+        loaded = TrajectoryDatabase.load(path, warm=True)
+        rng = np.random.default_rng(5)
+        query = Trajectory(rng.normal(size=(8, 2)))
+        expected, _ = knn_search(
+            built_database,
+            query,
+            3,
+            [
+                HistogramPruner(built_database),
+                QgramMergeJoinPruner(built_database, q=1),
+            ],
+        )
+        actual, _ = knn_search(
+            loaded,
+            query,
+            3,
+            [HistogramPruner(loaded), QgramMergeJoinPruner(loaded, q=1)],
+        )
+        assert [(n.index, n.distance) for n in actual] == [
+            (n.index, n.distance) for n in expected
+        ]
+
     def test_unbuilt_database_round_trips(self, tmp_path):
         rng = np.random.default_rng(2)
         database = TrajectoryDatabase(

@@ -4,6 +4,8 @@ This is the paper's no-false-dismissal guarantee, checked engine by
 engine over several workloads, k values, and pruner combinations.
 """
 
+import itertools
+
 import numpy as np
 import pytest
 
@@ -63,23 +65,23 @@ class TestResultList:
         with pytest.raises(ValueError):
             _ResultList(0)
 
-    def test_ties_keep_offer_order(self):
-        """Equal distances must never displace an earlier offer — the
-        binary-insertion rewrite has to match the old linear scan."""
+    def test_ties_break_on_lowest_index(self):
+        """Equal distances keep the smallest database indices — the
+        canonical (distance, index) order every engine must agree on."""
         result = _ResultList(2)
-        result.offer(10, 5.0)
         result.offer(11, 5.0)
         result.offer(12, 5.0)
+        result.offer(10, 5.0)  # later offer, smaller index: displaces 12
         assert [(n.index, n.distance) for n in result.neighbors()] == [
             (10, 5.0),
             (11, 5.0),
         ]
 
-    def test_tie_at_kth_position_does_not_evict(self):
+    def test_tie_at_kth_position_keeps_lower_index(self):
         result = _ResultList(2)
         result.offer(0, 3.0)
         result.offer(1, 7.0)
-        result.offer(2, 7.0)  # ties the current k-th: keep the earlier one
+        result.offer(2, 7.0)  # ties the current k-th: keep the lower index
         assert [n.index for n in result.neighbors()] == [0, 1]
         result.offer(3, 5.0)  # strictly better: evicts the k-th
         assert [(n.index, n.distance) for n in result.neighbors()] == [
@@ -87,17 +89,19 @@ class TestResultList:
             (3, 5.0),
         ]
 
-    def test_interleaved_ties_stay_sorted_and_stable(self):
-        result = _ResultList(4)
+    def test_offer_order_is_irrelevant(self):
+        """The list is a pure function of the offered (index, distance)
+        set: merging shard results in any completion order must yield
+        the same answer, so every permutation has to agree."""
         offers = [(0, 2.0), (1, 1.0), (2, 2.0), (3, 1.0), (4, 0.5)]
-        for index, distance in offers:
-            result.offer(index, distance)
-        assert [(n.index, n.distance) for n in result.neighbors()] == [
-            (4, 0.5),
-            (1, 1.0),
-            (3, 1.0),
-            (0, 2.0),
-        ]
+        expected = [(4, 0.5), (1, 1.0), (3, 1.0), (0, 2.0)]
+        for permutation in itertools.permutations(offers):
+            result = _ResultList(4)
+            for index, distance in permutation:
+                result.offer(index, distance)
+            assert [
+                (n.index, n.distance) for n in result.neighbors()
+            ] == expected
 
 
 class TestStats:
