@@ -92,9 +92,11 @@ def main() -> int:
 
     failures = []
     compared = 0
+    missing_fresh = []
     for baseline_path in baseline_files:
         fresh_path = fresh_dir / baseline_path.name
         if not fresh_path.exists():
+            missing_fresh.append(baseline_path.name)
             print(f"skip {baseline_path.name}: no fresh copy")
             continue
         baseline_payload = _load_payload(baseline_path)
@@ -133,7 +135,18 @@ def main() -> int:
                 failures.append((baseline_path.name, metric))
 
     if not compared:
-        print("no comparable metrics found")
+        print("no comparable metrics found", end="")
+        if missing_fresh:
+            print(
+                f": {len(missing_fresh)} baseline file(s) have no fresh "
+                f"copy under {fresh_dir} ({', '.join(missing_fresh)}) — "
+                "did the benchmark step fail or write elsewhere?"
+            )
+        else:
+            print(
+                " (every common file was size-skipped or had no "
+                "higher-is-better metrics)"
+            )
         return 1
     if failures:
         print(

@@ -11,6 +11,8 @@ divergence, so CI and ``scripts/run_all.sh`` can gate on it.
 
 from __future__ import annotations
 
+import argparse
+import socket
 import sys
 import threading
 
@@ -19,12 +21,26 @@ import numpy as np
 from repro import Trajectory, TrajectoryDatabase, knn_search, range_search
 from repro.core.batch import warm_pruners
 from repro.service import (
+    PortInUseError,
     ServerHandle,
     ServiceClient,
     ServiceConfig,
     ServiceError,
 )
 from repro.service.pruning import build_pruners
+
+
+def preflight_port(host: str, port: int) -> bool:
+    """True when ``port`` is bindable (always true for ephemeral 0)."""
+    if port == 0:
+        return True
+    try:
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind((host, port))
+    except OSError:
+        return False
+    return True
 
 
 def _database(count: int = 120, seed: int = 2) -> TrajectoryDatabase:
@@ -45,10 +61,10 @@ def _payload(neighbors) -> list:
     ]
 
 
-def smoke_round_trip(database: TrajectoryDatabase) -> None:
+def smoke_round_trip(database: TrajectoryDatabase, port: int = 0) -> None:
     pruners = build_pruners(database, "histogram,qgram")
     warm_pruners(pruners, database.trajectories[0])
-    config = ServiceConfig(port=0, max_batch=4, max_delay_ms=2.0)
+    config = ServiceConfig(port=port, max_batch=4, max_delay_ms=2.0)
     with ServerHandle.start(database, config) as handle:
         with ServiceClient(handle.host, handle.port) as client:
             health = client.healthz()
@@ -116,9 +132,28 @@ def smoke_overload(database: TrajectoryDatabase) -> None:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="fixed service port (default 0: ephemeral, never conflicts)",
+    )
+    args = parser.parse_args()
+    if not preflight_port("127.0.0.1", args.port):
+        print(
+            f"FAIL: port {args.port} is already bound by another process; "
+            "free it or rerun with --port 0",
+            file=sys.stderr,
+        )
+        return 2
     database = _database()
-    smoke_round_trip(database)
-    smoke_overload(database)
+    try:
+        smoke_round_trip(database, port=args.port)
+        smoke_overload(database)
+    except PortInUseError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 2
     print("service smoke test passed")
     return 0
 

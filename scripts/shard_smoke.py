@@ -12,12 +12,32 @@ and ``scripts/run_all.sh`` can gate on it.
 
 from __future__ import annotations
 
+import argparse
+import socket
 import sys
 
 import numpy as np
 
 from repro import Trajectory, TrajectoryDatabase
-from repro.service import ServerHandle, ServiceClient, ServiceConfig
+from repro.service import (
+    PortInUseError,
+    ServerHandle,
+    ServiceClient,
+    ServiceConfig,
+)
+
+
+def preflight_port(host: str, port: int) -> bool:
+    """True when ``port`` is bindable (always true for ephemeral 0)."""
+    if port == 0:
+        return True
+    try:
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind((host, port))
+    except OSError:
+        return False
+    return True
 
 
 def _database(count: int = 160, seed: int = 4) -> TrajectoryDatabase:
@@ -31,9 +51,9 @@ def _database(count: int = 160, seed: int = 4) -> TrajectoryDatabase:
     return TrajectoryDatabase(trajectories, epsilon=0.5)
 
 
-def _serve_answers(database, shards: int, query_indices, k: int):
+def _serve_answers(database, shards: int, query_indices, k: int, port: int = 0):
     config = ServiceConfig(
-        port=0, max_batch=1, cache_size=0, shards=shards
+        port=port, max_batch=1, cache_size=0, shards=shards
     )
     with ServerHandle.start(database, config) as handle:
         with ServiceClient(handle.host, handle.port) as client:
@@ -48,10 +68,33 @@ def _serve_answers(database, shards: int, query_indices, k: int):
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="fixed service port (default 0: ephemeral, never conflicts)",
+    )
+    args = parser.parse_args()
+    if not preflight_port("127.0.0.1", args.port):
+        print(
+            f"FAIL: port {args.port} is already bound by another process; "
+            "free it or rerun with --port 0",
+            file=sys.stderr,
+        )
+        return 2
     database = _database()
     query_indices = (0, 33, 92, 141)
-    unsharded, _ = _serve_answers(database, 1, query_indices, k=5)
-    sharded, stats = _serve_answers(database, 2, query_indices, k=5)
+    try:
+        unsharded, _ = _serve_answers(
+            database, 1, query_indices, k=5, port=args.port
+        )
+        sharded, stats = _serve_answers(
+            database, 2, query_indices, k=5, port=args.port
+        )
+    except PortInUseError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 2
 
     for index in query_indices:
         if sharded[index] != unsharded[index]:

@@ -41,6 +41,7 @@ from .core.batch import BatchResult, knn_batch
 from .core.join import similarity_join
 from .core.lcss_search import knn_lcss_scan, knn_lcss_search
 from .core.qgram import mean_value_qgrams
+from .core.faults import FaultPlan, FaultRule
 from .core.rangequery import range_scan, range_search
 from .core.sharding import ShardedDatabase, ShardedSearchStats
 from .core.trajectory import Trajectory
@@ -84,6 +85,8 @@ __all__ = [
     "BatchResult",
     "ShardedDatabase",
     "ShardedSearchStats",
+    "FaultPlan",
+    "FaultRule",
     "knn_lcss_scan",
     "knn_lcss_search",
     "edr_alignment",

@@ -48,7 +48,7 @@ from .data import (
 from .distances.base import EPSILON_FUNCTIONS, available_distances, get_distance
 from .eval.classification import leave_one_out_error
 from .eval.clustering import clustering_score
-from .service import ServiceConfig, run_server
+from .service import PortInUseError, ServiceConfig, run_server
 from .service import bench as service_bench
 from .service.pruning import PRUNER_CHOICES, build_pruners
 
@@ -344,7 +344,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(str(error)) from None
     print(f"epsilon = {epsilon:.4f}; pruners = {config.pruners or 'none'}")
-    run_server(database, config)
+    try:
+        run_server(database, config)
+    except PortInUseError as error:
+        raise SystemExit(str(error)) from None
     return 0
 
 

@@ -1,0 +1,352 @@
+"""Deterministic fault injection for the sharded search engine.
+
+The robustness layer in :mod:`repro.core.sharding` (bounded retries,
+dead-worker respawn, per-round timeouts, checksum verification, serial
+fallback) is only trustworthy if every recovery path is *exercised*, and
+chaos that depends on OS scheduling cannot be asserted byte-for-byte.
+This module makes faults a deterministic input instead:
+
+* A :class:`FaultPlan` is a seeded, step-addressable list of
+  :class:`FaultRule` entries.  Each rule names a **fault point** (the
+  ``filter`` or ``refine`` dispatch of one shard task), a **fault
+  class** (worker crash, slow worker, shared-memory attach failure,
+  pipe EOF, result corruption), an optional shard, and the visit window
+  (``step``/``count``) in which it fires.
+
+* The plan lives **coordinator-side only**.  At every dispatch the
+  coordinator draws the matching :class:`Fault` directives and attaches
+  them to the task payload; the worker honours them via :func:`apply`.
+  Because the coordinator consumes rules as it dispatches, a retried
+  task naturally runs clean (unless the plan says otherwise), and a
+  respawned worker cannot "forget" that a fault already fired — there
+  is no worker-side plan state to reset.
+
+* Every worker result is wrapped with a content checksum
+  (:func:`checksum`) so the coordinator can detect corruption; the
+  ``corrupt`` fault class mutates the payload *after* the checksum is
+  taken, which is exactly what a torn write or a bad page would look
+  like.
+
+The chaos suite (``tests/test_faults.py``) drives every fault class at
+every fault point and asserts that answers and per-pruner counters stay
+byte-for-byte identical to the serial oracle, and that the recovery
+counters account for every fault the plan reports as fired.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "COUNTER_BY_KIND",
+    "Fault",
+    "FaultRule",
+    "FaultPlan",
+    "WorkerCrash",
+    "WorkerTimeout",
+    "ShardAttachError",
+    "ChecksumMismatch",
+    "apply",
+    "wrap_result",
+    "checksum",
+    "corrupt_payload",
+]
+
+#: Fault classes a rule may inject.
+FAULT_KINDS = ("crash", "slow", "attach_fail", "pipe_eof", "corrupt")
+
+#: Dispatch sites a rule may address ("any" matches both).
+FAULT_POINTS = ("filter", "refine")
+
+#: Which :class:`~repro.core.sharding.ShardedSearchStats` recovery
+#: counter each fault class lands in when the coordinator detects it.
+COUNTER_BY_KIND = {
+    "crash": "worker_crashes",
+    "slow": "timeouts",
+    "attach_fail": "attach_failures",
+    "pipe_eof": "transport_errors",
+    "corrupt": "checksum_failures",
+}
+
+
+# ----------------------------------------------------------------------
+# Failure exceptions (raised worker-side, classified coordinator-side)
+# ----------------------------------------------------------------------
+class WorkerCrash(RuntimeError):
+    """Inline-mode stand-in for a dead worker process.
+
+    In process mode a crash is the real thing (``os._exit`` →
+    ``BrokenProcessPool``); inline mode raises this instead so the
+    coordinator's recovery path is identical and deterministic.
+    """
+
+
+class WorkerTimeout(RuntimeError):
+    """Inline-mode stand-in for a round-deadline expiry."""
+
+
+class ShardAttachError(RuntimeError):
+    """A shard's shared-memory block could not be attached."""
+
+
+class ChecksumMismatch(RuntimeError):
+    """A worker result failed checksum verification."""
+
+
+# ----------------------------------------------------------------------
+# Directives
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fault:
+    """One injected behaviour, attached to a single dispatched task."""
+
+    kind: str
+    delay_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """A step-addressable fault: fire ``kind`` at visits
+    ``[step, step + count)`` of the matching ``(point, shard)`` stream.
+
+    ``point`` is ``"filter"``, ``"refine"``, or ``"any"``; ``shard`` of
+    ``None`` matches every shard (the rule's visit counter then counts
+    dispatches to *any* shard at that point).  ``count`` above 1 makes
+    the fault persistent enough to defeat retries — the way to force the
+    serial-fallback path deterministically.
+    """
+
+    point: str
+    kind: str
+    shard: Optional[int] = None
+    step: int = 0
+    count: int = 1
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS + ("any",):
+            raise ValueError(f"unknown fault point {self.point!r}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.step < 0 or self.count < 1:
+            raise ValueError("step must be >= 0 and count >= 1")
+
+
+@dataclass
+class _RuleState:
+    visits: int = 0
+    fired: int = 0
+
+
+class FaultPlan:
+    """A deterministic schedule of faults, consumed by the coordinator.
+
+    The coordinator calls :meth:`directives` once per dispatched shard
+    task (including retries — a retry is the next visit, so a rule with
+    ``count > 1`` can fail the retry too).  ``fired`` records every
+    injection as ``(point, shard, kind)`` so tests can assert that the
+    engine's recovery counters account for each one.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule]) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self._states: List[_RuleState] = [_RuleState() for _ in self.rules]
+        self.fired: List[Tuple[str, int, str]] = []
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        shards: int,
+        faults: int = 3,
+        kinds: Sequence[str] = FAULT_KINDS,
+        points: Sequence[str] = FAULT_POINTS,
+        max_step: int = 2,
+        delay_s: float = 0.05,
+    ) -> "FaultPlan":
+        """A seeded random plan — the chaos suite's fuzzing entry point."""
+        rng = random.Random(seed)
+        rules = [
+            FaultRule(
+                point=rng.choice(list(points)),
+                kind=rng.choice(list(kinds)),
+                shard=rng.choice([None] + list(range(shards))),
+                step=rng.randrange(max_step + 1),
+                delay_s=delay_s,
+            )
+            for _ in range(faults)
+        ]
+        return cls(rules)
+
+    def directives(self, point: str, shard: int) -> Tuple[Fault, ...]:
+        """Draw the faults that fire at this visit of ``(point, shard)``."""
+        out: List[Fault] = []
+        for rule, state in zip(self.rules, self._states):
+            if rule.point != "any" and rule.point != point:
+                continue
+            if rule.shard is not None and rule.shard != shard:
+                continue
+            visit = state.visits
+            state.visits += 1
+            if rule.step <= visit < rule.step + rule.count:
+                state.fired += 1
+                self.fired.append((point, int(shard), rule.kind))
+                out.append(Fault(rule.kind, rule.delay_s))
+        return tuple(out)
+
+    def fired_by_kind(self) -> Dict[str, int]:
+        """How many times each fault class was injected so far."""
+        tally: Dict[str, int] = {}
+        for _, _, kind in self.fired:
+            tally[kind] = tally.get(kind, 0) + 1
+        return tally
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every rule has fired its full ``count``."""
+        return all(
+            state.fired >= rule.count
+            for rule, state in zip(self.rules, self._states)
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-side application
+# ----------------------------------------------------------------------
+def apply(
+    directives: Sequence[Fault],
+    *,
+    inline: bool,
+    drop: Optional[Callable[[], None]] = None,
+) -> None:
+    """Honour the pre-compute directives of one task, worker-side.
+
+    ``slow`` sleeps; ``crash`` kills the process (``os._exit``) or, in
+    inline mode, raises :class:`WorkerCrash`; ``pipe_eof`` raises
+    :class:`EOFError` (a transport-looking failure that leaves the
+    worker alive); ``attach_fail`` drops the cached shard runtime via
+    ``drop`` (forcing a reattach on retry) and raises
+    :class:`ShardAttachError`.  ``corrupt`` is post-compute and handled
+    by :func:`wrap_result`.
+    """
+    for directive in directives:
+        if directive.kind == "slow":
+            time.sleep(directive.delay_s)
+        elif directive.kind == "crash":
+            if inline:
+                raise WorkerCrash("injected worker crash")
+            os._exit(13)
+        elif directive.kind == "pipe_eof":
+            raise EOFError("injected pipe EOF")
+        elif directive.kind == "attach_fail":
+            if drop is not None:
+                drop()
+            raise ShardAttachError("injected shared-memory attach failure")
+
+
+def wrap_result(payload, directives: Sequence[Fault]) -> Tuple[object, str]:
+    """Checksum a task result, then apply any ``corrupt`` directive.
+
+    The checksum is always taken over the *true* payload, so a corrupt
+    directive produces exactly the signature of a torn result: payload
+    and checksum that no longer agree.
+    """
+    digest = checksum(payload)
+    if any(directive.kind == "corrupt" for directive in directives):
+        payload = corrupt_payload(payload)
+    return payload, digest
+
+
+# ----------------------------------------------------------------------
+# Checksums
+# ----------------------------------------------------------------------
+def checksum(payload) -> str:
+    """Content hash of a task result (nested dict/list/array/scalars)."""
+    digest = hashlib.sha1()
+    _feed(digest, payload)
+    return digest.hexdigest()
+
+
+def _feed(digest, node) -> None:
+    if isinstance(node, dict):
+        digest.update(b"{")
+        for key in sorted(node, key=repr):
+            digest.update(repr(key).encode())
+            _feed(digest, node[key])
+        digest.update(b"}")
+    elif isinstance(node, (list, tuple)):
+        digest.update(b"[")
+        for item in node:
+            _feed(digest, item)
+        digest.update(b"]")
+    elif isinstance(node, np.ndarray):
+        array = np.ascontiguousarray(node)
+        digest.update(array.dtype.str.encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(array.tobytes())
+    elif node is None:
+        digest.update(b"~")
+    else:
+        digest.update(repr(node).encode())
+
+
+def corrupt_payload(payload):
+    """A deterministically perturbed copy of a task result.
+
+    Flips the first numeric leaf it finds (arrays included); payloads
+    with no numeric leaf get an extra sentinel entry instead, so the
+    checksum always changes.
+    """
+    corrupted, changed = _corrupt(payload)
+    if changed:
+        return corrupted
+    if isinstance(corrupted, dict):
+        corrupted["__corrupt__"] = 1
+        return corrupted
+    if isinstance(corrupted, list):
+        corrupted.append("__corrupt__")
+        return corrupted
+    return ("__corrupt__", corrupted)
+
+
+def _corrupt(node) -> Tuple[object, bool]:
+    if isinstance(node, np.ndarray):
+        if node.size:
+            copy = np.array(node)
+            flat = copy.reshape(-1)
+            flat[0] = flat[0] + 1 if np.issubdtype(copy.dtype, np.number) else flat[0]
+            return copy, bool(np.issubdtype(copy.dtype, np.number))
+        return node, False
+    if isinstance(node, dict):
+        out, changed = {}, False
+        for key, value in node.items():
+            if changed:
+                out[key] = value
+            else:
+                out[key], changed = _corrupt(value)
+        return out, changed
+    if isinstance(node, (list, tuple)):
+        out_list: List[object] = []
+        changed = False
+        for value in node:
+            if changed:
+                out_list.append(value)
+            else:
+                item, changed = _corrupt(value)
+                out_list.append(item)
+        return (tuple(out_list) if isinstance(node, tuple) else out_list), changed
+    if isinstance(node, bool) or node is None or isinstance(node, str):
+        return node, False
+    if isinstance(node, (int, float)):
+        return node + 1, True
+    return node, False

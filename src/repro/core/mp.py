@@ -21,7 +21,7 @@ import multiprocessing
 import warnings
 from typing import Tuple
 
-__all__ = ["process_context", "start_method_name"]
+__all__ = ["process_context", "start_method_name", "terminate_pool"]
 
 _warned_fallback = False
 
@@ -52,6 +52,26 @@ def process_context(prefer: str = "fork") -> Tuple[object, str]:
                 stacklevel=2,
             )
         return context, method
+
+
+def terminate_pool(pool) -> None:
+    """Forcibly stop a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    A graceful ``shutdown(wait=True)`` blocks behind a hung or dead
+    worker, which is exactly the situation the sharded engine's
+    recovery path is in when it calls this: SIGTERM every worker
+    process first, then shut the executor down without waiting.
+    Safe on pools that are already broken or partially dead.
+    """
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already reaped
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken executor internals
+        pass
 
 
 def start_method_name(prefer: str = "fork") -> str:

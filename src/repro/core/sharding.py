@@ -45,17 +45,29 @@ shard count, and execution mode cannot change it.  See
 from __future__ import annotations
 
 import hashlib
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import faults as _faults
 from .database import TrajectoryDatabase
 from .edr_batch import DEFAULT_REFINE_BATCH_SIZE, edr_many, iter_length_buckets
+from .faults import (
+    ChecksumMismatch,
+    Fault,
+    FaultPlan,
+    ShardAttachError,
+    WorkerCrash,
+    WorkerTimeout,
+)
 from .histogram import HistogramArrayStore, HistogramSpace
-from .mp import process_context
+from .mp import process_context, terminate_pool
 from .search import (
     HistogramPruner,
     NearTrianglePruning,
@@ -65,11 +77,31 @@ from .search import (
     QueryPruner,
     SearchStats,
     _ResultList,
+    knn_search,
 )
 from .shm import SharedArrayBlock
 from .trajectory import Trajectory
 
-__all__ = ["ShardedDatabase", "ShardedSearchStats", "pruner_spec_of"]
+__all__ = [
+    "ShardedDatabase",
+    "ShardedSearchStats",
+    "pruner_spec_of",
+    "RECOVERY_FIELDS",
+]
+
+#: Recovery counters carried by :class:`ShardedSearchStats` (per query)
+#: and by the engine's lifetime :meth:`ShardedDatabase.resilience`
+#: snapshot.  ``retries`` counts re-executions, ``respawns`` replaced
+#: worker pools; the rest classify the detected failures.
+RECOVERY_FIELDS = (
+    "retries",
+    "respawns",
+    "worker_crashes",
+    "timeouts",
+    "attach_failures",
+    "checksum_failures",
+    "transport_errors",
+)
 
 _QGRAM_Q = 1  # the spec-built merge-join pruner is q=1 (service default)
 
@@ -99,6 +131,18 @@ class ShardedSearchStats(SearchStats):
     per_shard: List[SearchStats] = field(default_factory=list)
     rounds: int = 0
     shards: int = 0
+    # Recovery accounting (see RECOVERY_FIELDS).  Answers are exact
+    # regardless — these count what it took to stay exact.
+    retries: int = 0
+    respawns: int = 0
+    worker_crashes: int = 0
+    timeouts: int = 0
+    attach_failures: int = 0
+    checksum_failures: int = 0
+    transport_errors: int = 0
+    #: True when this query fell back to the serial engine after a
+    #: shard exhausted its retry budget.  The answer is still exact.
+    degraded: bool = False
 
 
 def pruner_spec_of(pruners: Sequence[Pruner]) -> str:
@@ -481,8 +525,24 @@ class _WorkerState:
     def runtime(self, shard_id: int) -> _ShardRuntime:
         if shard_id not in self._runtimes:
             shard = self._payload["shards"][shard_id]
-            self._runtimes[shard_id] = _ShardRuntime(shard["manifest"], shard["meta"])
+            try:
+                runtime = _ShardRuntime(shard["manifest"], shard["meta"])
+            except (FileNotFoundError, ValueError) as error:
+                # The segment vanished or its manifest no longer matches
+                # — surface as the attach-failure class so the
+                # coordinator's recovery path handles both the injected
+                # and the real thing identically.
+                raise ShardAttachError(
+                    f"cannot attach shard {shard_id}: {error}"
+                ) from error
+            self._runtimes[shard_id] = runtime
         return self._runtimes[shard_id]
+
+    def drop(self, shard_id: int) -> None:
+        """Forget shard ``shard_id``'s runtime (forces a reattach)."""
+        runtime = self._runtimes.pop(shard_id, None)
+        if runtime is not None:
+            runtime.close()
 
     def close(self) -> None:
         for runtime in self._runtimes.values():
@@ -498,18 +558,62 @@ def _pool_initializer(payload: Dict[str, object], shared_value) -> None:
     _POOL_STATE = _WorkerState(payload, shared_value)
 
 
-def _pool_filter(shard_id, spec, digest, query_points):
-    return _POOL_STATE.runtime(shard_id).filter(spec, digest, query_points)
+def _pool_filter(shard_id, spec, digest, query_points, directives=()):
+    _faults.apply(
+        directives, inline=False, drop=lambda: _POOL_STATE.drop(shard_id)
+    )
+    payload = _POOL_STATE.runtime(shard_id).filter(spec, digest, query_points)
+    return _faults.wrap_result(payload, directives)
 
 
 def _pool_refine(
     shard_id, spec, digest, query_points, members, threshold,
-    early_abandon, exact_positions, batch_size,
+    early_abandon, exact_positions, batch_size, directives=(),
 ):
-    return _POOL_STATE.runtime(shard_id).refine(
+    _faults.apply(
+        directives, inline=False, drop=lambda: _POOL_STATE.drop(shard_id)
+    )
+    payload = _POOL_STATE.runtime(shard_id).refine(
         spec, digest, query_points, members, threshold,
         early_abandon, exact_positions, batch_size, _POOL_STATE.shared_value,
     )
+    return _faults.wrap_result(payload, directives)
+
+
+def _pool_ping():
+    """Worker liveness probe: answers with the worker's pid."""
+    return os.getpid()
+
+
+class _ShardFailure(RuntimeError):
+    """A shard task exhausted its retry budget — degrade to serial."""
+
+    def __init__(self, point: str, shard_id: int) -> None:
+        super().__init__(
+            f"shard {shard_id} failed its {point} task after retries"
+        )
+        self.point = point
+        self.shard_id = shard_id
+
+
+def _classify(error: BaseException) -> Optional[str]:
+    """Map a dispatch failure to its recovery counter (None = not ours).
+
+    Unknown exception types return ``None`` and the caller re-raises:
+    masking a genuine bug as a transient worker fault would retry (and
+    eventually serialize) forever instead of surfacing it.
+    """
+    if isinstance(error, (BrokenProcessPool, WorkerCrash)):
+        return "worker_crashes"
+    if isinstance(error, (_FuturesTimeout, TimeoutError, WorkerTimeout)):
+        return "timeouts"
+    if isinstance(error, ShardAttachError):
+        return "attach_failures"
+    if isinstance(error, ChecksumMismatch):
+        return "checksum_failures"
+    if isinstance(error, (EOFError, BrokenPipeError, ConnectionError)):
+        return "transport_errors"
+    return None
 
 
 class _InlineValue:
@@ -550,6 +654,24 @@ class ShardedDatabase:
         / ``"never"`` force either way.  Pure scheduling — answers are
         identical under all three; only the pruned-vs-refined credit
         split moves (deterministically, for any fixed policy).
+    max_retries:
+        Re-executions allowed per failed shard task before the query
+        degrades to the serial engine (which still returns the exact
+        answer).
+    retry_backoff_s:
+        Base backoff before retry ``n`` (doubles each attempt).
+    round_timeout_s:
+        Deadline for collecting one dispatch wave; a shard that misses
+        it is treated as hung (worker terminated and respawned, task
+        retried).  ``None`` disables timeouts.
+    fault_plan:
+        Optional :class:`~repro.core.faults.FaultPlan` — deterministic
+        fault injection for the chaos suite.  The plan is consumed
+        coordinator-side as tasks are dispatched, so retries run clean
+        unless the plan says otherwise.
+    verify_checksums:
+        Verify the per-task content checksum every worker result
+        carries; a mismatch is treated as a transient fault (retry).
     """
 
     def __init__(
@@ -563,6 +685,11 @@ class ShardedDatabase:
         max_triangle: int = 50,
         refine_batch_size: int = DEFAULT_REFINE_BATCH_SIZE,
         exact_stage: str = "auto",
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.02,
+        round_timeout_s: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        verify_checksums: bool = True,
     ) -> None:
         if mode not in ("process", "inline"):
             raise ValueError("mode must be 'process' or 'inline'")
@@ -570,6 +697,8 @@ class ShardedDatabase:
             raise ValueError("exact_stage must be 'auto', 'always', or 'never'")
         if shards < 1:
             raise ValueError("shards must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self._database = database
         self.shards = min(int(shards), len(database))
         self.mode = mode
@@ -612,11 +741,23 @@ class ShardedDatabase:
         self._payload = {"shards": shard_payload}
 
         self._pools: Optional[List[ProcessPoolExecutor]] = None
+        self._context = None
         self._value = None
         self._inline_state: Optional[_WorkerState] = None
         self._start_method: Optional[str] = None
         self._parent_chains: Dict[str, List[Pruner]] = {}
         self._closed = False
+
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.round_timeout_s = (
+            None if round_timeout_s is None else float(round_timeout_s)
+        )
+        self.fault_plan = fault_plan
+        self.verify_checksums = bool(verify_checksums)
+        self._degraded = False
+        self._lifetime: Dict[str, int] = {name: 0 for name in RECOVERY_FIELDS}
+        self._lifetime["degraded_queries"] = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -649,6 +790,47 @@ class ShardedDatabase:
             return False
         return all(part in self._packed_parts for part in parts)
 
+    @property
+    def degraded(self) -> bool:
+        """True after a query fell back to serial, until a sharded query
+        (or :meth:`health_check`) succeeds again."""
+        return self._degraded
+
+    def resilience(self) -> Dict[str, object]:
+        """Lifetime recovery counters plus the current degraded flag."""
+        snapshot: Dict[str, object] = dict(self._lifetime)
+        snapshot["degraded"] = self._degraded
+        return snapshot
+
+    def health_check(self, timeout: float = 5.0) -> bool:
+        """Probe every worker slot; respawn dead ones; clear degraded.
+
+        Returns True when every slot answered a ping (after at most one
+        respawn each).  A True result clears the degraded flag — the
+        sharded path is serviceable again.
+        """
+        self._ensure_ready()
+        if self.mode == "inline":
+            self._degraded = False
+            return True
+        healthy = True
+        for index in range(len(self._pools)):
+            try:
+                self._pools[index].submit(_pool_ping).result(timeout=timeout)
+                continue
+            except Exception as error:
+                if _classify(error) is None:
+                    raise
+            self._respawn_slot(index)
+            self._lifetime["respawns"] += 1
+            try:
+                self._pools[index].submit(_pool_ping).result(timeout=timeout)
+            except Exception:
+                healthy = False
+        if healthy:
+            self._degraded = False
+        return healthy
+
     # ------------------------------------------------------------------
     # Execution plumbing
     # ------------------------------------------------------------------
@@ -674,22 +856,28 @@ class ShardedDatabase:
             # per-query pruner state are built exactly once — a shared
             # pool's round-robin would rebuild the query state on
             # whichever worker each round's task happened to reach.
+            self._context = context
             slots = max(1, min(self.workers, self.shards))
-            self._pools = [
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    mp_context=context,
-                    initializer=_pool_initializer,
-                    initargs=(self._payload, self._value),
-                )
-                for _ in range(slots)
-            ]
+            self._pools = [self._new_pool() for _ in range(slots)]
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        # Fresh pools reuse the same initargs: under fork they travel by
+        # memory inheritance, so a respawned worker keeps the *same*
+        # shared cooperative-bound Value and shard manifests.
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._context,
+            initializer=_pool_initializer,
+            initargs=(self._payload, self._value),
+        )
+
+    def _respawn_slot(self, index: int) -> None:
+        """Terminate slot ``index``'s (dead or hung) pool; start fresh."""
+        terminate_pool(self._pools[index])
+        self._pools[index] = self._new_pool()
 
     def _pool_for(self, shard_id: int) -> ProcessPoolExecutor:
         return self._pools[shard_id % len(self._pools)]
-
-    def _inline_refine(self, shard_id, *args):
-        return self._inline_state.runtime(shard_id).refine(*args, self._value)
 
     def _parent_chain(self, spec: str) -> List[Pruner]:
         if spec not in self._parent_chains:
@@ -775,6 +963,76 @@ class ShardedDatabase:
             if refine_batch_size is None
             else max(2, int(refine_batch_size))
         )
+        recovery = {name: 0 for name in RECOVERY_FIELDS}
+        try:
+            answer, stats = self._run_sharded(
+                query, spec, k, radius, early_abandon, round_size, recovery
+            )
+            self._degraded = False
+        except _ShardFailure:
+            answer, stats = self._degrade(
+                query, spec, k, radius, early_abandon, round_size
+            )
+        for name in RECOVERY_FIELDS:
+            setattr(stats, name, recovery[name])
+            self._lifetime[name] += recovery[name]
+        if stats.degraded:
+            self._lifetime["degraded_queries"] += 1
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return answer, stats
+
+    def _degrade(
+        self,
+        query: Trajectory,
+        spec: str,
+        k: Optional[int],
+        radius: Optional[float],
+        early_abandon: bool,
+        round_size: int,
+    ) -> Tuple[List[Neighbor], ShardedSearchStats]:
+        """Last resort: rerun the whole query on the serial engine.
+
+        The serial engines are pure functions of the database and the
+        query, so the answer is exact regardless of what the sharded
+        attempt got through before failing; its partial per-shard
+        tallies are discarded and the returned stats are the serial
+        engine's own (marked ``degraded``).
+        """
+        chain = self._parent_chain(spec)
+        if radius is None:
+            answer, serial = knn_search(
+                self._database, query, k, chain,
+                early_abandon=early_abandon, refine_batch_size=round_size,
+            )
+        else:
+            from .rangequery import range_search
+
+            answer, serial = range_search(
+                self._database, query, radius, chain,
+                early_abandon=early_abandon, refine_batch_size=round_size,
+            )
+        self._degraded = True
+        return answer, ShardedSearchStats(
+            database_size=serial.database_size,
+            true_distance_computations=serial.true_distance_computations,
+            pruned_by=dict(serial.pruned_by),
+            per_shard=[],
+            rounds=0,
+            shards=self.shards,
+            start_method=self._start_method if self.mode == "process" else None,
+            degraded=True,
+        )
+
+    def _run_sharded(
+        self,
+        query: Trajectory,
+        spec: str,
+        k: Optional[int],
+        radius: Optional[float],
+        early_abandon: bool,
+        round_size: int,
+        recovery: Dict[str, int],
+    ) -> Tuple[List[Neighbor], ShardedSearchStats]:
         knn = radius is None
         result = _ResultList(k) if knn else None
         range_hits: List[Neighbor] = []
@@ -794,7 +1052,7 @@ class ShardedDatabase:
             self._value.value = radius if not knn else float("inf")
 
         # ---- filter phase: shard-parallel bulk quick bounds ----------
-        shard_quick = self._dispatch_filter(spec, digest, query_points)
+        shard_quick = self._dispatch_filter(spec, digest, query_points, recovery)
         quick: List[Optional[np.ndarray]] = []
         for position, query_pruner in enumerate(query_pruners):
             if query_pruner.dynamic:
@@ -877,7 +1135,7 @@ class ShardedDatabase:
                 groups.setdefault(int(self._shard_ids[candidate]), []).append(candidate)
             outcomes = self._dispatch_refine(
                 groups, spec, digest, query_points, threshold,
-                early_abandon, exact_positions, round_size, result,
+                early_abandon, exact_positions, round_size, result, recovery,
             )
             # Deterministic merge pass in global chunk order: stats,
             # range hits, and dynamic-pruner records all follow the
@@ -911,32 +1169,186 @@ class ShardedDatabase:
             stats.true_distance_computations += shard_stats.true_distance_computations
             for name, count in shard_stats.pruned_by.items():
                 stats.pruned_by[name] = stats.pruned_by.get(name, 0) + count
-        stats.elapsed_seconds = time.perf_counter() - start_time
         if knn:
             return result.neighbors(), stats
         range_hits.sort(key=lambda neighbor: neighbor.index)
         return range_hits, stats
 
     # ------------------------------------------------------------------
-    # Dispatch (process pool or inline)
+    # Dispatch (process pool or inline), with bounded recovery
     # ------------------------------------------------------------------
-    def _dispatch_filter(
-        self, spec: str, digest: str, query_points: np.ndarray
-    ) -> Dict[int, Dict[int, np.ndarray]]:
-        if self.mode == "inline":
-            return {
-                shard_id: self._inline_state.runtime(shard_id).filter(
-                    spec, digest, query_points
+    def _directives_for(self, point: str, shard_id: int) -> Tuple[Fault, ...]:
+        if self.fault_plan is None:
+            return ()
+        return self.fault_plan.directives(point, shard_id)
+
+    def _submit(self, point: str, shard_id: int, args: tuple, directives):
+        fn = _pool_filter if point == "filter" else _pool_refine
+        return self._pool_for(shard_id).submit(fn, shard_id, *args, directives)
+
+    def _inline_execute(
+        self, point: str, shard_id: int, args: tuple, directives
+    ):
+        # Inline mode cannot interrupt a synchronous call, so a slow
+        # directive that would blow the round deadline becomes a
+        # deterministic pre-execution timeout instead of a sleep —
+        # exactly the coordinator-visible outcome of the process path.
+        if self.round_timeout_s is not None:
+            delay = sum(d.delay_s for d in directives if d.kind == "slow")
+            if delay >= self.round_timeout_s:
+                raise WorkerTimeout(
+                    f"shard {shard_id} {point} task exceeded the "
+                    f"{self.round_timeout_s}s round deadline"
                 )
-                for shard_id in range(self.shards)
-            }
-        futures = {
-            self._pool_for(shard_id).submit(
-                _pool_filter, shard_id, spec, digest, query_points
-            ): shard_id
+        state = self._inline_state
+        _faults.apply(
+            directives, inline=True, drop=lambda: state.drop(shard_id)
+        )
+        runtime = state.runtime(shard_id)
+        if point == "filter":
+            payload = runtime.filter(*args)
+        else:
+            payload = runtime.refine(*args, self._value)
+        return _faults.wrap_result(payload, directives)
+
+    def _attempt(
+        self,
+        point: str,
+        shard_id: int,
+        args: tuple,
+        future=None,
+        deadline: Optional[float] = None,
+    ):
+        """One execution of a shard task; verified payload or raise."""
+        if future is None:
+            directives = self._directives_for(point, shard_id)
+            if self.mode == "inline":
+                wrapped = self._inline_execute(point, shard_id, args, directives)
+            else:
+                wrapped = self._submit(point, shard_id, args, directives).result(
+                    timeout=self.round_timeout_s
+                )
+        else:
+            timeout = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            wrapped = future.result(timeout=timeout)
+        payload, digest = wrapped
+        if self.verify_checksums and _faults.checksum(payload) != digest:
+            raise ChecksumMismatch(
+                f"shard {shard_id} returned a corrupt {point} result"
+            )
+        return payload
+
+    def _recover_slot(
+        self, shard_id: int, counter: str, recovery: Dict[str, int]
+    ) -> None:
+        """Post-failure cleanup so the retry lands on a live worker.
+
+        Crashes and timeouts leave a dead or hung process behind: the
+        slot's pool is terminated and respawned (inline: the shard
+        runtime is dropped, the deterministic analogue).  Transport,
+        attach, and checksum failures leave the worker alive — nothing
+        to do but retry.
+        """
+        if counter not in ("worker_crashes", "timeouts"):
+            return
+        if self.mode == "inline":
+            self._inline_state.drop(shard_id)
+        else:
+            self._respawn_slot(shard_id % len(self._pools))
+        recovery["respawns"] += 1
+
+    def _collect(
+        self,
+        point: str,
+        shard_id: int,
+        args: tuple,
+        recovery: Dict[str, int],
+        future=None,
+        deadline: Optional[float] = None,
+    ):
+        """A shard task's verified payload, through bounded recovery.
+
+        The first attempt may ride an already-submitted ``future`` (the
+        parallel wave); each retry re-executes from scratch after
+        backoff.  Exhausting ``max_retries`` raises
+        :class:`_ShardFailure`, the signal to degrade serially.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(
+                    point, shard_id, args, future=future, deadline=deadline
+                )
+            except Exception as error:
+                counter = _classify(error)
+                if counter is None:
+                    raise
+                recovery[counter] += 1
+                self._recover_slot(shard_id, counter, recovery)
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise _ShardFailure(point, shard_id) from error
+                if self.retry_backoff_s > 0.0:
+                    time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+                recovery["retries"] += 1
+                future = None
+                deadline = None
+
+    def _dispatch(
+        self,
+        point: str,
+        tasks: Dict[int, tuple],
+        recovery: Dict[str, int],
+        merge: Optional[Callable[[int, object], None]] = None,
+    ) -> Dict[int, object]:
+        """Run one wave of shard tasks, resiliently; payloads by shard.
+
+        Process mode submits every first attempt up front (the parallel
+        wave shares one round deadline), then collects in sorted shard
+        order — recovery for one shard runs while later shards keep
+        computing.  ``merge`` is called per shard as its verified
+        payload lands.  Iteration is sorted in both modes so the fault
+        plan's visit counters advance deterministically.
+        """
+        results: Dict[int, object] = {}
+        pending: Dict[int, object] = {}
+        deadline = None
+        if self.mode == "process":
+            for shard_id in sorted(tasks):
+                directives = self._directives_for(point, shard_id)
+                pending[shard_id] = self._submit(
+                    point, shard_id, tasks[shard_id], directives
+                )
+            if self.round_timeout_s is not None:
+                deadline = time.monotonic() + self.round_timeout_s
+        for shard_id in sorted(tasks):
+            payload = self._collect(
+                point,
+                shard_id,
+                tasks[shard_id],
+                recovery,
+                future=pending.get(shard_id),
+                deadline=deadline,
+            )
+            results[shard_id] = payload
+            if merge is not None:
+                merge(shard_id, payload)
+        return results
+
+    def _dispatch_filter(
+        self,
+        spec: str,
+        digest: str,
+        query_points: np.ndarray,
+        recovery: Dict[str, int],
+    ) -> Dict[int, Dict[int, np.ndarray]]:
+        tasks = {
+            shard_id: (spec, digest, query_points)
             for shard_id in range(self.shards)
         }
-        return {shard_id: future.result() for future, shard_id in futures.items()}
+        return self._dispatch("filter", tasks, recovery)
 
     def _dispatch_refine(
         self,
@@ -949,27 +1361,29 @@ class ShardedDatabase:
         exact_positions: List[int],
         batch_size: int,
         result: Optional[_ResultList],
+        recovery: Dict[str, int],
     ) -> Dict[int, List[Tuple[str, float]]]:
         """Run one round's shard groups; merge k-NN offers eagerly.
 
         Offers into the canonical result list are commutative, so they
-        happen as each shard completes — and the shared bound is
-        republished immediately, tightening still-running shards'
-        early-abandon budget mid-round.  Everything order-sensitive
-        (stats, records) waits for the caller's deterministic pass.
+        happen as each shard's verified payload lands — and the shared
+        bound is republished immediately, tightening still-running
+        shards' early-abandon budget mid-round.  Everything
+        order-sensitive (stats, records) waits for the caller's
+        deterministic pass.
         """
         local_groups = {
             shard_id: [c - int(self._starts[shard_id]) for c in members]
             for shard_id, members in groups.items()
         }
-        outcomes: Dict[int, List[Tuple[str, float]]] = {}
 
-        def merge(shard_id: int, shard_outcomes: List[Tuple[str, float]]) -> None:
-            outcomes[shard_id] = shard_outcomes
+        def merge(shard_id: int, shard_outcomes) -> None:
             if result is None:
                 return
             base = int(self._starts[shard_id])
-            for local_index, (kind, payload) in zip(local_groups[shard_id], shard_outcomes):
+            for local_index, (kind, payload) in zip(
+                local_groups[shard_id], shard_outcomes
+            ):
                 if kind == "d":
                     result.offer(base + local_index, float(payload))
             if self._value is not None:
@@ -977,26 +1391,14 @@ class ShardedDatabase:
                 if best < self._value.value:
                     self._value.value = best
 
-        if self.mode == "inline":
-            for shard_id, members in local_groups.items():
-                merge(
-                    shard_id,
-                    self._inline_refine(
-                        shard_id, spec, digest, query_points, members,
-                        threshold, early_abandon, exact_positions, batch_size,
-                    ),
-                )
-            return outcomes
-        futures = {
-            self._pool_for(shard_id).submit(
-                _pool_refine, shard_id, spec, digest, query_points, members,
-                threshold, early_abandon, exact_positions, batch_size,
-            ): shard_id
+        tasks = {
+            shard_id: (
+                spec, digest, query_points, members, threshold,
+                early_abandon, exact_positions, batch_size,
+            )
             for shard_id, members in local_groups.items()
         }
-        for future in as_completed(futures):
-            merge(futures[future], future.result())
-        return outcomes
+        return self._dispatch("refine", tasks, recovery, merge=merge)
 
     # ------------------------------------------------------------------
     # Lifecycle

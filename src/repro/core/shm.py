@@ -86,9 +86,30 @@ class SharedArrayBlock:
 
     @classmethod
     def attach(cls, manifest: Mapping[str, object]) -> "SharedArrayBlock":
-        """Map an existing segment described by a :attr:`manifest`."""
+        """Map an existing segment described by a :attr:`manifest`.
+
+        The mapped segment is sanity-checked against the manifest's
+        layout: a segment smaller than the entries claim means the
+        manifest is stale or names a foreign segment, and silently
+        returning views into it would read garbage (or fault).  The OS
+        may round segment sizes *up*, so the check is ``>=``.
+        """
+        entries = dict(manifest["entries"])
+        required = 0
+        for dtype, shape, offset in entries.values():
+            count = 1
+            for dim in shape:
+                count *= dim
+            required = max(required, offset + count * np.dtype(dtype).itemsize)
         segment = shared_memory.SharedMemory(name=manifest["name"])
-        return cls(segment, dict(manifest["entries"]), owner=False)
+        if segment.size < required:
+            segment.close()
+            raise ValueError(
+                f"shared-memory segment {manifest['name']!r} is "
+                f"{segment.size} bytes but the manifest describes "
+                f"{required} — stale or foreign manifest"
+            )
+        return cls(segment, entries, owner=False)
 
     # ------------------------------------------------------------------
     # Access

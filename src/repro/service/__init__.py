@@ -33,13 +33,14 @@ from .config import ServiceConfig
 from .handlers import TrajectoryService
 from .metrics import MetricsRegistry
 from .pruning import PRUNER_CHOICES, build_pruners, canonical_pruner_spec
-from .server import ServerHandle, run_server
+from .server import PortInUseError, ServerHandle, run_server
 
 __all__ = [
     "ServiceConfig",
     "TrajectoryService",
     "ServerHandle",
     "run_server",
+    "PortInUseError",
     "ServiceClient",
     "ServiceError",
     "ResultCache",

@@ -8,6 +8,12 @@ is not thread-safe; give each thread its own instance.
 Non-2xx responses raise :class:`ServiceError` carrying the HTTP status,
 the decoded error payload, and — for 503 admission refusals — the
 server's ``Retry-After`` hint in seconds.
+
+With ``retries > 0`` the client retries transient failures — connection
+errors, socket timeouts, dropped keep-alives, and 503 admission refusals
+— with exponential backoff (capped), honouring the server's
+``Retry-After`` hint when one is present.  The default stays ``0``: the
+load benchmark must observe rejections, not paper over them.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Optional, Union
 
 import numpy as np
@@ -53,16 +60,28 @@ def _query_value(query: QueryLike) -> object:
     return np.asarray(query, dtype=np.float64).tolist()
 
 
+#: Transport-level failures eligible for request-level retry.
+_TRANSIENT_ERRORS = (ConnectionError, socket.timeout, http.client.HTTPException)
+
+
 class ServiceClient:
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8765,
         timeout: float = 60.0,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
     ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -87,6 +106,40 @@ class ServiceClient:
         self.close()
 
     def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        """One logical request, with up to ``retries`` re-sends.
+
+        Transport errors and 503 refusals back off exponentially from
+        ``backoff_s`` (capped at ``backoff_cap_s``); a 503 carrying a
+        ``Retry-After`` hint sleeps that long instead (same cap).  Any
+        other :class:`ServiceError` (4xx semantics, 500s) is not
+        transient and raises immediately.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as error:
+                if error.status != 503 or attempt >= self.retries:
+                    raise
+                delay = self._backoff(attempt, hint=error.retry_after)
+            except _TRANSIENT_ERRORS:
+                self.close()
+                if attempt >= self.retries:
+                    raise
+                delay = self._backoff(attempt)
+            attempt += 1
+            if delay > 0.0:
+                time.sleep(delay)
+
+    def _backoff(self, attempt: int, hint: Optional[float] = None) -> float:
+        delay = self.backoff_s * (2 ** attempt)
+        if hint is not None:
+            delay = max(delay, hint)
+        return min(delay, self.backoff_cap_s)
+
+    def _request_once(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> dict:
         body = json.dumps(payload).encode("utf-8") if payload is not None else None

@@ -80,6 +80,10 @@ class ServiceConfig:
     request_timeout_s: float = 60.0
     retry_after_s: float = 1.0
     drain_timeout_s: float = 10.0
+    # When True, compute requests get 503 while the sharded engine is in
+    # degraded mode (serial fallback) instead of slower exact answers —
+    # for deployments that prefer shedding to latency inflation.
+    reject_on_degraded: bool = False
 
     # Transport
     max_body_bytes: int = 32 * 1024 * 1024

@@ -234,12 +234,31 @@ class TrajectoryService:
     # Introspection endpoints
     # ------------------------------------------------------------------
     def _healthz(self) -> dict:
-        return {
-            "status": "draining" if self._draining else "ok",
+        degraded = self._sharded is not None and self._sharded.degraded
+        if self._draining:
+            status = "draining"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        payload = {
+            "status": status,
             "uptime_seconds": round(self.metrics.uptime_seconds, 3),
             "database_size": len(self.database),
             "epsilon": self.database.epsilon,
         }
+        if self._sharded is not None:
+            payload["sharding"] = {
+                "degraded": degraded,
+                "degraded_queries": self._sharded.resilience()["degraded_queries"],
+            }
+            if degraded and not self._draining:
+                # Probe/revive off the event loop: the single dispatch
+                # executor serializes the health check with searches, and
+                # a successful check clears the degraded flag so the next
+                # /healthz reports recovery.
+                self._executor.submit(self._sharded.health_check)
+        return payload
 
     def _stats(self) -> dict:
         snapshot = self.metrics.snapshot()
@@ -266,6 +285,7 @@ class TrajectoryService:
             sharding["mode"] = self._sharded.mode
             sharding["start_method"] = self._sharded.start_method
             sharding["boundaries"] = self._sharded.boundaries
+            sharding["resilience"] = self._sharded.resilience()
         return snapshot
 
     # ------------------------------------------------------------------
@@ -450,6 +470,16 @@ class TrajectoryService:
         if self._draining:
             raise RequestError(
                 503, "server is draining", {"Retry-After": retry_after}
+            )
+        if (
+            self.config.reject_on_degraded
+            and self._sharded is not None
+            and self._sharded.degraded
+        ):
+            raise RequestError(
+                503,
+                "sharded engine is degraded (serial fallback active)",
+                {"Retry-After": retry_after},
             )
         if self._inflight >= self.config.queue_limit:
             raise RequestError(

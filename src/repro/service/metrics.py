@@ -23,6 +23,7 @@ from collections import Counter, deque
 from typing import Dict, Iterable, Optional
 
 from ..core.search import SearchStats
+from ..core.sharding import RECOVERY_FIELDS
 
 __all__ = ["LatencyWindow", "MetricsRegistry"]
 
@@ -110,6 +111,10 @@ class MetricsRegistry:
         self.sharded_queries = 0
         self.sharded_rounds = 0
         self._shard_tallies: Dict[int, dict] = {}
+        # Recovery events across every served query (the sharded
+        # engine's per-query counters, summed) plus serial fallbacks.
+        self.resilience: Counter = Counter()
+        self.degraded_queries = 0
         # Which multiprocessing start methods actually served searches
         # (``fork`` everywhere it exists; the fallback method where not).
         self.start_methods: Counter = Counter()
@@ -159,6 +164,12 @@ class MetricsRegistry:
                 method = getattr(per_query, "start_method", None)
                 if method:
                     self.start_methods[method] += 1
+                for name in RECOVERY_FIELDS:
+                    value = getattr(per_query, name, 0)
+                    if value:
+                        self.resilience[name] += int(value)
+                if getattr(per_query, "degraded", False):
+                    self.degraded_queries += 1
                 per_shard = getattr(per_query, "per_shard", None)
                 if per_shard:
                     self.sharded_queries += 1
@@ -237,6 +248,13 @@ class MetricsRegistry:
                 "sharding": {
                     "queries": self.sharded_queries,
                     "rounds": self.sharded_rounds,
+                    "resilience": {
+                        **{
+                            name: self.resilience.get(name, 0)
+                            for name in RECOVERY_FIELDS
+                        },
+                        "degraded_queries": self.degraded_queries,
+                    },
                     "per_shard": [
                         {
                             "shard": shard_id,

@@ -21,6 +21,7 @@ moves bytes and manages server lifetime:
 from __future__ import annotations
 
 import asyncio
+import errno
 import json
 import signal
 import threading
@@ -31,10 +32,23 @@ from ..core.database import TrajectoryDatabase
 from .config import ServiceConfig
 from .handlers import TrajectoryService
 
-__all__ = ["run_server", "ServerHandle"]
+__all__ = ["run_server", "ServerHandle", "PortInUseError"]
 
 _MAX_REQUEST_LINE = 8192
 _MAX_HEADER_COUNT = 100
+
+
+class PortInUseError(OSError):
+    """The configured service port is already bound by another process."""
+
+    def __init__(self, host: str, port: int) -> None:
+        super().__init__(
+            f"cannot bind {host}:{port} — the port is already in use "
+            "(stop the other process, or pass a different --port / port 0 "
+            "for an ephemeral one)"
+        )
+        self.host = host
+        self.port = port
 
 
 def _response_bytes(
@@ -178,7 +192,13 @@ async def _serve(
         finally:
             connections.discard(writer)
 
-    server = await asyncio.start_server(connection, config.host, config.port)
+    try:
+        server = await asyncio.start_server(connection, config.host, config.port)
+    except OSError as error:
+        service.close()
+        if error.errno == errno.EADDRINUSE:
+            raise PortInUseError(config.host, config.port) from None
+        raise
     stop_event = asyncio.Event()
     loop = asyncio.get_running_loop()
     port = server.sockets[0].getsockname()[1]

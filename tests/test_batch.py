@@ -44,7 +44,10 @@ def _pruners(database):
 
 class TestEquivalence:
     @pytest.mark.parametrize("engine", ["scan", "search", "sorted"])
-    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize(
+        "executor",
+        ["serial", "thread", pytest.param("process", marks=pytest.mark.process)],
+    )
     def test_matches_single_query_engines(self, workload, engine, executor):
         database, queries = workload
         pruners = _pruners(database)
@@ -171,6 +174,7 @@ class TestEdgeCases:
                 (n.index, n.distance) for n in batch.neighbors[position]
             ] == reference
 
+    @pytest.mark.process
     def test_thread_and_process_executors_agree(self, workload):
         database, queries = workload
         pruners = _pruners(database)

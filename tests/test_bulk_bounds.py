@@ -57,14 +57,8 @@ COMMON_SETTINGS = settings(
 )
 
 
-def _workload(seed=7, count=40, epsilon=0.3):
-    rng = np.random.default_rng(seed)
-    trajectories = [
-        Trajectory(np.cumsum(rng.normal(size=(int(rng.integers(2, 30)), 2)), axis=0))
-        for _ in range(count)
-    ]
-    query = Trajectory(np.cumsum(rng.normal(size=(15, 2)), axis=0))
-    return TrajectoryDatabase(trajectories, epsilon), query
+# The deterministic corpus variants come from the session-scoped
+# ``bulk_workload`` factory in conftest.py (memoized per parameter set).
 
 
 # ----------------------------------------------------------------------
@@ -217,8 +211,8 @@ def test_near_triangle_bulk_tracks_recorded_state(case):
             assert bulk[candidate] == query_pruner.lower_bound(candidate)
 
 
-def test_dynamic_pruner_is_marked_dynamic():
-    database, query = _workload(count=10)
+def test_dynamic_pruner_is_marked_dynamic(bulk_workload):
+    database, query = bulk_workload(count=10)
     assert NearTrianglePruning(database, max_triangle=3).for_query(query).dynamic
     assert not HistogramPruner(database).for_query(query).dynamic
     assert HistogramPruner(database).for_query(query).two_stage
@@ -281,8 +275,8 @@ def test_sorted_scan_matches_scan_for_every_pruner(case, k):
         assert same_answers(expected, actual), pruner.name
 
 
-def test_search_with_all_families_matches_scan_deterministic():
-    database, query = _workload()
+def test_search_with_all_families_matches_scan_deterministic(bulk_workload):
+    database, query = bulk_workload()
     expected, _ = knn_scan(database, query, 7)
     pruners = _pruner_families(database) + [
         NearTrianglePruning(database, max_triangle=8)

@@ -203,6 +203,7 @@ class TestMatrix:
         edr_matrix(rows, 0.5, others=columns, progress=lambda done, total: reports.append((done, total)))
         assert reports == [(3, 6), (6, 6)]
 
+    @pytest.mark.process
     def test_parallel_matrix_matches_serial(self):
         rng = np.random.default_rng(17)
         trajectories = [random_trajectory(rng, rng.integers(3, 9)) for _ in range(7)]
@@ -214,6 +215,7 @@ class TestMatrix:
         parallel_rect = edr_matrix(trajectories, 0.5, others=others, workers=3)
         assert np.array_equal(serial_rect, parallel_rect)
 
+    @pytest.mark.process
     def test_parallel_matrix_progress_is_monotone_and_complete(self):
         rng = np.random.default_rng(18)
         trajectories = [random_trajectory(rng, 5) for _ in range(6)]

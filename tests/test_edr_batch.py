@@ -233,20 +233,10 @@ class TestBucketing:
 
 
 @pytest.fixture(scope="module")
-def workload():
-    rng = np.random.default_rng(77)
-    trajectories = [
-        Trajectory(
-            np.cumsum(rng.normal(size=(int(rng.integers(8, 36)), 2)), axis=0)
-        ).normalized()
-        for _ in range(60)
-    ]
-    database = TrajectoryDatabase(trajectories, epsilon=0.25)
-    queries = [
-        Trajectory(np.cumsum(rng.normal(size=(18, 2)), axis=0)).normalized()
-        for _ in range(2)
-    ]
-    return database, queries
+def workload(edr_batch_workload):
+    # The corpus itself is session-scoped in conftest.py (built and
+    # warmed once per run); this alias keeps the test bodies unchanged.
+    return edr_batch_workload
 
 
 class TestEnginesWithBatchedRefinement:
@@ -323,6 +313,7 @@ class TestEnginesWithBatchedRefinement:
             assert [n.distance for n in answer] == [n.distance for n in oracle]
 
 
+@pytest.mark.process
 class TestParallelReferenceColumns:
     def test_workers_produce_identical_columns(self):
         rng = np.random.default_rng(500)

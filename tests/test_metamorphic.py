@@ -1,0 +1,201 @@
+"""Metamorphic properties of EDR and its lower bounds.
+
+These tests assert relations between *pairs* of computations rather
+than fixed expected values, over seeded random trajectories:
+
+* EDR is symmetric and invariant under a common translation of both
+  trajectories (the match predicate only sees coordinate differences).
+* EDR is non-increasing in ε: enlarging the matching tolerance can only
+  turn edits into free matches, never the reverse.
+* The common-Q-gram count is non-decreasing in ε (ε-matching is a set
+  inclusion), so Theorem 1's implied EDR lower bound is non-increasing
+  in ε.
+* The histogram distance is NOT ε-monotone — the bin structure changes
+  discontinuously with the bin size — so for histograms the suite pins
+  what actually matters for correctness: soundness (HD ≤ EDR) at every
+  ε, for the base grid, the Corollary 1 coarse grid (δ·ε), and the
+  per-axis one-dimensional variant, plus quick ≤ exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory
+from repro.core.edr import edr
+from repro.core.histogram import (
+    HistogramSpace,
+    histogram_distance,
+    histogram_distance_quick,
+)
+from repro.core.qgram import (
+    common_qgram_lower_bound,
+    count_common_qgrams,
+    mean_value_qgrams,
+)
+
+SEEDS = (0, 1, 2, 17, 99)
+EPSILONS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0)
+
+
+def _pair(seed):
+    """One seeded random-walk trajectory pair (lengths 3..14)."""
+    rng = np.random.default_rng(seed)
+    first = Trajectory(
+        np.cumsum(rng.normal(size=(int(rng.integers(3, 15)), 2)), axis=0)
+    )
+    second = Trajectory(
+        np.cumsum(rng.normal(size=(int(rng.integers(3, 15)), 2)), axis=0)
+    )
+    return first, second, rng
+
+
+def _qgram_implied_bound(common, m, n, q):
+    """Smallest k consistent with Theorem 1 given ``common`` Q-grams.
+
+    Inverting ``common >= max(m, n) - q + 1 - k*q`` gives
+    ``k >= (max(m, n) - q + 1 - common) / q`` — a sound EDR lower bound.
+    """
+    return (max(m, n) - q + 1 - common) / q
+
+
+class TestEdrInvariances:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_symmetry(self, seed):
+        first, second, _ = _pair(seed)
+        for epsilon in EPSILONS:
+            assert edr(first, second, epsilon) == edr(second, first, epsilon)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_translation_invariance(self, seed):
+        first, second, rng = _pair(seed)
+        for offset in (np.array([3.5, -2.0]), rng.normal(size=2) * 10.0):
+            shifted_first = Trajectory(first.points + offset)
+            shifted_second = Trajectory(second.points + offset)
+            for epsilon in (0.1, 0.5, 1.0):
+                assert edr(shifted_first, shifted_second, epsilon) == edr(
+                    first, second, epsilon
+                )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_identity_and_upper_range(self, seed):
+        first, second, _ = _pair(seed)
+        for epsilon in EPSILONS:
+            assert edr(first, first, epsilon) == 0
+            distance = edr(first, second, epsilon)
+            assert 0 <= distance <= max(len(first), len(second))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_epsilon_monotonicity(self, seed):
+        first, second, _ = _pair(seed)
+        distances = [edr(first, second, epsilon) for epsilon in EPSILONS]
+        assert distances == sorted(distances, reverse=True)
+
+
+class TestQgramBound:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("q", (1, 2))
+    def test_common_count_monotone_in_epsilon(self, seed, q):
+        first, second, _ = _pair(seed)
+        first_means = mean_value_qgrams(first, q)
+        second_means = mean_value_qgrams(second, q)
+        counts = [
+            count_common_qgrams(first_means, second_means, epsilon)
+            for epsilon in EPSILONS
+        ]
+        assert counts == sorted(counts)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("q", (1, 2))
+    def test_implied_bound_monotone_and_sound(self, seed, q):
+        first, second, _ = _pair(seed)
+        first_means = mean_value_qgrams(first, q)
+        second_means = mean_value_qgrams(second, q)
+        m, n = len(first), len(second)
+        bounds = []
+        for epsilon in EPSILONS:
+            common = count_common_qgrams(first_means, second_means, epsilon)
+            implied = _qgram_implied_bound(common, m, n, q)
+            bounds.append(implied)
+            # Soundness (Theorem 1): the true EDR satisfies the count
+            # inequality, so the implied bound never exceeds it.
+            distance = edr(first, second, epsilon)
+            assert implied <= distance + 1e-9
+            assert common >= common_qgram_lower_bound(m, n, q, distance) - 1e-9
+        assert bounds == sorted(bounds, reverse=True)
+
+
+class TestHistogramBound:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sound_at_every_epsilon(self, seed):
+        first, second, _ = _pair(seed)
+        for epsilon in EPSILONS:
+            distance = edr(first, second, epsilon)
+            space = HistogramSpace.for_trajectories([first, second], epsilon)
+            first_histogram = space.histogram(first)
+            second_histogram = space.histogram(second)
+            exact = histogram_distance(first_histogram, second_histogram)
+            quick = histogram_distance_quick(first_histogram, second_histogram)
+            assert quick <= exact <= distance
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("delta", (2.0, 3.0))
+    def test_coarse_grid_stays_sound(self, seed, delta):
+        # Corollary 1: bins of size delta*eps (delta >= 1) still bound
+        # EDR at threshold eps.
+        first, second, _ = _pair(seed)
+        for epsilon in (0.1, 0.5, 1.0):
+            distance = edr(first, second, epsilon)
+            space = HistogramSpace.for_trajectories(
+                [first, second], delta * epsilon
+            )
+            assert (
+                histogram_distance(
+                    space.histogram(first), space.histogram(second)
+                )
+                <= distance
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_per_axis_projection_stays_sound(self, seed):
+        first, second, _ = _pair(seed)
+        for epsilon in (0.1, 0.5, 1.0):
+            distance = edr(first, second, epsilon)
+            for axis in range(2):
+                space = HistogramSpace.for_trajectories(
+                    [first, second], epsilon, axis=axis
+                )
+                first_histogram = space.histogram(first.projection(axis))
+                second_histogram = space.histogram(second.projection(axis))
+                assert (
+                    histogram_distance(first_histogram, second_histogram)
+                    <= distance
+                )
+
+    def test_epsilon_monotonicity_documented_counterexample(self):
+        # The histogram bound is deliberately NOT asserted monotone in
+        # epsilon: re-binning can raise HD when epsilon grows.  Keep one
+        # seeded counterexample pinned so nobody "strengthens" the suite
+        # into a false property later.
+        rng = np.random.default_rng(0)
+        found = False
+        for _ in range(200):
+            first = Trajectory(
+                np.cumsum(rng.normal(size=(int(rng.integers(3, 15)), 2)), axis=0)
+            )
+            second = Trajectory(
+                np.cumsum(rng.normal(size=(int(rng.integers(3, 15)), 2)), axis=0)
+            )
+            values = []
+            for epsilon in sorted(rng.uniform(0.05, 2.0, size=4)):
+                space = HistogramSpace.for_trajectories(
+                    [first, second], epsilon
+                )
+                values.append(
+                    histogram_distance(
+                        space.histogram(first), space.histogram(second)
+                    )
+                )
+            if values != sorted(values, reverse=True):
+                found = True
+                break
+        assert found, "expected at least one non-monotone histogram case"

@@ -27,18 +27,10 @@ from repro.eval import same_answers
 
 
 @pytest.fixture(scope="module")
-def workload():
-    rng = np.random.default_rng(42)
-    trajectories = [
-        Trajectory(np.cumsum(rng.normal(size=(int(rng.integers(10, 40)), 2)), axis=0)).normalized()
-        for _ in range(50)
-    ]
-    database = TrajectoryDatabase(trajectories, epsilon=0.25)
-    queries = [
-        Trajectory(np.cumsum(rng.normal(size=(20, 2)), axis=0)).normalized()
-        for _ in range(3)
-    ]
-    return database, queries
+def workload(search_workload):
+    # The corpus itself is session-scoped in conftest.py (built and
+    # warmed once per run); this alias keeps the test bodies unchanged.
+    return search_workload
 
 
 class TestResultList:

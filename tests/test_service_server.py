@@ -17,7 +17,6 @@ import pytest
 
 from repro import (
     Trajectory,
-    TrajectoryDatabase,
     knn_search,
     range_search,
 )
@@ -32,15 +31,10 @@ from repro.service.pruning import build_pruners
 
 
 @pytest.fixture(scope="module")
-def database():
-    rng = np.random.default_rng(7)
-    trajectories = [
-        Trajectory(
-            np.cumsum(rng.normal(size=(int(rng.integers(10, 30)), 2)), axis=0)
-        )
-        for _ in range(60)
-    ]
-    return TrajectoryDatabase(trajectories, epsilon=0.8)
+def database(service_database):
+    # The serving corpus is session-scoped in conftest.py (built once
+    # per run); this alias keeps the test bodies unchanged.
+    return service_database
 
 
 @pytest.fixture(scope="module")
@@ -352,3 +346,141 @@ class TestLifecycle:
 
     def test_port_zero_binds_an_ephemeral_port(self, server):
         assert server.port > 0
+
+    @pytest.mark.process
+    def test_graceful_stop_completes_inflight_sharded_work(self, database):
+        """SIGTERM with a sharded ``/knn`` in flight still answers exactly.
+
+        The drain path must wait for the sharded round engine (worker
+        pools and all), not just the thread-pool dispatch, and the
+        drained answer must equal the direct serial search.
+        """
+        config = ServiceConfig(
+            port=0, shards=2, max_batch=1, cache_size=0, max_delay_ms=20.0
+        )
+        handle = ServerHandle.start(database, config)
+        outcomes = []
+
+        def fire():
+            with ServiceClient(handle.host, handle.port) as sc:
+                outcomes.append(sc.knn(2, k=3))
+
+        thread = threading.Thread(target=fire)
+        thread.start()
+        time.sleep(0.05)  # request in flight when the stop begins
+        handle.stop()
+        thread.join(timeout=30)
+        assert outcomes
+        assert outcomes[0]["neighbors"] == _direct_knn(
+            database, database.trajectories[2], 3
+        )
+        assert not handle._thread.is_alive()
+
+
+class TestClientRetry:
+    """Request-level retry/backoff of ``ServiceClient`` against a flaky
+    fake transport (no real sockets involved)."""
+
+    def _client(self, monkeypatch, *, outcomes, retries, backoff_s=0.01):
+        """A client whose ``_request_once`` pops scripted outcomes and
+        whose backoff sleeps are recorded instead of slept."""
+        client = ServiceClient("127.0.0.1", 1, retries=retries,
+                              backoff_s=backoff_s)
+        calls = []
+        sleeps = []
+
+        def fake_request_once(method, path, payload=None):
+            calls.append((method, path))
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(client, "_request_once", fake_request_once)
+        import repro.service.client as client_module
+
+        monkeypatch.setattr(
+            client_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        return client, calls, sleeps
+
+    def test_transient_errors_are_retried_until_success(self, monkeypatch):
+        client, calls, sleeps = self._client(
+            monkeypatch,
+            outcomes=[
+                ConnectionRefusedError("down"),
+                ConnectionResetError("dropped"),
+                {"neighbors": [1]},
+            ],
+            retries=2,
+        )
+        assert client.healthz() == {"neighbors": [1]}
+        assert len(calls) == 3
+        assert sleeps == [0.01, 0.02]  # exponential from backoff_s
+        assert client._connection is None  # transport was reset between tries
+
+    def test_503_retries_honour_retry_after_hint(self, monkeypatch):
+        client, calls, sleeps = self._client(
+            monkeypatch,
+            outcomes=[
+                ServiceError(503, {"error": "busy"}, retry_after=0.5),
+                {"ok": True},
+            ],
+            retries=1,
+        )
+        assert client.stats() == {"ok": True}
+        assert len(calls) == 2
+        assert sleeps == [0.5]  # the hint wins over the smaller backoff
+
+    def test_backoff_is_capped(self, monkeypatch):
+        client, _, sleeps = self._client(
+            monkeypatch,
+            outcomes=[
+                ServiceError(503, {"error": "busy"}, retry_after=60.0),
+                {"ok": True},
+            ],
+            retries=1,
+        )
+        client.stats()
+        assert sleeps == [client.backoff_cap_s]
+
+    def test_default_zero_retries_raises_immediately(self, monkeypatch):
+        client, calls, sleeps = self._client(
+            monkeypatch,
+            outcomes=[ConnectionRefusedError("down")],
+            retries=0,
+        )
+        with pytest.raises(ConnectionRefusedError):
+            client.healthz()
+        assert len(calls) == 1
+        assert sleeps == []
+
+    def test_retry_budget_exhaustion_raises_the_last_error(self, monkeypatch):
+        client, calls, _ = self._client(
+            monkeypatch,
+            outcomes=[
+                ServiceError(503, {"error": "busy"}),
+                ServiceError(503, {"error": "busy"}),
+            ],
+            retries=1,
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.stats()
+        assert excinfo.value.status == 503
+        assert len(calls) == 2
+
+    def test_non_transient_statuses_never_retry(self, monkeypatch):
+        client, calls, sleeps = self._client(
+            monkeypatch,
+            outcomes=[ServiceError(400, {"error": "bad k"})],
+            retries=5,
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.knn(0, k=0)
+        assert excinfo.value.status == 400
+        assert len(calls) == 1
+        assert sleeps == []
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceClient(retries=-1)

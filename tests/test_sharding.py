@@ -41,17 +41,10 @@ def _answers(neighbors):
 
 
 @pytest.fixture(scope="module")
-def workload():
-    rng = np.random.default_rng(7)
-    trajectories = [
-        Trajectory(
-            np.cumsum(rng.normal(size=(int(rng.integers(15, 50)), 2)), axis=0)
-        )
-        for _ in range(80)
-    ]
-    database = TrajectoryDatabase(trajectories, epsilon=0.4)
-    queries = [trajectories[i] for i in (0, 19, 41, 66)]
-    return database, queries
+def workload(sharding_workload):
+    # The corpus itself is session-scoped in conftest.py (built and
+    # warmed once per run); this alias keeps the test bodies unchanged.
+    return sharding_workload
 
 
 @pytest.fixture(scope="module")
@@ -261,6 +254,7 @@ class TestShardLayout:
                 state.close()
 
 
+@pytest.mark.process
 class TestProcessMode:
     def test_process_pool_matches_serial_engine(self, workload):
         database, queries = workload
@@ -295,6 +289,7 @@ class TestPrunerSpecOf:
 
 
 class TestKnnBatchShards:
+    @pytest.mark.process
     def test_shards_axis_matches_serial_batch(self, workload):
         database, queries = workload
         pruners = build_pruners(database, "histogram,qgram")
@@ -371,6 +366,7 @@ class TestStartMethodFallback:
         assert method == "fork"
 
 
+@pytest.mark.process
 class TestShardedService:
     def test_two_shard_service_matches_serial_answers(self, workload):
         database, _ = workload
