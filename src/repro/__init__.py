@@ -21,8 +21,17 @@ Quick start::
 from .core.database import TrajectoryDatabase
 from .core.edr import edr, edr_matrix
 from .core.edr_batch import edr_many, edr_many_bucketed
+from .core.edr_bitparallel import edr_bitparallel, edr_many_bitparallel
 from .core.histogram import HistogramSpace, histogram_distance
-from .core.matching import elements_match, suggest_epsilon
+from .core.kernels import (
+    KERNEL_CHOICES,
+    KernelSelection,
+    autotune_kernels,
+    kernel_report,
+    resolve_kernel_plan,
+    run_kernel,
+)
+from .core.matching import elements_match, match_bits, match_matrix, suggest_epsilon
 from .core.search import (
     HistogramPruner,
     NearTrianglePruning,
@@ -57,15 +66,25 @@ __all__ = [
     "Trajectory",
     "TrajectoryDatabase",
     "edr",
+    "edr_bitparallel",
     "edr_many",
+    "edr_many_bitparallel",
     "edr_many_bucketed",
     "edr_matrix",
+    "KERNEL_CHOICES",
+    "KernelSelection",
+    "autotune_kernels",
+    "kernel_report",
+    "resolve_kernel_plan",
+    "run_kernel",
     "euclidean",
     "dtw",
     "erp",
     "lcss",
     "lcss_distance",
     "elements_match",
+    "match_bits",
+    "match_matrix",
     "suggest_epsilon",
     "mean_value_qgrams",
     "HistogramSpace",

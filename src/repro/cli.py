@@ -30,6 +30,7 @@ from .core.batch import BATCH_ENGINES, knn_batch
 from .core.database import TrajectoryDatabase
 from .core.edr_batch import DEFAULT_REFINE_BATCH_SIZE
 from .core.join import similarity_join
+from .core.kernels import KERNEL_CHOICES
 from .core.rangequery import range_search
 from .core.search import Pruner, knn_search
 from .core.matching import suggest_epsilon
@@ -138,6 +139,20 @@ def cmd_distance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_note(stats) -> str:
+    """Human-readable echo of the requested kernel and per-bucket picks."""
+    note = stats.kernel or "batched"
+    if stats.kernel_buckets:
+        picks = ",".join(
+            f"{bucket}:{name}"
+            for bucket, name in sorted(
+                stats.kernel_buckets.items(), key=lambda item: int(item[0])
+            )
+        )
+        note += f" ({picks})"
+    return note
+
+
 def cmd_knn(args: argparse.Namespace) -> int:
     trajectories = _load(args.file)
     epsilon = _epsilon(args.epsilon, trajectories)
@@ -150,8 +165,12 @@ def cmd_knn(args: argparse.Namespace) -> int:
         args.k,
         pruners,
         refine_batch_size=args.refine_batch_size,
+        edr_kernel=args.edr_kernel,
     )
-    print(f"epsilon = {epsilon:.4f}; pruning power = {stats.pruning_power:.3f}")
+    print(
+        f"epsilon = {epsilon:.4f}; kernel = {_kernel_note(stats)}; "
+        f"pruning power = {stats.pruning_power:.3f}"
+    )
     for neighbor in neighbors:
         label = trajectories[neighbor.index].label or ""
         print(f"  {neighbor.index:>6}  EDR = {neighbor.distance:<8.1f} {label}")
@@ -182,6 +201,7 @@ def cmd_knn_batch(args: argparse.Namespace) -> int:
         refine_batch_size=args.refine_batch_size,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        edr_kernel=args.edr_kernel,
     )
     total_computed = sum(s.true_distance_computations for s in batch.stats)
     total_candidates = sum(s.database_size for s in batch.stats)
@@ -192,7 +212,7 @@ def cmd_knn_batch(args: argparse.Namespace) -> int:
         f"epsilon = {epsilon:.4f}; {len(queries)} queries in "
         f"{batch.elapsed_seconds:.3f}s "
         f"({batch.executor}, {batch.workers} worker(s), "
-        f"engine={args.engine}{shard_note})"
+        f"engine={args.engine}, kernel={args.edr_kernel}{shard_note})"
     )
     print(
         f"true distance computations: {total_computed}/{total_candidates} "
@@ -218,9 +238,11 @@ def cmd_range(args: argparse.Namespace) -> int:
         args.radius,
         pruners,
         refine_batch_size=args.refine_batch_size,
+        edr_kernel=args.edr_kernel,
     )
     print(
-        f"epsilon = {epsilon:.4f}; {len(results)} trajectories within "
+        f"epsilon = {epsilon:.4f}; kernel = {_kernel_note(stats)}; "
+        f"{len(results)} trajectories within "
         f"EDR {args.radius} (pruning power {stats.pruning_power:.3f})"
     )
     for neighbor in sorted(results, key=lambda n: n.distance):
@@ -340,10 +362,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             refine_batch_size=args.refine_batch_size,
             shards=args.shards,
             shard_workers=args.shard_workers,
+            edr_kernel=args.edr_kernel,
         ).validated()
     except ValueError as error:
         raise SystemExit(str(error)) from None
-    print(f"epsilon = {epsilon:.4f}; pruners = {config.pruners or 'none'}")
+    print(
+        f"epsilon = {epsilon:.4f}; pruners = {config.pruners or 'none'}; "
+        f"kernel = {config.edr_kernel}"
+    )
     try:
         run_server(database, config)
     except PortInUseError as error:
@@ -411,6 +437,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-pool workers for the near-triangle reference-matrix precompute",
     )
+    knn.add_argument(
+        "--edr-kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="refine-phase EDR kernel (auto = per-bucket autotune; "
+        "every choice returns identical answers)",
+    )
     knn.set_defaults(handler=cmd_knn)
 
     knn_batch_command = commands.add_parser(
@@ -463,6 +496,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shard worker pool size (default: one per shard)",
     )
+    knn_batch_command.add_argument(
+        "--edr-kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="refine-phase EDR kernel (auto = per-bucket autotune; "
+        "every choice returns identical answers)",
+    )
     knn_batch_command.set_defaults(handler=cmd_knn_batch)
 
     range_command = commands.add_parser("range", help="range query under EDR")
@@ -482,6 +522,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-pool workers for the near-triangle reference-matrix precompute",
+    )
+    range_command.add_argument(
+        "--edr-kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="refine-phase EDR kernel (auto = per-bucket autotune; "
+        "every choice returns identical answers)",
     )
     range_command.set_defaults(handler=cmd_range)
 
@@ -564,6 +611,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="shard worker pool size (default: one per shard)",
+    )
+    serve.add_argument(
+        "--edr-kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help="refine-phase EDR kernel (auto = per-bucket autotune at warm "
+        "time; every choice returns identical answers)",
     )
     serve.set_defaults(handler=cmd_serve)
 

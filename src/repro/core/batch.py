@@ -89,9 +89,10 @@ def _run_engine(
     engine: str,
     early_abandon: bool,
     refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
+    edr_kernel: Optional[str] = None,
 ) -> SearchResult:
     if engine == "scan" or not pruners:
-        return knn_scan(database, query, k)
+        return knn_scan(database, query, k, edr_kernel=edr_kernel)
     if engine == "search":
         return knn_search(
             database,
@@ -100,6 +101,7 @@ def _run_engine(
             pruners,
             early_abandon=early_abandon,
             refine_batch_size=refine_batch_size,
+            edr_kernel=edr_kernel,
         )
     if engine == "sorted":
         return knn_sorted_search(
@@ -110,6 +112,7 @@ def _run_engine(
             pruners[1:],
             early_abandon=early_abandon,
             refine_batch_size=refine_batch_size,
+            edr_kernel=edr_kernel,
         )
     raise ValueError(
         f"unknown batch engine {engine!r}; choose from {', '.join(BATCH_ENGINES)}"
@@ -146,6 +149,7 @@ def _process_task(query_position: int) -> SearchResult:
         state["engine"],
         state["early_abandon"],
         state["refine_batch_size"],
+        state["edr_kernel"],
     )
 
 
@@ -175,6 +179,7 @@ def knn_batch(
     shards: Optional[int] = None,
     shard_workers: Optional[int] = None,
     sharded=None,
+    edr_kernel: Optional[str] = None,
 ) -> BatchResult:
     """Answer many k-NN queries against one database.
 
@@ -201,6 +206,12 @@ def knn_batch(
         Candidate-batch size for the engines' batched EDR refinement
         (see :func:`repro.knn_search`); ``None`` restores the scalar
         per-candidate verification.
+    edr_kernel:
+        Refine kernel selection (see :mod:`repro.core.kernels`):
+        ``None`` keeps the legacy batched kernel, ``"auto"`` resolves
+        the database's autotuned per-bucket table (built once, in the
+        parent, before queries fan out), a concrete name pins that
+        kernel.  Answers are byte-identical for every choice.
     shards / shard_workers / sharded:
         The *intra*-query parallelism axis.  ``shards > 1`` partitions
         the database and runs every query through the shared-memory
@@ -227,7 +238,7 @@ def knn_batch(
             )
         return _knn_batch_sharded(
             database, queries, k, pruners, engine, early_abandon,
-            refine_batch_size, shards, shard_workers, sharded,
+            refine_batch_size, shards, shard_workers, sharded, edr_kernel,
         )
     if workers is None:
         workers = os.cpu_count() or 1
@@ -239,6 +250,10 @@ def knn_batch(
     start = time.perf_counter()
     if queries and pruners:
         warm_pruners(pruners, queries[0])
+    if edr_kernel == "auto":
+        # Tune once in the parent so pool workers (forked or threaded)
+        # inherit the cached table instead of each racing the kernels.
+        database.kernel_selection()
     warm_seconds = time.perf_counter() - start
 
     if chosen == "serial" or workers == 1 or len(queries) <= 1:
@@ -246,7 +261,7 @@ def knn_batch(
         results = [
             _run_engine(
                 database, query, k, pruners, engine, early_abandon,
-                refine_batch_size,
+                refine_batch_size, edr_kernel,
             )
             for query in queries
         ]
@@ -256,7 +271,7 @@ def knn_batch(
                 pool.map(
                     lambda query: _run_engine(
                         database, query, k, pruners, engine, early_abandon,
-                        refine_batch_size,
+                        refine_batch_size, edr_kernel,
                     ),
                     queries,
                 )
@@ -270,6 +285,7 @@ def knn_batch(
             "engine": engine,
             "early_abandon": early_abandon,
             "refine_batch_size": refine_batch_size,
+            "edr_kernel": edr_kernel,
         }
         context, start_method = process_context("fork")
         with ProcessPoolExecutor(
@@ -307,6 +323,7 @@ def _knn_batch_sharded(
     shards: Optional[int],
     shard_workers: Optional[int],
     sharded,
+    edr_kernel: Optional[str] = None,
 ) -> BatchResult:
     """Run the batch through the sharded intra-query engine.
 
@@ -334,7 +351,7 @@ def _knn_batch_sharded(
         results = [
             sharded.knn_search(
                 query, k, spec=spec, early_abandon=early_abandon,
-                refine_batch_size=refine_batch_size,
+                refine_batch_size=refine_batch_size, edr_kernel=edr_kernel,
             )
             for query in queries
         ]

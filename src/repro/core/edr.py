@@ -192,6 +192,7 @@ def _symmetric_row_values(
     epsilon: float,
     row: int,
     batch_size: Optional[int],
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """``EDR(T_row, T_j)`` for every ``j > row``, via the batched kernel."""
     from .edr_batch import edr_many_bucketed
@@ -201,6 +202,7 @@ def _symmetric_row_values(
         trajectories[row + 1 :],
         epsilon,
         batch_size=batch_size,
+        kernel=kernel,
     )
 
 
@@ -210,6 +212,7 @@ def _rectangular_row_values(
     epsilon: float,
     row: int,
     batch_size: Optional[int],
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """One rectangular matrix row, with the identity zero fast path."""
     from .edr_batch import edr_many_bucketed
@@ -225,6 +228,7 @@ def _rectangular_row_values(
             [others[j] for j in distinct],
             epsilon,
             batch_size=batch_size,
+            kernel=kernel,
         )
     return values
 
@@ -234,7 +238,8 @@ def _matrix_row_task(row: int) -> "tuple[int, np.ndarray]":
     assert state is not None, "matrix worker used before initialization"
     if state["others"] is None:
         return row, _symmetric_row_values(
-            state["trajectories"], state["epsilon"], row, state["batch_size"]
+            state["trajectories"], state["epsilon"], row, state["batch_size"],
+            state.get("kernel"),
         )
     return row, _rectangular_row_values(
         state["trajectories"],
@@ -242,6 +247,7 @@ def _matrix_row_task(row: int) -> "tuple[int, np.ndarray]":
         state["epsilon"],
         row,
         state["batch_size"],
+        state.get("kernel"),
     )
 
 
@@ -252,6 +258,7 @@ def _iter_matrix_rows(
     epsilon: float,
     workers: Optional[int],
     batch_size: Optional[int],
+    kernel: Optional[str] = None,
 ):
     """Yield ``(row, values)`` chunks, serially or over a process pool.
 
@@ -267,11 +274,11 @@ def _iter_matrix_rows(
         for row in rows:
             if others is None:
                 yield row, _symmetric_row_values(
-                    trajectories, epsilon, row, batch_size
+                    trajectories, epsilon, row, batch_size, kernel
                 )
             else:
                 yield row, _rectangular_row_values(
-                    trajectories, others, epsilon, row, batch_size
+                    trajectories, others, epsilon, row, batch_size, kernel
                 )
         return
     from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -281,6 +288,7 @@ def _iter_matrix_rows(
         "others": list(others) if others is not None else None,
         "epsilon": epsilon,
         "batch_size": batch_size,
+        "kernel": kernel,
     }
     from .mp import process_context
 
@@ -303,6 +311,7 @@ def edr_matrix(
     progress: Optional[Callable[[int, int], None]] = None,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Pairwise EDR distances.
 
@@ -321,6 +330,9 @@ def edr_matrix(
     of ``batch_size`` candidates, and ``workers`` (when greater than 1)
     distributes whole rows over a process pool — the chunked driver the
     near-triangle precompute uses to parallelize large reference sets.
+    ``kernel`` names an alternative batch kernel (see
+    :mod:`repro.core.kernels`); every kernel yields the same matrix
+    byte-for-byte, so this is purely a throughput knob.
 
     ``progress`` (if given) is called as ``progress(done, total)`` after
     each computed *chunk* — one matrix row — with ``done`` the
@@ -336,7 +348,7 @@ def edr_matrix(
         done = 0
         rows = range(count - 1)
         for row, values in _iter_matrix_rows(
-            rows, trajectories, None, epsilon, workers, batch_size
+            rows, trajectories, None, epsilon, workers, batch_size, kernel
         ):
             matrix[row, row + 1 :] = values
             matrix[row + 1 :, row] = values
@@ -349,7 +361,7 @@ def edr_matrix(
     done = 0
     rows = range(len(trajectories))
     for row, values in _iter_matrix_rows(
-        rows, trajectories, others, epsilon, workers, batch_size
+        rows, trajectories, others, epsilon, workers, batch_size, kernel
     ):
         matrix[row] = values
         done += len(others)

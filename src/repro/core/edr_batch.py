@@ -186,6 +186,43 @@ def edr_many(
                 tentative[:, high + 1 :] = np.inf
             if low > 0:
                 tentative[:, 0] = np.inf
+        if use_bounds:
+            # Row minimum over *real* columns only: a padded cell may sit
+            # below the candidate's true row minimum and must not keep it
+            # alive.  Every DP path to the final cell crosses each row,
+            # and step costs are non-negative, so row-min > bound proves
+            # the final distance exceeds the bound.  The test runs on
+            # ``tentative`` — before the left-propagation running-min
+            # pass — which is exact because that pass can only reproduce
+            # or raise the row's prefix minimum (``current[j]`` is
+            # ``min_{k<=j} tentative[k] + (j - k)`` and real columns form
+            # a prefix), so masked minima agree and the abandonment
+            # pattern is unchanged.  Testing first means a batch that
+            # fully dies skips the propagation pass outright, and one
+            # that shrinks propagates only the survivors.
+            masked = np.where(
+                column_numbers[None, :] <= active_lengths[:, None],
+                tentative,
+                np.inf,
+            )
+            alive = masked.min(axis=1) <= active_bounds
+            if not alive.all():
+                results[active[~alive]] = EARLY_ABANDONED
+                if not alive.any():
+                    return results
+                # Active-set compaction: the batch physically shrinks.
+                active = active[alive]
+                active_lengths = active_lengths[alive]
+                tentative = tentative[alive]
+                padded = padded[alive]
+                active_bounds = active_bounds[alive]
+                new_width = int(active_lengths.max())
+                if new_width < width:
+                    width = new_width
+                    tentative = np.ascontiguousarray(tentative[:, : width + 1])
+                    padded = np.ascontiguousarray(padded[:, :width])
+                    indices = indices[: width + 1]
+                    column_numbers = column_numbers[: width + 1]
         current = indices + np.minimum.accumulate(tentative - indices, axis=1)
         if band is not None:
             # Re-mask so right-propagation cannot escape the band (see
@@ -198,36 +235,6 @@ def edr_many(
                 current[:, high + 1 :] = np.inf
             if low > 0:
                 current[:, 0] = np.inf
-
-        if use_bounds:
-            # Row minimum over *real* columns only: a padded cell may sit
-            # below the candidate's true row minimum and must not keep it
-            # alive.  Every DP path to the final cell crosses each row,
-            # and step costs are non-negative, so row-min > bound proves
-            # the final distance exceeds the bound.
-            masked = np.where(
-                column_numbers[None, :] <= active_lengths[:, None],
-                current,
-                np.inf,
-            )
-            alive = masked.min(axis=1) <= active_bounds
-            if not alive.all():
-                results[active[~alive]] = EARLY_ABANDONED
-                if not alive.any():
-                    return results
-                # Active-set compaction: the batch physically shrinks.
-                active = active[alive]
-                active_lengths = active_lengths[alive]
-                current = current[alive]
-                padded = padded[alive]
-                active_bounds = active_bounds[alive]
-                new_width = int(active_lengths.max())
-                if new_width < width:
-                    width = new_width
-                    current = np.ascontiguousarray(current[:, : width + 1])
-                    padded = np.ascontiguousarray(padded[:, :width])
-                    indices = indices[: width + 1]
-                    column_numbers = column_numbers[: width + 1]
         previous = current
 
     results[active] = previous[np.arange(active.size), active_lengths]
@@ -263,6 +270,7 @@ def edr_many_bucketed(
     bounds: Optional[Union[float, Sequence[float], np.ndarray]] = None,
     band: Optional[int] = None,
     batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """:func:`edr_many` over length-bucketed batches, results in order.
 
@@ -270,11 +278,22 @@ def edr_many_bucketed(
     reference-column precompute) where all candidates are known up
     front: candidates are grouped by length to limit padding waste, and
     the scattered results come back in the original candidate order.
+
+    ``kernel`` picks the batch kernel by name (see
+    :mod:`repro.core.kernels`); ``None`` or ``"batched"`` keeps
+    :func:`edr_many`.  Every kernel returns identical results.
     """
     count = len(candidates)
     results = np.empty(count, dtype=np.float64)
     if count == 0:
         return results
+    if kernel is None or kernel == "batched":
+        batch_kernel = edr_many
+    else:
+        from .kernels import run_kernel
+        from functools import partial
+
+        batch_kernel = partial(run_kernel, kernel)
     lengths = [len(_points(candidate)) for candidate in candidates]
     bounds_array: Optional[np.ndarray] = None
     if bounds is not None:
@@ -283,7 +302,7 @@ def edr_many_bucketed(
         )
     for bucket in iter_length_buckets(lengths, batch_size):
         bucket_bounds = bounds_array[bucket] if bounds_array is not None else None
-        results[bucket] = edr_many(
+        results[bucket] = batch_kernel(
             query,
             [candidates[int(position)] for position in bucket],
             epsilon,

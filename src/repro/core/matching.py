@@ -15,7 +15,7 @@ import numpy as np
 
 from .trajectory import Trajectory
 
-__all__ = ["elements_match", "match_matrix", "suggest_epsilon"]
+__all__ = ["elements_match", "match_bits", "match_matrix", "suggest_epsilon"]
 
 
 def elements_match(r: np.ndarray, s: np.ndarray, epsilon: float) -> bool:
@@ -54,6 +54,30 @@ def match_matrix(
             break
         matches &= np.abs(a[:, axis][:, None] - b[:, axis][None, :]) <= epsilon
     return matches
+
+
+def match_bits(
+    first: Union[Trajectory, np.ndarray],
+    second: Union[Trajectory, np.ndarray],
+    epsilon: float,
+) -> np.ndarray:
+    """:func:`match_matrix` rows packed into ``uint64`` bit words.
+
+    Row ``i`` of the result encodes ``match(first_i, second_j)`` for
+    every ``j``: bit ``j % 64`` of word ``j // 64`` (little-endian bit
+    order, so bit position equals element position).  Shape is
+    ``(m, ceil(n / 64))``; padding bits beyond ``n - 1`` are zero —
+    the bit-parallel kernels rely on padding never matching.
+    """
+    matches = match_matrix(first, second, epsilon)
+    m, n = matches.shape
+    words = (n + 63) // 64
+    if words == 0:
+        return np.zeros((m, 0), dtype=np.uint64)
+    padded = np.zeros((m, words * 64), dtype=bool)
+    padded[:, :n] = matches
+    packed = np.packbits(padded, axis=1, bitorder="little")
+    return packed.view(np.uint64)
 
 
 def suggest_epsilon(trajectories, fraction: float = 0.25) -> float:

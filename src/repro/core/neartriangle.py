@@ -156,6 +156,7 @@ def compute_reference_column(
     epsilon: float,
     reference_index: int,
     known_columns: Optional[Dict[int, np.ndarray]] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """One ``EDR(R, S_j)`` column, reusing symmetric entries already known.
 
@@ -180,6 +181,7 @@ def compute_reference_column(
             reference,
             [trajectories[candidate_index] for candidate_index in unknown],
             epsilon,
+            kernel=kernel,
         )
     return column
 
@@ -192,6 +194,7 @@ def build_reference_columns(
     progress: Optional[Callable[[int, int], None]] = None,
     workers: Optional[int] = None,
     known_columns: Optional[Dict[int, np.ndarray]] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[int, np.ndarray]:
     """Precompute ``EDR(R, S_j)`` columns for the chosen references.
 
@@ -210,6 +213,8 @@ def build_reference_columns(
     into the symmetric reference-vs-reference block plus one rectangular
     references-vs-rest matrix, both driven through
     :func:`~repro.core.edr.edr_matrix`'s chunked row workers.
+    ``kernel`` names an alternative batch kernel (see
+    :mod:`repro.core.kernels`); all kernels produce identical columns.
     """
     if reference_indices is None:
         reference_indices = range(min(max_references, len(trajectories)))
@@ -227,13 +232,16 @@ def build_reference_columns(
             if index not in pending_set and index not in known
         ]
         pending_trajectories = [trajectories[index] for index in pending]
-        block = edr_matrix(pending_trajectories, epsilon, workers=worker_count)
+        block = edr_matrix(
+            pending_trajectories, epsilon, workers=worker_count, kernel=kernel
+        )
         rectangular = (
             edr_matrix(
                 pending_trajectories,
                 epsilon,
                 others=[trajectories[index] for index in rest],
                 workers=worker_count,
+                kernel=kernel,
             )
             if rest
             else None
@@ -258,7 +266,8 @@ def build_reference_columns(
             columns[reference_index] = known[reference_index]
         else:
             column = compute_reference_column(
-                trajectories, epsilon, reference_index, known_columns=known
+                trajectories, epsilon, reference_index, known_columns=known,
+                kernel=kernel,
             )
             columns[reference_index] = column
             known[reference_index] = column

@@ -21,8 +21,8 @@ from typing import List, Sequence
 import numpy as np
 
 from .database import TrajectoryDatabase
-from .edr import edr
-from .edr_batch import DEFAULT_REFINE_BATCH_SIZE, edr_many
+from .edr_batch import DEFAULT_REFINE_BATCH_SIZE
+from .kernels import length_bucket, resolve_kernel_plan, run_kernel, scalar_kernel
 from .search import (
     Neighbor,
     Pruner,
@@ -38,17 +38,24 @@ __all__ = ["range_scan", "range_search"]
 
 
 def range_scan(
-    database: TrajectoryDatabase, query: Trajectory, radius: float
+    database: TrajectoryDatabase,
+    query: Trajectory,
+    radius: float,
+    edr_kernel: "str | None" = None,
 ) -> "tuple[List[Neighbor], SearchStats]":
     """Sequential-scan range query: the pruning-free baseline."""
     if radius < 0.0:
         raise ValueError("radius must be non-negative")
     start = time.perf_counter()
     stats = SearchStats(database_size=len(database))
+    plan = resolve_kernel_plan(database, edr_kernel)
+    stats.kernel = plan.requested
     results: List[Neighbor] = []
     for index in range(len(database)):
         stats.true_distance_computations += 1
-        distance = edr(query, database.trajectories[index], database.epsilon)
+        candidate = database.trajectories[index]
+        kernel_fn = scalar_kernel(plan.kernel_for_length(len(candidate)))
+        distance = kernel_fn(query, candidate, database.epsilon)
         if distance <= radius:
             results.append(Neighbor(index, distance))
     stats.elapsed_seconds = time.perf_counter() - start
@@ -62,6 +69,7 @@ def range_search(
     pruners: Sequence[Pruner],
     early_abandon: bool = False,
     refine_batch_size: "int | None" = DEFAULT_REFINE_BATCH_SIZE,
+    edr_kernel: "str | None" = None,
 ) -> "tuple[List[Neighbor], SearchStats]":
     """Range query with a chain of pruners; scan-identical answers.
 
@@ -80,11 +88,17 @@ def range_search(
     candidates through the batched EDR kernel in length-bucketed groups
     (the radius is a fixed threshold, so batching loses nothing to
     bound staleness here).  ``None`` restores the scalar path.
+
+    ``edr_kernel`` selects the refine kernel exactly as in
+    :func:`repro.core.search.knn_search`; answers are byte-identical
+    for every choice.
     """
     if radius < 0.0:
         raise ValueError("radius must be non-negative")
     start = time.perf_counter()
     stats = SearchStats(database_size=len(database))
+    plan = resolve_kernel_plan(database, edr_kernel)
+    stats.kernel = plan.requested
     query_pruners = [pruner.for_query(query) for pruner in pruners]
     quick_arrays = _quick_bound_arrays(query_pruners)
     results: List[Neighbor] = []
@@ -93,11 +107,18 @@ def range_search(
 
     def verify_batch(candidate_indices: List[int]) -> None:
         bound = radius if early_abandon else None
-        distances = edr_many(
-            query,
-            [database.trajectories[i] for i in candidate_indices],
-            database.epsilon,
-            bounds=bound,
+        bucket = length_bucket(int(database.lengths[candidate_indices[0]]))
+        kernel = plan.kernel_for_bucket(bucket)
+        stats.kernel_buckets[str(bucket)] = kernel
+        candidates = [database.trajectories[i] for i in candidate_indices]
+        kernel_start = time.perf_counter()
+        distances = run_kernel(
+            kernel, query, candidates, database.epsilon, bounds=bound
+        )
+        stats.note_kernel(
+            kernel,
+            len(query) * int(sum(len(c) for c in candidates)),
+            time.perf_counter() - kernel_start,
         )
         stats.true_distance_computations += len(candidate_indices)
         for candidate_index, distance in zip(candidate_indices, distances):
@@ -120,8 +141,10 @@ def range_search(
         if pending is None:
             stats.true_distance_computations += 1
             bound = radius if early_abandon else None
-            distance = edr(
-                query, database.trajectories[index], database.epsilon, bound=bound
+            candidate = database.trajectories[index]
+            kernel_fn = scalar_kernel(plan.kernel_for_length(len(candidate)))
+            distance = kernel_fn(
+                query, candidate, database.epsilon, bound=bound
             )
             if np.isfinite(distance):
                 for query_pruner in query_pruners:

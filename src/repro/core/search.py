@@ -38,8 +38,10 @@ from ..index.mergejoin import (
 )
 from .database import TrajectoryDatabase
 from .edr import edr
-from .edr_batch import DEFAULT_REFINE_BATCH_SIZE, edr_many
+from .edr_batch import DEFAULT_REFINE_BATCH_SIZE
+from .edr_bitparallel import edr_bitparallel
 from .histogram import histogram_distance, histogram_distance_quick
+from .kernels import KernelPlan, length_bucket, resolve_kernel_plan, run_kernel
 from .neartriangle import NearTrianglePruner as _NearTriangleState
 from .qgram import mean_value_qgrams
 from .trajectory import Trajectory
@@ -85,6 +87,14 @@ class SearchStats:
     pruned_by: Dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     start_method: Optional[str] = None
+    # Refine-kernel attribution: the requested kernel choice, the kernel
+    # actually used per length bucket, and per-kernel DP cell counts and
+    # seconds (throughput = cells / seconds).  Purely observational —
+    # every kernel returns byte-identical distances.
+    kernel: Optional[str] = None
+    kernel_buckets: Dict[str, str] = field(default_factory=dict)
+    kernel_cells: Dict[str, int] = field(default_factory=dict)
+    kernel_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def pruning_power(self) -> float:
@@ -96,6 +106,20 @@ class SearchStats:
 
     def credit(self, pruner_name: str) -> None:
         self.pruned_by[pruner_name] = self.pruned_by.get(pruner_name, 0) + 1
+
+    def note_kernel(self, kernel: str, cells: int, seconds: float) -> None:
+        """Attribute one refine call's DP volume to its kernel."""
+        self.kernel_cells[kernel] = self.kernel_cells.get(kernel, 0) + int(cells)
+        self.kernel_seconds[kernel] = (
+            self.kernel_seconds.get(kernel, 0.0) + float(seconds)
+        )
+
+    def kernel_throughput(self) -> Dict[str, float]:
+        """Measured DP cells per second, per kernel used in this query."""
+        return {
+            name: (self.kernel_cells[name] / seconds) if seconds > 0.0 else 0.0
+            for name, seconds in self.kernel_seconds.items()
+        }
 
 
 SearchResult = Tuple[List[Neighbor], SearchStats]
@@ -678,11 +702,23 @@ def _true_distance(
     candidate_index: int,
     stats: SearchStats,
     bound: Optional[float] = None,
+    plan: Optional[KernelPlan] = None,
 ) -> float:
     stats.true_distance_computations += 1
-    return edr(
-        query, database.trajectories[candidate_index], database.epsilon, bound=bound
+    candidate = database.trajectories[candidate_index]
+    # Unbatched path: there is nothing to batch, so the kernel choice
+    # only distinguishes the bit-parallel single-pair kernel from plain
+    # ``edr`` (bit-identical results, sentinels included).
+    if plan is not None and plan.kernel_for_length(len(candidate)) == "bitparallel":
+        executed, kernel_fn = "bitparallel", edr_bitparallel
+    else:
+        executed, kernel_fn = "scalar", edr
+    start = time.perf_counter()
+    distance = kernel_fn(query, candidate, database.epsilon, bound=bound)
+    stats.note_kernel(
+        executed, len(query) * len(candidate), time.perf_counter() - start
     )
+    return distance
 
 
 class _PendingBatches:
@@ -703,7 +739,7 @@ class _PendingBatches:
 
     def add(self, candidate_index: int, length: int) -> Optional[List[int]]:
         """Buffer one candidate; return a full bucket if this filled it."""
-        key = int(length).bit_length()
+        key = length_bucket(length)
         bucket = self._buckets.setdefault(key, [])
         bucket.append(candidate_index)
         self.total += 1
@@ -729,8 +765,9 @@ def _refine_batch(
     stats: SearchStats,
     query_pruners: Sequence[QueryPruner],
     early_abandon: bool,
+    plan: KernelPlan,
 ) -> None:
-    """Verify one candidate batch with the batched EDR kernel.
+    """Verify one candidate batch with the selected batched EDR kernel.
 
     Exactly equivalent to a loop of :func:`_true_distance` + ``record``
     + ``offer`` calls, except the k-th-best bound used for early
@@ -738,14 +775,24 @@ def _refine_batch(
     only be looser than the scalar loop's per-candidate bound, so every
     abandonment stays sound).  Abandoned candidates count as true
     distance computations, matching the scalar early-abandon path.
+    The kernel is chosen per length bucket from ``plan``; every kernel
+    returns the same distances and sentinels bit for bit, so the choice
+    never changes answers or counters.
     """
     best = result.best_so_far
     bound = best if early_abandon and np.isfinite(best) else None
-    distances = edr_many(
-        query,
-        [database.trajectories[index] for index in candidate_indices],
-        database.epsilon,
-        bounds=bound,
+    bucket = length_bucket(int(database.lengths[candidate_indices[0]]))
+    kernel = plan.kernel_for_bucket(bucket)
+    stats.kernel_buckets[str(bucket)] = kernel
+    candidates = [database.trajectories[index] for index in candidate_indices]
+    start = time.perf_counter()
+    distances = run_kernel(
+        kernel, query, candidates, database.epsilon, bounds=bound
+    )
+    stats.note_kernel(
+        kernel,
+        len(query) * int(sum(len(candidate) for candidate in candidates)),
+        time.perf_counter() - start,
     )
     stats.true_distance_computations += len(candidate_indices)
     for candidate_index, distance in zip(candidate_indices, distances):
@@ -764,14 +811,21 @@ def _normalized_batch_size(refine_batch_size: Optional[int]) -> Optional[int]:
 
 
 def knn_scan(
-    database: TrajectoryDatabase, query: Trajectory, k: int
+    database: TrajectoryDatabase,
+    query: Trajectory,
+    k: int,
+    edr_kernel: Optional[str] = None,
 ) -> SearchResult:
     """Sequential scan: the pruning-free baseline every speedup is measured against."""
     start = time.perf_counter()
     result = _ResultList(k)
     stats = SearchStats(database_size=len(database))
+    plan = resolve_kernel_plan(database, edr_kernel)
+    stats.kernel = plan.requested
     for candidate_index in range(len(database)):
-        distance = _true_distance(database, query, candidate_index, stats)
+        distance = _true_distance(
+            database, query, candidate_index, stats, plan=plan
+        )
         result.offer(candidate_index, distance)
     stats.elapsed_seconds = time.perf_counter() - start
     return result.neighbors(), stats
@@ -784,6 +838,7 @@ def knn_search(
     pruners: Sequence[Pruner],
     early_abandon: bool = False,
     refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
+    edr_kernel: Optional[str] = None,
 ) -> SearchResult:
     """Sequential k-NN with a chain of pruners (Figure 6's skeleton).
 
@@ -804,10 +859,18 @@ def knn_search(
     force at flush time, so pruning decisions can only be more
     conservative than the scalar loop's (never unsound).  ``None`` (or
     any size below 2) restores the scalar per-candidate path.
+
+    ``edr_kernel`` selects the refine kernel (see
+    :mod:`repro.core.kernels`): ``None`` keeps the legacy batched
+    kernel, ``"auto"`` uses the database's autotuned per-bucket table,
+    and a concrete name pins that kernel.  Answers and pruner counters
+    are byte-for-byte identical for every choice.
     """
     start = time.perf_counter()
     result = _ResultList(k)
     stats = SearchStats(database_size=len(database))
+    plan = resolve_kernel_plan(database, edr_kernel)
+    stats.kernel = plan.requested
     query_pruners = [pruner.for_query(query) for pruner in pruners]
     quick_arrays: Optional[List[Optional[np.ndarray]]] = None
     batch_size = _normalized_batch_size(refine_batch_size)
@@ -830,7 +893,9 @@ def knn_search(
             continue
         if pending is None:
             bound = best if early_abandon and np.isfinite(best) else None
-            distance = _true_distance(database, query, candidate_index, stats, bound)
+            distance = _true_distance(
+                database, query, candidate_index, stats, bound, plan
+            )
             if np.isfinite(distance):
                 for query_pruner in query_pruners:
                     query_pruner.record(candidate_index, distance)
@@ -842,7 +907,7 @@ def knn_search(
         if full_bucket is not None:
             _refine_batch(
                 database, query, full_bucket, result, stats,
-                query_pruners, early_abandon,
+                query_pruners, early_abandon, plan,
             )
         elif not np.isfinite(result.best_so_far) and pending.total >= max(
             k - len(result), 1
@@ -853,13 +918,13 @@ def knn_search(
             for bucket in pending.drain():
                 _refine_batch(
                     database, query, bucket, result, stats,
-                    query_pruners, early_abandon,
+                    query_pruners, early_abandon, plan,
                 )
     if pending is not None:
         for bucket in pending.drain():
             _refine_batch(
                 database, query, bucket, result, stats,
-                query_pruners, early_abandon,
+                query_pruners, early_abandon, plan,
             )
     stats.elapsed_seconds = time.perf_counter() - start
     return result.neighbors(), stats
@@ -871,6 +936,7 @@ def knn_sorted_scan(
     k: int,
     pruner: Pruner,
     early_abandon: bool = False,
+    edr_kernel: Optional[str] = None,
 ) -> SearchResult:
     """Sorted scan (the paper's HSR): visit in ascending lower-bound order.
 
@@ -885,6 +951,8 @@ def knn_sorted_scan(
     start = time.perf_counter()
     result = _ResultList(k)
     stats = SearchStats(database_size=len(database))
+    plan = resolve_kernel_plan(database, edr_kernel)
+    stats.kernel = plan.requested
     query_pruner = pruner.for_query(query)
     bounds = np.asarray(query_pruner.bulk_quick_lower_bounds(), dtype=np.float64)
     order = np.argsort(bounds, kind="stable")
@@ -904,7 +972,9 @@ def knn_sorted_scan(
             stats.credit(query_pruner.name)
             continue
         bound = best if early_abandon and np.isfinite(best) else None
-        distance = _true_distance(database, query, candidate_index, stats, bound)
+        distance = _true_distance(
+            database, query, candidate_index, stats, bound, plan
+        )
         if np.isfinite(distance):
             query_pruner.record(candidate_index, distance)
         result.offer(candidate_index, distance)
@@ -919,6 +989,7 @@ def knn_qgram_index(
     q: int = 1,
     structure: str = "rtree",
     axis: int = 0,
+    edr_kernel: Optional[str] = None,
 ) -> SearchResult:
     """The Qgramk-NN-index algorithm of Figure 3.
 
@@ -934,6 +1005,8 @@ def knn_qgram_index(
     start = time.perf_counter()
     result = _ResultList(k)
     stats = SearchStats(database_size=len(database))
+    plan = resolve_kernel_plan(database, edr_kernel)
+    stats.kernel = plan.requested
     pruner = QgramIndexPruner(database, q=q, structure=structure, axis=axis)
     query_pruner = pruner.for_query(query)
     counters = query_pruner.counters
@@ -953,7 +1026,9 @@ def knn_qgram_index(
             if bounds[candidate_index] > best:
                 stats.credit(query_pruner.name)
                 continue
-        distance = _true_distance(database, query, candidate_index, stats)
+        distance = _true_distance(
+            database, query, candidate_index, stats, plan=plan
+        )
         result.offer(candidate_index, distance)
     stats.elapsed_seconds = time.perf_counter() - start
     return result.neighbors(), stats
@@ -967,6 +1042,7 @@ def knn_sorted_search(
     secondary: Sequence[Pruner] = (),
     early_abandon: bool = False,
     refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
+    edr_kernel: Optional[str] = None,
 ) -> SearchResult:
     """Combined search with sorted access on the primary pruner.
 
@@ -986,6 +1062,8 @@ def knn_sorted_search(
     start = time.perf_counter()
     result = _ResultList(k)
     stats = SearchStats(database_size=len(database))
+    plan = resolve_kernel_plan(database, edr_kernel)
+    stats.kernel = plan.requested
     primary_query = primary.for_query(query)
     secondary_queries = [pruner.for_query(query) for pruner in secondary]
     all_queries = [primary_query, *secondary_queries]
@@ -1041,7 +1119,9 @@ def knn_sorted_search(
             continue
         if pending is None:
             bound = best if early_abandon and np.isfinite(best) else None
-            distance = _true_distance(database, query, candidate_index, stats, bound)
+            distance = _true_distance(
+                database, query, candidate_index, stats, bound, plan
+            )
             if np.isfinite(distance):
                 for query_pruner in all_queries:
                     query_pruner.record(candidate_index, distance)
@@ -1053,7 +1133,7 @@ def knn_sorted_search(
         if full_bucket is not None:
             _refine_batch(
                 database, query, full_bucket, result, stats,
-                all_queries, early_abandon,
+                all_queries, early_abandon, plan,
             )
         elif not np.isfinite(result.best_so_far) and pending.total >= max(
             k - len(result), 1
@@ -1061,13 +1141,13 @@ def knn_sorted_search(
             for bucket in pending.drain():
                 _refine_batch(
                     database, query, bucket, result, stats,
-                    all_queries, early_abandon,
+                    all_queries, early_abandon, plan,
                 )
     if pending is not None:
         for bucket in pending.drain():
             _refine_batch(
                 database, query, bucket, result, stats,
-                all_queries, early_abandon,
+                all_queries, early_abandon, plan,
             )
     stats.elapsed_seconds = time.perf_counter() - start
     return result.neighbors(), stats

@@ -67,6 +67,7 @@ from .faults import (
     WorkerTimeout,
 )
 from .histogram import HistogramArrayStore, HistogramSpace
+from .kernels import LEGACY_KERNEL, length_bucket, resolve_kernel_plan, run_kernel
 from .mp import process_context, terminate_pool
 from .search import (
     HistogramPruner,
@@ -454,6 +455,7 @@ class _ShardRuntime:
         early_abandon: bool,
         exact_positions: List[int],
         batch_size: int,
+        kernel_spec,
         shared_value,
     ) -> List[Tuple[str, float]]:
         """Staged exact bounds + batched EDR for one round's shard group.
@@ -470,6 +472,14 @@ class _ShardRuntime:
         by the shared cooperative bound, re-read at every bucket
         boundary; both only shrink below the frozen round threshold, so
         abandonments stay sound.
+
+        ``kernel_spec`` is the coordinator-resolved kernel routing:
+        ``None`` keeps the legacy batched kernel, otherwise it is a
+        serializable ``(default, ((bucket, kernel), ...))`` pair built
+        from the parent's :class:`~repro.core.kernels.KernelPlan`.
+        Workers never autotune — they apply the table they were handed,
+        and because every kernel returns byte-identical distances the
+        choice cannot change any outcome.
         """
         state = self.query_state(spec, digest, query_points)
         pruners: Dict[int, QueryPruner] = state["pruners"]
@@ -491,6 +501,11 @@ class _ShardRuntime:
                 survivors.append(local_index)
                 survivor_slots.append(slot)
         if survivors:
+            kernel_table = None
+            default_kernel = None
+            if kernel_spec is not None:
+                default_kernel, pairs = kernel_spec
+                kernel_table = dict(pairs)
             lengths = self.database.lengths[survivors]
             for bucket in iter_length_buckets(lengths, batch_size):
                 bound = None
@@ -500,12 +515,25 @@ class _ShardRuntime:
                         limit = min(limit, float(shared_value.value))
                     bound = limit if np.isfinite(limit) else None
                 indices = [survivors[int(position)] for position in bucket]
-                distances = edr_many(
-                    query,
-                    [self.database.trajectories[i] for i in indices],
-                    self.database.epsilon,
-                    bounds=bound,
-                )
+                candidates = [self.database.trajectories[i] for i in indices]
+                if kernel_table is None:
+                    distances = edr_many(
+                        query, candidates, self.database.epsilon, bounds=bound
+                    )
+                else:
+                    # Length-sorted batches are not aligned to power-of-two
+                    # buckets, so pick by the longest member — it sets the
+                    # batch's padded width, which the autotuner's bucket
+                    # timing models.  Any deterministic pick is sound:
+                    # kernels agree byte-for-byte.
+                    kernel = kernel_table.get(
+                        length_bucket(int(lengths[int(bucket[-1])])),
+                        default_kernel,
+                    )
+                    distances = run_kernel(
+                        kernel, query, candidates, self.database.epsilon,
+                        bounds=bound,
+                    )
                 for position, distance in zip(bucket, distances):
                     outcomes[survivor_slots[int(position)]] = ("d", float(distance))
         return outcomes  # type: ignore[return-value]
@@ -568,14 +596,15 @@ def _pool_filter(shard_id, spec, digest, query_points, directives=()):
 
 def _pool_refine(
     shard_id, spec, digest, query_points, members, threshold,
-    early_abandon, exact_positions, batch_size, directives=(),
+    early_abandon, exact_positions, batch_size, kernel_spec, directives=(),
 ):
     _faults.apply(
         directives, inline=False, drop=lambda: _POOL_STATE.drop(shard_id)
     )
     payload = _POOL_STATE.runtime(shard_id).refine(
         spec, digest, query_points, members, threshold,
-        early_abandon, exact_positions, batch_size, _POOL_STATE.shared_value,
+        early_abandon, exact_positions, batch_size, kernel_spec,
+        _POOL_STATE.shared_value,
     )
     return _faults.wrap_result(payload, directives)
 
@@ -898,11 +927,13 @@ class ShardedDatabase:
         spec: Optional[str] = None,
         early_abandon: bool = False,
         refine_batch_size: Optional[int] = None,
+        edr_kernel: Optional[str] = None,
     ) -> Tuple[List[Neighbor], ShardedSearchStats]:
         """Exact k-NN, byte-for-byte equal to the serial ``knn_search``."""
         return self._run(
             query, spec, k=k, radius=None,
             early_abandon=early_abandon, refine_batch_size=refine_batch_size,
+            edr_kernel=edr_kernel,
         )
 
     def knn_sorted_search(
@@ -912,6 +943,7 @@ class ShardedDatabase:
         spec: Optional[str] = None,
         early_abandon: bool = False,
         refine_batch_size: Optional[int] = None,
+        edr_kernel: Optional[str] = None,
     ) -> Tuple[List[Neighbor], ShardedSearchStats]:
         """Alias of :meth:`knn_search` — the sharded pipeline *is* a
         sorted scan (global quick-bound order with a sorted break), and
@@ -919,7 +951,7 @@ class ShardedDatabase:
         ``knn_sorted_search`` answers identical already."""
         return self.knn_search(
             query, k, spec=spec, early_abandon=early_abandon,
-            refine_batch_size=refine_batch_size,
+            refine_batch_size=refine_batch_size, edr_kernel=edr_kernel,
         )
 
     def range_search(
@@ -929,6 +961,7 @@ class ShardedDatabase:
         spec: Optional[str] = None,
         early_abandon: bool = False,
         refine_batch_size: Optional[int] = None,
+        edr_kernel: Optional[str] = None,
     ) -> Tuple[List[Neighbor], ShardedSearchStats]:
         """Exact range query; answers equal the serial ``range_search``."""
         if radius < 0.0:
@@ -936,6 +969,7 @@ class ShardedDatabase:
         return self._run(
             query, spec, k=None, radius=float(radius),
             early_abandon=early_abandon, refine_batch_size=refine_batch_size,
+            edr_kernel=edr_kernel,
         )
 
     # ------------------------------------------------------------------
@@ -949,6 +983,7 @@ class ShardedDatabase:
         radius: Optional[float],
         early_abandon: bool,
         refine_batch_size: Optional[int],
+        edr_kernel: Optional[str] = None,
     ) -> Tuple[List[Neighbor], ShardedSearchStats]:
         start_time = time.perf_counter()
         self._ensure_ready()
@@ -966,12 +1001,13 @@ class ShardedDatabase:
         recovery = {name: 0 for name in RECOVERY_FIELDS}
         try:
             answer, stats = self._run_sharded(
-                query, spec, k, radius, early_abandon, round_size, recovery
+                query, spec, k, radius, early_abandon, round_size, recovery,
+                edr_kernel,
             )
             self._degraded = False
         except _ShardFailure:
             answer, stats = self._degrade(
-                query, spec, k, radius, early_abandon, round_size
+                query, spec, k, radius, early_abandon, round_size, edr_kernel
             )
         for name in RECOVERY_FIELDS:
             setattr(stats, name, recovery[name])
@@ -989,6 +1025,7 @@ class ShardedDatabase:
         radius: Optional[float],
         early_abandon: bool,
         round_size: int,
+        edr_kernel: Optional[str] = None,
     ) -> Tuple[List[Neighbor], ShardedSearchStats]:
         """Last resort: rerun the whole query on the serial engine.
 
@@ -1003,6 +1040,7 @@ class ShardedDatabase:
             answer, serial = knn_search(
                 self._database, query, k, chain,
                 early_abandon=early_abandon, refine_batch_size=round_size,
+                edr_kernel=edr_kernel,
             )
         else:
             from .rangequery import range_search
@@ -1010,9 +1048,10 @@ class ShardedDatabase:
             answer, serial = range_search(
                 self._database, query, radius, chain,
                 early_abandon=early_abandon, refine_batch_size=round_size,
+                edr_kernel=edr_kernel,
             )
         self._degraded = True
-        return answer, ShardedSearchStats(
+        stats = ShardedSearchStats(
             database_size=serial.database_size,
             true_distance_computations=serial.true_distance_computations,
             pruned_by=dict(serial.pruned_by),
@@ -1022,6 +1061,11 @@ class ShardedDatabase:
             start_method=self._start_method if self.mode == "process" else None,
             degraded=True,
         )
+        stats.kernel = serial.kernel
+        stats.kernel_buckets = dict(serial.kernel_buckets)
+        stats.kernel_cells = dict(serial.kernel_cells)
+        stats.kernel_seconds = dict(serial.kernel_seconds)
+        return answer, stats
 
     def _run_sharded(
         self,
@@ -1032,9 +1076,18 @@ class ShardedDatabase:
         early_abandon: bool,
         round_size: int,
         recovery: Dict[str, int],
+        edr_kernel: Optional[str] = None,
     ) -> Tuple[List[Neighbor], ShardedSearchStats]:
         knn = radius is None
         result = _ResultList(k) if knn else None
+        # Kernel routing is resolved once, coordinator-side ("auto"
+        # autotunes against the parent database; forked workers inherit
+        # nothing — they receive the concrete table in the task tuple).
+        plan = resolve_kernel_plan(self._database, edr_kernel)
+        if plan.default == LEGACY_KERNEL and not plan.table:
+            kernel_spec = None
+        else:
+            kernel_spec = (plan.default, tuple(sorted(plan.table.items())))
         range_hits: List[Neighbor] = []
         total = len(self._database)
         per_shard = [
@@ -1135,7 +1188,8 @@ class ShardedDatabase:
                 groups.setdefault(int(self._shard_ids[candidate]), []).append(candidate)
             outcomes = self._dispatch_refine(
                 groups, spec, digest, query_points, threshold,
-                early_abandon, exact_positions, round_size, result, recovery,
+                early_abandon, exact_positions, round_size, kernel_spec,
+                result, recovery,
             )
             # Deterministic merge pass in global chunk order: stats,
             # range hits, and dynamic-pruner records all follow the
@@ -1164,6 +1218,10 @@ class ShardedDatabase:
             shards=self.shards,
             start_method=self._start_method if self.mode == "process" else None,
         )
+        stats.kernel = plan.requested
+        stats.kernel_buckets = {
+            str(bucket): name for bucket, name in sorted(plan.table.items())
+        }
         for shard_stats in per_shard:
             shard_stats.start_method = stats.start_method
             stats.true_distance_computations += shard_stats.true_distance_computations
@@ -1360,6 +1418,7 @@ class ShardedDatabase:
         early_abandon: bool,
         exact_positions: List[int],
         batch_size: int,
+        kernel_spec,
         result: Optional[_ResultList],
         recovery: Dict[str, int],
     ) -> Dict[int, List[Tuple[str, float]]]:
@@ -1394,7 +1453,7 @@ class ShardedDatabase:
         tasks = {
             shard_id: (
                 spec, digest, query_points, members, threshold,
-                early_abandon, exact_positions, batch_size,
+                early_abandon, exact_positions, batch_size, kernel_spec,
             )
             for shard_id, members in local_groups.items()
         }

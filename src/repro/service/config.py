@@ -59,6 +59,9 @@ class ServiceConfig:
     early_abandon: bool = False
     refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE
     matrix_workers: Optional[int] = None
+    # Refine-phase EDR kernel ("auto" autotunes per length bucket at
+    # warm time; any fixed choice returns byte-identical answers).
+    edr_kernel: str = "auto"
 
     # Intra-query sharding (``shards > 1`` routes supported k-NN specs
     # through the resident shared-memory ShardedDatabase engine; answers
@@ -97,6 +100,13 @@ class ServiceConfig:
             )
         if self.k_default < 1:
             raise ValueError("k_default must be at least 1")
+        from ..core.kernels import KERNEL_CHOICES
+
+        if self.edr_kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown edr_kernel {self.edr_kernel!r}; choose from "
+                f"{', '.join(KERNEL_CHOICES)}"
+            )
         if self.shards < 1:
             raise ValueError("shards must be at least 1")
         if self.shard_workers is not None and self.shard_workers < 1:

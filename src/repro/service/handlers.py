@@ -57,6 +57,7 @@ import numpy as np
 
 from ..core.batch import knn_batch, warm_pruners
 from ..core.database import TrajectoryDatabase
+from ..core.kernels import kernel_report
 from ..core.rangequery import range_search
 from ..core.search import Neighbor, Pruner, SearchStats
 from ..core.trajectory import Trajectory
@@ -124,6 +125,9 @@ class TrajectoryService:
             per_axis="histogram-1d" in spec,
             references=50 if "nti" in spec else 0,
             workers=self.config.matrix_workers,
+            # "auto" autotunes the refine kernel table now, off the
+            # request path (fixed kernels need no timing at all).
+            kernels=self.config.edr_kernel == "auto",
         )
         self._pruner_chain(spec)
         report["pruner_chain"] = time.perf_counter() - start - sum(report.values())
@@ -277,6 +281,9 @@ class TrajectoryService:
             "max_length": self.database.max_length,
         }
         snapshot["config"] = self.config.public()
+        snapshot["kernels"] = kernel_report(
+            self.database, self.config.edr_kernel
+        )
         sharding = snapshot.setdefault("sharding", {})
         sharding["enabled"] = self._sharded is not None
         if self._sharded is not None:
@@ -304,6 +311,7 @@ class TrajectoryService:
             self.config.engine,
             self.config.early_abandon,
             refine,
+            self.config.edr_kernel,
         )
         cached = self.cache.get(cache_key)
         if cached is not None:
@@ -356,6 +364,7 @@ class TrajectoryService:
                 early_abandon=self.config.early_abandon,
                 refine_batch_size=self.config.refine_batch_size,
                 sharded=sharded,
+                edr_kernel=self.config.edr_kernel,
             )
         else:
             batch = knn_batch(
@@ -368,6 +377,7 @@ class TrajectoryService:
                 executor=self.config.batch_executor,
                 early_abandon=self.config.early_abandon,
                 refine_batch_size=self.config.refine_batch_size,
+                edr_kernel=self.config.edr_kernel,
             )
         self.metrics.record_search_stats(
             batch.stats, seconds=batch.elapsed_seconds
@@ -391,6 +401,7 @@ class TrajectoryService:
             spec,
             self.config.early_abandon,
             self.config.refine_batch_size,
+            self.config.edr_kernel,
         )
         cached = self.cache.get(cache_key)
         if cached is not None:
@@ -419,6 +430,7 @@ class TrajectoryService:
             pruners,
             early_abandon=self.config.early_abandon,
             refine_batch_size=self.config.refine_batch_size,
+            edr_kernel=self.config.edr_kernel,
         )
         self.metrics.record_search_stats([stats])
         return {
