@@ -1,0 +1,383 @@
+"""Benchmark: tiered storage — build cost, bytes touched, sublinearity.
+
+Builds tiered store directories for a small and a large synthetic
+corpus (each build runs in a **subprocess** so its peak RSS is measured
+independently), then serves k-NN queries off each store and records how
+many bytes the filter + refine phases actually touch.
+
+Two scaling claims are checked:
+
+* **Sublinear bytes touched** — a 10x larger corpus must cost far less
+  than 10x the bytes per query, because the merge-join filter probes
+  the sorted Q-gram pool by binary search and the refine phase only
+  pages in filter survivors.
+* **Bounded build memory** — the out-of-core builder streams the
+  corpus, so build peak RSS must grow far slower than corpus size.
+
+Every store is oracle-asserted before timing: a subsample of the corpus
+is built both as an in-memory :class:`TrajectoryDatabase` and as a
+store, and the tiered answers (plus pruner counters) must be
+byte-for-byte the serial engine's, or the benchmark aborts.
+
+Run it directly (it is a script, not a pytest module)::
+
+    PYTHONPATH=src python benchmarks/bench_tiered.py
+
+Results are printed as a table and written to ``BENCH_tiered.json`` in
+the repository root (plus ``benchmarks/results/tiered.txt`` for
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Trajectory, TrajectoryDatabase, knn_search
+from repro.core.search import knn_sorted_search
+from repro.service.pruning import build_pruners
+from repro.storage import TieredDatabase, build_store
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SPEC = "histogram,qgram"
+EPSILON = 0.25
+ORACLE_SAMPLE = 1500
+
+
+N_ROUTES = 200
+
+
+def _route_bases():
+    """The shared route shapes every corpus size draws from.
+
+    Moving-object corpora are clustered — many objects follow the same
+    roads — so the synthetic corpus is ``N_ROUTES`` base random walks
+    plus per-object jitter.  Density along each route grows with corpus
+    size, exactly the regime the filter pipeline exists for.
+    """
+    rng = np.random.default_rng(4242)
+    return [
+        np.cumsum(rng.normal(size=(int(rng.integers(30, 120)), 2)), axis=0)
+        for _ in range(N_ROUTES)
+    ]
+
+
+def corpus_stream(count: int, seed: int = 0):
+    """Deterministic clustered corpus, yielded one trajectory at a time.
+
+    Trajectories arrive **grouped by route** — the natural ingest order
+    of a fleet uploading per-vehicle batches — so same-route objects
+    land in the same store blocks and the histogram skip summaries can
+    rule out whole blocks per query.  A generator on purpose: the
+    builder must bound its memory without the benchmark ever
+    materializing the full corpus either.
+    """
+    bases = _route_bases()
+    rng = np.random.default_rng(seed)
+    for route in range(N_ROUTES):
+        members = count // N_ROUTES + (1 if route < count % N_ROUTES else 0)
+        base = bases[route]
+        for _ in range(members):
+            yield Trajectory(base + rng.normal(scale=0.1, size=base.shape))
+
+
+def make_queries(count: int, seed: int = 999) -> list:
+    """Held-out queries drawn from the same route distribution."""
+    bases = _route_bases()
+    rng = np.random.default_rng(seed)
+    queries = []
+    for index in range(count):
+        base = bases[index % N_ROUTES]
+        queries.append(Trajectory(base + rng.normal(scale=0.1, size=base.shape)))
+    return queries
+
+
+def _answers(neighbors) -> list:
+    return [(int(n.index), float(n.distance)) for n in neighbors]
+
+
+def child_build(
+    count: int, directory: str, chunk_size: int, summary_block: int
+) -> None:
+    """Subprocess entry: build one store, report stats + own peak RSS."""
+    stats = build_store(
+        corpus_stream(count),
+        directory,
+        EPSILON,
+        parts=("histogram", "qgram"),
+        chunk_size=chunk_size,
+        summary_block=summary_block,
+    )
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    print(
+        json.dumps(
+            {
+                "count": stats["count"],
+                "bytes": stats["bytes"],
+                "seconds": sum(stats["seconds"].values()),
+                "peak_rss_mb": peak_rss_mb,
+            }
+        )
+    )
+
+
+def build_in_subprocess(
+    count: int, directory: Path, chunk_size: int, summary_block: int
+) -> dict:
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--child-build",
+            str(count),
+            str(directory),
+            str(chunk_size),
+            str(summary_block),
+        ],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    if result.returncode != 0:
+        raise RuntimeError(f"store build failed for {count}:\n{result.stderr}")
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def oracle_check(workdir: Path, queries: list, k: int) -> None:
+    """Tiered answers on a corpus subsample must equal the serial engine."""
+    sample = list(corpus_stream(ORACLE_SAMPLE))
+    database = TrajectoryDatabase(sample, epsilon=EPSILON)
+    directory = workdir / "oracle"
+    # A small summary block so the oracle store has many skip blocks —
+    # the blocked sorted engine is exactly what gets timed below.
+    build_store(
+        sample, directory, EPSILON, parts=("histogram", "qgram"),
+        summary_block=128,
+    )
+    with TieredDatabase.open(directory) as tiered:
+        for query in queries:
+            got, stats = tiered.knn_search(
+                query, k, build_pruners(tiered.database, SPEC)
+            )
+            want, serial_stats = knn_search(
+                database, query, k, build_pruners(database, SPEC)
+            )
+            assert _answers(got) == _answers(want), "tiered answers diverged"
+            assert stats.pruned_by == serial_stats.pruned_by, (
+                "tiered pruner counters diverged"
+            )
+            primary, *secondary = build_pruners(tiered.database, SPEC)
+            got, stats = tiered.knn_sorted_search(query, k, primary, secondary)
+            assert stats.blocks_total > 1, "oracle store has no skip blocks"
+            primary, *secondary = build_pruners(database, SPEC)
+            want, serial_stats = knn_sorted_search(
+                database, query, k, primary, secondary
+            )
+            assert _answers(got) == _answers(want), (
+                "blocked sorted answers diverged"
+            )
+            assert stats.pruned_by == serial_stats.pruned_by, (
+                "blocked sorted counters diverged"
+            )
+    print(
+        f"oracle: tiered == serial on {ORACLE_SAMPLE}-trajectory subsample "
+        "(scan and blocked sorted engines)"
+    )
+
+
+def measure_store(directory: Path, queries: list, k: int, repeats: int) -> dict:
+    with TieredDatabase.open(directory) as tiered:
+        # Sorted search refines candidates in ascending lower-bound order
+        # and stops at the k-th distance — the engine whose refine cost
+        # (and therefore page reads) stays flat as the corpus grows.
+        primary, *secondary = build_pruners(tiered.database, SPEC)
+
+        def run_all():
+            return [
+                tiered.knn_sorted_search(
+                    query, k, primary, secondary, early_abandon=True
+                )
+                for query in queries
+            ]
+
+        run_all()  # warm the buffer pool and filter artifacts
+        best = float("inf")
+        stats_rows = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = run_all()
+            best = min(best, time.perf_counter() - start)
+            stats_rows = [stats for _, stats in results]
+        per_query = best / len(queries)
+        return {
+            "per_query_seconds": per_query,
+            "qps": 1.0 / per_query if per_query else float("inf"),
+            "bytes_touched_per_query": float(
+                np.mean([s.bytes_touched for s in stats_rows])
+            ),
+            "pages_read_per_query": float(
+                np.mean([s.pages_read for s in stats_rows])
+            ),
+            "blocks_total": int(stats_rows[0].blocks_total),
+            "blocks_opened_per_query": float(
+                np.mean([s.blocks_opened for s in stats_rows])
+            ),
+            "pool_hit_rate": tiered.pool.hit_rate,
+        }
+
+
+def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "--child-build":
+        child_build(
+            int(sys.argv[2]), sys.argv[3], int(sys.argv[4]), int(sys.argv[5])
+        )
+        return 0
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", default="10000,100000", help="comma list of corpus sizes"
+    )
+    parser.add_argument("--queries", type=int, default=3)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--chunk-size", type=int, default=2048)
+    parser.add_argument(
+        "--summary-block",
+        type=int,
+        default=0,
+        help="trajectories per histogram skip block; 0 (default) aligns "
+        "blocks with the ingest batches (count // routes), so each "
+        "block's summary covers one route and stays tight",
+    )
+    parser.add_argument(
+        "--require-sublinear",
+        action="store_true",
+        help="fail unless bytes touched and build RSS grow sublinearly "
+        "with corpus size",
+    )
+    parser.add_argument("--workdir", default=None, help="store directory root")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_tiered.json"))
+    args = parser.parse_args()
+
+    sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+    queries = make_queries(args.queries)
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="bench_tiered_"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    oracle_check(workdir, queries, args.k)
+
+    header = (
+        f"{'corpus':>8} {'build':>8} {'peak RSS':>9} {'store':>9} "
+        f"{'per-query':>10} {'bytes/query':>12} {'pages':>6} {'blocks':>9}"
+    )
+    print(header)
+    table_lines = [header]
+    rows = {}
+    for count in sizes:
+        directory = workdir / f"store_{count}"
+        summary_block = args.summary_block or max(1, count // N_ROUTES)
+        built = build_in_subprocess(
+            count, directory, args.chunk_size, summary_block
+        )
+        measured = measure_store(directory, queries, args.k, args.repeats)
+        rows[str(count)] = {
+            "trajectories": count,
+            "summary_block": summary_block,
+            **built,
+            **measured,
+        }
+        line = (
+            f"{count:>8} {built['seconds']:>7.1f}s {built['peak_rss_mb']:>7.0f}MB "
+            f"{built['bytes'] / 1e6:>7.1f}MB {measured['per_query_seconds'] * 1e3:>8.1f}ms "
+            f"{measured['bytes_touched_per_query'] / 1e6:>10.2f}MB "
+            f"{measured['pages_read_per_query']:>6.0f} "
+            f"{measured['blocks_opened_per_query']:>4.0f}/{measured['blocks_total']:<4}"
+        )
+        print(line)
+        table_lines.append(line)
+
+    small, large = str(min(sizes)), str(max(sizes))
+    size_ratio = max(sizes) / min(sizes)
+    bytes_ratio = (
+        rows[large]["bytes_touched_per_query"]
+        / rows[small]["bytes_touched_per_query"]
+    )
+    rss_ratio = rows[large]["peak_rss_mb"] / rows[small]["peak_rss_mb"]
+    # Higher is better: how much cheaper a query is than a linear scale-up
+    # of the small corpus would predict (1.0 = linear, >1 = sublinear).
+    sublinearity_speedup = size_ratio / bytes_ratio
+    summary = {
+        "size_ratio": size_ratio,
+        "bytes_touched_ratio": bytes_ratio,
+        "build_rss_ratio": rss_ratio,
+        "sublinearity_speedup": sublinearity_speedup,
+    }
+    print(
+        f"\n{size_ratio:.0f}x corpus -> {bytes_ratio:.2f}x bytes touched "
+        f"({sublinearity_speedup:.1f}x better than linear), "
+        f"{rss_ratio:.2f}x build peak RSS"
+    )
+
+    payload = {
+        "dataset": {
+            "epsilon": EPSILON,
+            "lengths": [30, 120],
+            "routes": N_ROUTES,
+            "jitter": 0.1,
+            "ingest_order": "route-grouped",
+            "queries": len(queries),
+            "k": args.k,
+            "spec": SPEC,
+            "oracle_sample": ORACLE_SAMPLE,
+        },
+        "cpu_count": os.cpu_count(),
+        "sizes": rows,
+        "scaling": summary,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    title = (
+        f"Tiered storage scaling (spec {SPEC}, k={args.k}, "
+        f"{os.cpu_count()} CPU(s))"
+    )
+    lines = [title, "=" * len(title)]
+    lines.extend(table_lines)
+    lines.append(
+        f"{size_ratio:.0f}x corpus -> {bytes_ratio:.2f}x bytes touched, "
+        f"{rss_ratio:.2f}x build peak RSS"
+    )
+    (results_dir / "tiered.txt").write_text("\n".join(lines) + "\n")
+
+    if args.require_sublinear:
+        failed = False
+        if bytes_ratio >= size_ratio:
+            print(
+                f"FAIL: bytes touched grew {bytes_ratio:.2f}x for a "
+                f"{size_ratio:.0f}x corpus — not sublinear"
+            )
+            failed = True
+        if rss_ratio >= size_ratio / 2:
+            print(
+                f"FAIL: build peak RSS grew {rss_ratio:.2f}x for a "
+                f"{size_ratio:.0f}x corpus — not bounded"
+            )
+            failed = True
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

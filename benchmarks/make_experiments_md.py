@@ -213,6 +213,24 @@ SECTIONS = [
         "`BENCH_edr_refine.json`).",
     ),
     (
+        "edr_bitparallel",
+        "Engineering — bit-parallel EDR kernel",
+        "Not a paper experiment: EDR's unit-cost DP rewritten in the "
+        "Myers/Hyyrö bit-parallel form (`edr_many_bitparallel`: vertical "
+        "deltas packed into uint64 words, 64 cells per word operation, "
+        "ε-match bitmasks from `match_bits`, the same per-candidate early "
+        "abandoning and band) versus the batched row DP (`edr_many`), on "
+        "the pruner-free refine phase and the raw kernels head to head.  "
+        "Before timing, every kernel's k-NN answer — scalar, batched, "
+        "bit-parallel — is asserted *byte-equal* to the scalar `edr` "
+        "linear scan; the per-bucket autotuner (`repro.core.kernels`, "
+        "docs/KERNELS.md) picks between the kernels at query time with "
+        "`--edr-kernel auto`.  Generated by "
+        "`python benchmarks/bench_edr_bitparallel.py` (also writes "
+        "`BENCH_edr_bitparallel.json`, regression-guarded in CI with "
+        "`--require-speedup`).",
+    ),
+    (
         "service",
         "Engineering — query service micro-batching under load",
         "Not a paper experiment: the resident HTTP query service "
@@ -241,6 +259,25 @@ SECTIONS = [
         "records honestly (`cpu_count` is in the JSON).  Generated by "
         "`python benchmarks/bench_shards.py` (also writes "
         "`BENCH_shards.json`).",
+    ),
+    (
+        "tiered",
+        "Engineering — tiered storage scaling (out-of-core build, "
+        "sublinear bytes touched)",
+        "Not a paper experiment, but the paper's central I/O claim at "
+        "scale: a disk-resident store (`repro-trajectory build-store`, "
+        "docs/STORAGE.md) built out-of-core in streaming chunks, served "
+        "by `TieredDatabase` running the unmodified engines over mmap "
+        "artifacts.  Per-block histogram skip summaries let the blocked "
+        "sorted engine rule out whole store blocks without faulting their "
+        "rows, so the bytes a k-NN query touches grow sublinearly in "
+        "corpus size, and the subprocess-measured build peak RSS stays "
+        "bounded (run-count-scaled merge buffers + MADV_DONTNEED on "
+        "consumed pages).  Answers and pruner counters are "
+        "oracle-asserted byte-for-byte against the in-memory serial "
+        "engine before timing.  Generated by "
+        "`python benchmarks/bench_tiered.py` (also writes "
+        "`BENCH_tiered.json`, gated in CI with `--require-sublinear`).",
     ),
 ]
 

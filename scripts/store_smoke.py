@@ -1,0 +1,121 @@
+"""Tiered store smoke test: build-store → serve --store → query.
+
+Builds a tiered store directory out of core from a synthetic corpus,
+starts the query service *from the store* (no in-memory database), and
+asserts over real HTTP that every ``/knn`` answer is byte-for-byte what
+the serial in-memory engine computes, and that ``/stats`` reports the
+storage section.  Repeats the check with 2-shard mmap-attach serving.
+Exits non-zero on any divergence, so CI and ``scripts/run_all.sh`` can
+gate on it.
+
+    PYTHONPATH=src python scripts/store_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Trajectory, TrajectoryDatabase, knn_search
+from repro.service import ServerHandle, ServiceClient, ServiceConfig
+from repro.service.pruning import build_pruners
+from repro.storage import build_store
+
+EPSILON = 0.5
+K = 5
+SPEC = "histogram,qgram"
+
+
+def _trajectories(count: int = 160, seed: int = 4) -> list:
+    rng = np.random.default_rng(seed)
+    return [
+        Trajectory(
+            np.cumsum(rng.normal(size=(int(rng.integers(15, 50)), 2)), axis=0)
+        )
+        for _ in range(count)
+    ]
+
+
+def _serve_answers(store: Path, shards: int, queries, port: int = 0):
+    config = ServiceConfig(
+        port=port,
+        max_batch=1,
+        cache_size=0,
+        shards=shards,
+        store=str(store),
+        pruners=SPEC,
+    )
+    with ServerHandle.start(None, config) as handle:
+        with ServiceClient(handle.host, handle.port) as client:
+            answers = [
+                client.knn(query, k=K)["neighbors"] for query in queries
+            ]
+            stats = client.stats()
+    return answers, stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=160)
+    parser.add_argument("--chunk-size", type=int, default=32)
+    args = parser.parse_args()
+
+    trajectories = _trajectories(args.count)
+    database = TrajectoryDatabase(trajectories, epsilon=EPSILON)
+    queries = [trajectories[index] for index in (0, 33, 92, 141)]
+    expected = []
+    for query in queries:
+        neighbors, _ = knn_search(
+            database, query, K, build_pruners(database, SPEC)
+        )
+        expected.append(
+            [
+                {"index": int(n.index), "distance": float(n.distance)}
+                for n in neighbors
+            ]
+        )
+
+    with tempfile.TemporaryDirectory(prefix="store_smoke_") as tmp:
+        store = Path(tmp) / "store"
+        stats = build_store(
+            iter(trajectories),
+            store,
+            EPSILON,
+            parts=("histogram", "qgram"),
+            chunk_size=args.chunk_size,
+        )
+        print(
+            f"built store: {stats['count']} trajectories, "
+            f"{stats['bytes'] / 1e6:.1f} MB"
+        )
+
+        for shards in (1, 2):
+            answers, served_stats = _serve_answers(store, shards, queries)
+            for index, (got, want) in enumerate(zip(answers, expected)):
+                if got != want:
+                    print(
+                        f"FAIL: /knn diverged from serial engine at "
+                        f"{shards} shard(s), query {index}: {got} != {want}"
+                    )
+                    return 1
+            storage = served_stats.get("storage", {})
+            if not storage.get("enabled"):
+                print(f"FAIL: /stats storage section missing: {storage}")
+                return 1
+            if storage.get("count") != args.count:
+                print(f"FAIL: /stats storage count wrong: {storage}")
+                return 1
+
+    print(
+        f"store smoke ok: {len(queries)} served answers identical to the "
+        f"serial engine at 1 and 2 shards, /stats storage section present"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -52,6 +53,7 @@ from .eval.clustering import clustering_score
 from .service import PortInUseError, ServiceConfig, run_server
 from .service import bench as service_bench
 from .service.pruning import PRUNER_CHOICES, build_pruners
+from .storage.pagefile import DEFAULT_PAGE_SIZE
 
 __all__ = ["main", "build_parser"]
 
@@ -98,6 +100,24 @@ def _build_pruners(
         return build_pruners(database, names, matrix_workers=matrix_workers)
     except ValueError as error:
         raise SystemExit(str(error)) from None
+
+
+def _open_store(path: str):
+    """Attach a tiered store directory, turning store faults into exits."""
+    from .storage.tiered import StoreError, TieredDatabase
+
+    try:
+        return TieredDatabase.open(path)
+    except StoreError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _require_source(args: argparse.Namespace) -> None:
+    store = getattr(args, "store", None)
+    if store and args.file:
+        raise SystemExit("provide a trajectory file or --store, not both")
+    if not store and not args.file:
+        raise SystemExit("provide a trajectory file or --store")
 
 
 # ----------------------------------------------------------------------
@@ -154,33 +174,64 @@ def _kernel_note(stats) -> str:
 
 
 def cmd_knn(args: argparse.Namespace) -> int:
-    trajectories = _load(args.file)
-    epsilon = _epsilon(args.epsilon, trajectories)
-    database = TrajectoryDatabase(trajectories, epsilon)
+    _require_source(args)
+    tiered = _open_store(args.store) if args.store else None
+    if tiered is not None:
+        database = tiered.database
+        trajectories = database.trajectories
+        epsilon = database.epsilon
+    else:
+        trajectories = _load(args.file)
+        epsilon = _epsilon(args.epsilon, trajectories)
+        database = TrajectoryDatabase(trajectories, epsilon)
     query = trajectories[args.query_index]
     pruners = _build_pruners(args.pruners, database, args.matrix_workers)
-    neighbors, stats = knn_search(
-        database,
-        query,
-        args.k,
-        pruners,
-        refine_batch_size=args.refine_batch_size,
-        edr_kernel=args.edr_kernel,
-    )
+    if tiered is not None:
+        neighbors, stats = tiered.knn_search(
+            query,
+            args.k,
+            pruners,
+            refine_batch_size=args.refine_batch_size,
+            edr_kernel=args.edr_kernel,
+        )
+    else:
+        neighbors, stats = knn_search(
+            database,
+            query,
+            args.k,
+            pruners,
+            refine_batch_size=args.refine_batch_size,
+            edr_kernel=args.edr_kernel,
+        )
     print(
         f"epsilon = {epsilon:.4f}; kernel = {_kernel_note(stats)}; "
         f"pruning power = {stats.pruning_power:.3f}"
     )
+    if tiered is not None:
+        print(
+            f"bytes touched = {stats.bytes_touched}; "
+            f"pages read = {stats.pages_read}; "
+            f"pool hit rate = {stats.pool_hit_rate:.3f}"
+        )
     for neighbor in neighbors:
         label = trajectories[neighbor.index].label or ""
         print(f"  {neighbor.index:>6}  EDR = {neighbor.distance:<8.1f} {label}")
+    if tiered is not None:
+        tiered.close()
     return 0
 
 
 def cmd_knn_batch(args: argparse.Namespace) -> int:
-    trajectories = _load(args.file)
-    epsilon = _epsilon(args.epsilon, trajectories)
-    database = TrajectoryDatabase(trajectories, epsilon)
+    _require_source(args)
+    tiered = _open_store(args.store) if args.store else None
+    if tiered is not None:
+        database = tiered.database
+        trajectories = database.trajectories
+        epsilon = database.epsilon
+    else:
+        trajectories = _load(args.file)
+        epsilon = _epsilon(args.epsilon, trajectories)
+        database = TrajectoryDatabase(trajectories, epsilon)
     if args.query_indices:
         indices = [
             int(part)
@@ -190,6 +241,18 @@ def cmd_knn_batch(args: argparse.Namespace) -> int:
         indices = list(range(min(args.queries, len(trajectories))))
     queries = [trajectories[index] for index in indices]
     pruners = _build_pruners(args.pruners, database, args.matrix_workers)
+    sharded_engine = None
+    executor = args.executor
+    if tiered is not None:
+        if args.shards and args.shards > 1:
+            # Mmap-attach sharding: workers map the store's files.
+            sharded_engine = tiered.sharded(
+                args.shards, workers=args.shard_workers
+            )
+        elif executor not in ("serial", "thread"):
+            # A paged database holds open file handles and cannot be
+            # pickled into a process pool.
+            executor = "serial"
     batch = knn_batch(
         database,
         queries,
@@ -197,12 +260,15 @@ def cmd_knn_batch(args: argparse.Namespace) -> int:
         pruners,
         engine=args.engine,
         workers=args.workers,
-        executor=args.executor,
+        executor=executor,
         refine_batch_size=args.refine_batch_size,
-        shards=args.shards,
+        shards=None if sharded_engine is not None else args.shards,
         shard_workers=args.shard_workers,
+        sharded=sharded_engine,
         edr_kernel=args.edr_kernel,
     )
+    if sharded_engine is not None:
+        sharded_engine.close()
     total_computed = sum(s.true_distance_computations for s in batch.stats)
     total_candidates = sum(s.database_size for s in batch.stats)
     shard_note = (
@@ -223,30 +289,56 @@ def cmd_knn_batch(args: argparse.Namespace) -> int:
             f"{n.index}:{n.distance:.0f}" for n in neighbors[: args.limit]
         )
         print(f"  query {query_index:>6} -> {summary}")
+    if tiered is not None:
+        tiered.close()
     return 0
 
 
 def cmd_range(args: argparse.Namespace) -> int:
-    trajectories = _load(args.file)
-    epsilon = _epsilon(args.epsilon, trajectories)
-    database = TrajectoryDatabase(trajectories, epsilon)
+    _require_source(args)
+    tiered = _open_store(args.store) if args.store else None
+    if tiered is not None:
+        database = tiered.database
+        trajectories = database.trajectories
+        epsilon = database.epsilon
+    else:
+        trajectories = _load(args.file)
+        epsilon = _epsilon(args.epsilon, trajectories)
+        database = TrajectoryDatabase(trajectories, epsilon)
     query = trajectories[args.query_index]
     pruners = _build_pruners(args.pruners, database, args.matrix_workers)
-    results, stats = range_search(
-        database,
-        query,
-        args.radius,
-        pruners,
-        refine_batch_size=args.refine_batch_size,
-        edr_kernel=args.edr_kernel,
-    )
+    if tiered is not None:
+        results, stats = tiered.range_search(
+            query,
+            args.radius,
+            pruners,
+            refine_batch_size=args.refine_batch_size,
+            edr_kernel=args.edr_kernel,
+        )
+    else:
+        results, stats = range_search(
+            database,
+            query,
+            args.radius,
+            pruners,
+            refine_batch_size=args.refine_batch_size,
+            edr_kernel=args.edr_kernel,
+        )
     print(
         f"epsilon = {epsilon:.4f}; kernel = {_kernel_note(stats)}; "
         f"{len(results)} trajectories within "
         f"EDR {args.radius} (pruning power {stats.pruning_power:.3f})"
     )
+    if tiered is not None:
+        print(
+            f"bytes touched = {stats.bytes_touched}; "
+            f"pages read = {stats.pages_read}; "
+            f"pool hit rate = {stats.pool_hit_rate:.3f}"
+        )
     for neighbor in sorted(results, key=lambda n: n.distance):
         print(f"  {neighbor.index:>6}  EDR = {neighbor.distance:.1f}")
+    if tiered is not None:
+        tiered.close()
     return 0
 
 
@@ -343,9 +435,13 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    trajectories = _load(args.file)
-    epsilon = _epsilon(args.epsilon, trajectories)
-    database = TrajectoryDatabase(trajectories, epsilon)
+    _require_source(args)
+    if args.store:
+        database = None
+    else:
+        trajectories = _load(args.file)
+        epsilon = _epsilon(args.epsilon, trajectories)
+        database = TrajectoryDatabase(trajectories, epsilon)
     try:
         config = ServiceConfig(
             host=args.host,
@@ -363,17 +459,84 @@ def cmd_serve(args: argparse.Namespace) -> int:
             shards=args.shards,
             shard_workers=args.shard_workers,
             edr_kernel=args.edr_kernel,
+            store=args.store,
         ).validated()
     except ValueError as error:
         raise SystemExit(str(error)) from None
-    print(
-        f"epsilon = {epsilon:.4f}; pruners = {config.pruners or 'none'}; "
-        f"kernel = {config.edr_kernel}"
-    )
+    if args.store:
+        print(
+            f"store = {args.store}; pruners = {config.pruners or 'none'}; "
+            f"kernel = {config.edr_kernel}"
+        )
+    else:
+        print(
+            f"epsilon = {epsilon:.4f}; pruners = {config.pruners or 'none'}; "
+            f"kernel = {config.edr_kernel}"
+        )
+    from .storage.tiered import StoreError
+
     try:
         run_server(database, config)
     except PortInUseError as error:
         raise SystemExit(str(error)) from None
+    except StoreError as error:
+        raise SystemExit(str(error)) from None
+    return 0
+
+
+def cmd_build_store(args: argparse.Namespace) -> int:
+    import resource
+
+    from .storage.tiered import StoreError, build_store
+
+    trajectories = _load(args.file)
+    epsilon = _epsilon(args.epsilon, trajectories)
+    parts = tuple(
+        part for part in (p.strip() for p in args.parts.split(",")) if part
+    )
+    state = {"stage": None, "t0": 0.0, "last": 0.0}
+
+    def progress(stage: str, done: int, total: int) -> None:
+        now = time.perf_counter()
+        if stage != state["stage"]:
+            state["stage"] = stage
+            state["t0"] = now
+            state["last"] = 0.0
+        if now - state["last"] < 1.0 and done != total:
+            return
+        state["last"] = now
+        total_note = f"/{total}" if total else ""
+        rate_note = ""
+        if now - state["t0"] > 0.01:
+            rate_note = f" ({done / (now - state['t0']):.0f}/s)"
+        print(f"  {stage}: {done}{total_note}{rate_note}", flush=True)
+
+    start = time.perf_counter()
+    try:
+        report = build_store(
+            trajectories,
+            args.out,
+            epsilon,
+            parts=parts,
+            chunk_size=args.chunk_size,
+            page_size=args.page_size,
+            max_triangle=args.max_triangle,
+            matrix_workers=args.matrix_workers,
+            progress=progress,
+        )
+    except StoreError as error:
+        raise SystemExit(str(error)) from None
+    elapsed = time.perf_counter() - start
+    peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    print(
+        f"wrote {report['count']} trajectories "
+        f"({report['bytes'] / 1e6:.1f} MB, parts: {','.join(report['parts'])}) "
+        f"to {report['directory']}"
+    )
+    print(
+        f"  {elapsed:.1f}s total ({report['count'] / max(elapsed, 1e-9):.0f} "
+        f"trajectories/s), peak RSS {peak_mb:.0f} MB"
+    )
     return 0
 
 
@@ -416,7 +579,13 @@ def build_parser() -> argparse.ArgumentParser:
     distance.set_defaults(handler=cmd_distance)
 
     knn = commands.add_parser("knn", help="k-NN search under EDR")
-    knn.add_argument("file")
+    knn.add_argument("file", nargs="?", default=None)
+    knn.add_argument(
+        "--store",
+        default=None,
+        help="serve a tiered store directory (built with build-store) "
+        "instead of loading a trajectory file into memory",
+    )
     knn.add_argument("--query-index", type=int, default=0)
     knn.add_argument("--k", type=int, default=10)
     knn.add_argument("--epsilon", type=float, default=None)
@@ -449,7 +618,12 @@ def build_parser() -> argparse.ArgumentParser:
     knn_batch_command = commands.add_parser(
         "knn-batch", help="answer many k-NN queries with shared pruners"
     )
-    knn_batch_command.add_argument("file")
+    knn_batch_command.add_argument("file", nargs="?", default=None)
+    knn_batch_command.add_argument(
+        "--store",
+        default=None,
+        help="serve a tiered store directory instead of an in-memory file",
+    )
     knn_batch_command.add_argument(
         "--query-indices",
         default=None,
@@ -506,7 +680,12 @@ def build_parser() -> argparse.ArgumentParser:
     knn_batch_command.set_defaults(handler=cmd_knn_batch)
 
     range_command = commands.add_parser("range", help="range query under EDR")
-    range_command.add_argument("file")
+    range_command.add_argument("file", nargs="?", default=None)
+    range_command.add_argument(
+        "--store",
+        default=None,
+        help="serve a tiered store directory instead of an in-memory file",
+    )
     range_command.add_argument("--query-index", type=int, default=0)
     range_command.add_argument("--radius", type=float, required=True)
     range_command.add_argument("--epsilon", type=float, default=None)
@@ -579,7 +758,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="run the HTTP query service over a trajectory file"
     )
-    serve.add_argument("file")
+    serve.add_argument("file", nargs="?", default=None)
+    serve.add_argument(
+        "--store",
+        default=None,
+        help="serve a tiered store directory (mmap-resident corpus) "
+        "instead of loading a trajectory file into memory",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765)
     serve.add_argument("--epsilon", type=float, default=None)
@@ -620,6 +805,40 @@ def build_parser() -> argparse.ArgumentParser:
         "time; every choice returns identical answers)",
     )
     serve.set_defaults(handler=cmd_serve)
+
+    build_store_command = commands.add_parser(
+        "build-store",
+        help="build a tiered mmap store directory from a trajectory file "
+        "(out-of-core, bounded peak memory)",
+    )
+    build_store_command.add_argument("file")
+    build_store_command.add_argument(
+        "--out", required=True, help="store directory to create"
+    )
+    build_store_command.add_argument("--epsilon", type=float, default=None)
+    build_store_command.add_argument(
+        "--parts",
+        default="histogram,qgram",
+        help="comma list of filter artifacts to materialize: "
+        "histogram, histogram-1d, qgram, nti",
+    )
+    build_store_command.add_argument(
+        "--chunk-size",
+        type=int,
+        default=2048,
+        help="trajectories per streaming build chunk (bounds peak memory)",
+    )
+    build_store_command.add_argument(
+        "--page-size", type=int, default=DEFAULT_PAGE_SIZE
+    )
+    build_store_command.add_argument(
+        "--max-triangle",
+        type=int,
+        default=50,
+        help="reference columns for the nti part",
+    )
+    build_store_command.add_argument("--matrix-workers", type=int, default=None)
+    build_store_command.set_defaults(handler=cmd_build_store)
 
     bench_serve = commands.add_parser(
         "bench-serve",

@@ -82,6 +82,42 @@ class TrajectoryDatabase:
         # lazily by kernel_selection(), serialized with save()/load().
         self._kernel_selection = None
 
+    @classmethod
+    def _shell(
+        cls,
+        trajectories: Sequence[Trajectory],
+        ndim: int,
+        epsilon: float,
+        lengths: np.ndarray,
+    ) -> "TrajectoryDatabase":
+        """A database shell around an externally-owned trajectory sequence.
+
+        Used by the tiered storage layer (and the mmap-attached shard
+        runtime) to wrap lazy, disk-backed trajectory lists without the
+        constructor's eager full-corpus pass: ``trajectories`` may be any
+        sequence supporting ``len`` and integer indexing.  All artifact
+        caches start empty — the caller injects mmap-backed artifacts
+        directly, and anything not injected builds lazily through the
+        normal accessors (reading trajectories on demand).
+        """
+        database = cls.__new__(cls)
+        database.trajectories = trajectories  # type: ignore[assignment]
+        database.ndim = int(ndim)
+        database.epsilon = float(epsilon)
+        database.lengths = np.asarray(lengths)
+        database._sorted_means_2d = {}
+        database._sorted_means_1d = {}
+        database._flat_means_2d = {}
+        database._flat_means_1d = {}
+        database._rtrees = {}
+        database._bptrees = {}
+        database._histograms = {}
+        database._histogram_arrays = {}
+        database._reference_columns = {}
+        database._reference_column_store = {}
+        database._kernel_selection = None
+        return database
+
     def __len__(self) -> int:
         return len(self.trajectories)
 

@@ -95,6 +95,24 @@ class SearchStats:
     kernel_buckets: Dict[str, str] = field(default_factory=dict)
     kernel_cells: Dict[str, int] = field(default_factory=dict)
     kernel_seconds: Dict[str, float] = field(default_factory=dict)
+    # Tiered-storage attribution (PR 7): bytes of columnar filter
+    # artifacts actually touched, physical pages read through the buffer
+    # pool, and the pool's hit/miss/eviction tallies for this query.
+    # All zero for fully in-memory engines.
+    bytes_touched: int = 0
+    pages_read: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_evictions: int = 0
+    # Block-skipping sorted access (tiered stores): skip blocks whose
+    # summary bound was evaluated vs. blocks whose rows were faulted in.
+    blocks_total: int = 0
+    blocks_opened: int = 0
+
+    @property
+    def pool_hit_rate(self) -> float:
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
 
     @property
     def pruning_power(self) -> float:
@@ -784,7 +802,13 @@ def _refine_batch(
     bucket = length_bucket(int(database.lengths[candidate_indices[0]]))
     kernel = plan.kernel_for_bucket(bucket)
     stats.kernel_buckets[str(bucket)] = kernel
-    candidates = [database.trajectories[index] for index in candidate_indices]
+    # Disk-resident trajectory lists expose ``fetch_many`` for batched,
+    # extent-ordered readahead; plain lists take the comprehension path.
+    fetch_many = getattr(database.trajectories, "fetch_many", None)
+    if fetch_many is not None:
+        candidates = fetch_many(candidate_indices)
+    else:
+        candidates = [database.trajectories[index] for index in candidate_indices]
     start = time.perf_counter()
     distances = run_kernel(
         kernel, query, candidates, database.epsilon, bounds=bound

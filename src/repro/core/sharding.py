@@ -311,29 +311,67 @@ class _ShardRuntime:
     """One attached shard: database view, injected artifacts, query cache."""
 
     def __init__(self, manifest: Dict[str, object], meta: Dict[str, object]) -> None:
-        self.block = SharedArrayBlock.attach(manifest)
+        file_mode = manifest.get("kind") == "file"
+        if file_mode:
+            # Mmap-attach mode: the shard maps row slices of a tiered
+            # store's own files — no artifact bytes are copied, and the
+            # lazy views below keep attach from faulting in the corpus
+            # (eager Trajectory construction scans every point for the
+            # finiteness check).
+            from ..storage.tiered import (
+                FileArrayBlock,
+                LazyHistogramRows,
+                MmapTrajectoryList,
+                OffsetSlicedRows,
+            )
+
+            self.block = FileArrayBlock.attach(manifest)
+        else:
+            self.block = SharedArrayBlock.attach(manifest)
         self.meta = meta
         arrays = self.block.arrays()
         offsets = arrays["offsets"]
         points = arrays["points"]
-        trajectories = [
-            Trajectory(points[offsets[i] : offsets[i + 1]])
-            for i in range(len(offsets) - 1)
-        ]
-        self.database = TrajectoryDatabase(trajectories, float(meta["epsilon"]))
+        if file_mode:
+            self.database = TrajectoryDatabase._shell(
+                MmapTrajectoryList(points, offsets),
+                int(meta["ndim"]),
+                float(meta["epsilon"]),
+                np.diff(np.asarray(offsets)),
+            )
+        else:
+            trajectories = [
+                Trajectory(points[offsets[i] : offsets[i + 1]])
+                for i in range(len(offsets) - 1)
+            ]
+            self.database = TrajectoryDatabase(trajectories, float(meta["epsilon"]))
 
         if meta["qgram"] is not None:
             q = int(meta["qgram"]["q"])
             qoffsets = arrays["qg2_offsets"]
             values = arrays["qg2_values"]
-            self.database._sorted_means_2d[q] = [
-                values[qoffsets[i] : qoffsets[i + 1]]
-                for i in range(len(qoffsets) - 1)
-            ]
-            self.database._flat_means_2d[q] = (
-                arrays["qg2_pool_values"],
-                arrays["qg2_pool_owners"],
-            )
+            if file_mode:
+                sorted_means = OffsetSlicedRows(values, qoffsets)
+            else:
+                sorted_means = [
+                    values[qoffsets[i] : qoffsets[i + 1]]
+                    for i in range(len(qoffsets) - 1)
+                ]
+            self.database._sorted_means_2d[q] = sorted_means
+            if "qg2_pool_values" in arrays:
+                self.database._flat_means_2d[q] = (
+                    arrays["qg2_pool_values"],
+                    arrays["qg2_pool_owners"],
+                )
+            else:
+                # A store's global pool is sorted across all owners and
+                # cannot be row-sliced per shard; re-pool the shard's
+                # rows, exactly as the shm packing does.
+                from ..index.mergejoin import flatten_sorted_means
+
+                self.database._flat_means_2d[q] = flatten_sorted_means(
+                    list(sorted_means)
+                )
 
         for variant in meta["hist"]:
             tag = variant["tag"]
@@ -342,17 +380,20 @@ class _ShardRuntime:
             keys = arrays[f"{tag}_keys"]
             kcounts = arrays[f"{tag}_kcounts"]
             koffsets = arrays[f"{tag}_koffsets"]
-            histograms = []
-            for i in range(len(koffsets) - 1):
-                lo, hi = int(koffsets[i]), int(koffsets[i + 1])
-                histograms.append(
-                    {
-                        tuple(map(int, key)): int(count)
-                        for key, count in zip(
-                            keys[lo:hi].tolist(), kcounts[lo:hi].tolist()
-                        )
-                    }
-                )
+            if file_mode:
+                histograms = LazyHistogramRows(keys, kcounts, koffsets)
+            else:
+                histograms = []
+                for i in range(len(koffsets) - 1):
+                    lo, hi = int(koffsets[i]), int(koffsets[i + 1])
+                    histograms.append(
+                        {
+                            tuple(map(int, key)): int(count)
+                            for key, count in zip(
+                                keys[lo:hi].tolist(), kcounts[lo:hi].tolist()
+                            )
+                        }
+                    )
             key = (float(variant["delta"]), axis)
             self.database._histograms[key] = (space, histograms)
             if variant["sparse"]:
@@ -719,6 +760,9 @@ class ShardedDatabase:
         round_timeout_s: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
         verify_checksums: bool = True,
+        pack_shard: Optional[
+            Callable[[int, int, Sequence[str], int], Dict[str, object]]
+        ] = None,
     ) -> None:
         if mode not in ("process", "inline"):
             raise ValueError("mode must be 'process' or 'inline'")
@@ -757,6 +801,18 @@ class ShardedDatabase:
         self._blocks: List[SharedArrayBlock] = []
         shard_payload: Dict[int, Dict[str, object]] = {}
         for shard_id in range(self.shards):
+            if pack_shard is not None:
+                # Mmap-attach mode (tiered stores): the callback returns
+                # a file-array manifest describing row slices of the
+                # store's own files — nothing is packed into shm, so
+                # there is nothing to unlink at close either.
+                shard_payload[shard_id] = pack_shard(
+                    int(starts[shard_id]),
+                    int(starts[shard_id + 1]),
+                    self._packed_parts,
+                    self._max_triangle,
+                )
+                continue
             arrays, meta = _pack_shard(
                 database,
                 int(starts[shard_id]),

@@ -69,6 +69,14 @@ class ServiceConfig:
     shards: int = 1
     shard_workers: Optional[int] = None
 
+    # Tiered storage: when set, the service serves a store directory
+    # built by ``repro-trajectory build-store`` — artifacts attach as
+    # read-only mmaps, candidates page in through the buffer pool, and
+    # ``/stats`` gains a ``storage`` section.  With ``shards > 1`` the
+    # sharded engine runs in mmap-attach mode over the same files.
+    store: Optional[str] = None
+    store_pool_pages: int = 256
+
     # Micro-batching
     max_batch: int = 16
     max_delay_ms: float = 5.0
@@ -111,6 +119,8 @@ class ServiceConfig:
             raise ValueError("shards must be at least 1")
         if self.shard_workers is not None and self.shard_workers < 1:
             raise ValueError("shard_workers must be at least 1 (or None)")
+        if self.store_pool_pages < 1:
+            raise ValueError("store_pool_pages must be at least 1")
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if self.max_delay_ms < 0.0:

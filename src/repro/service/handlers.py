@@ -88,9 +88,27 @@ class RequestError(Exception):
 class TrajectoryService:
     """The resident query service around one warmed database."""
 
-    def __init__(self, database: TrajectoryDatabase, config: ServiceConfig) -> None:
-        self.database = database
+    def __init__(
+        self,
+        database: Optional[TrajectoryDatabase],
+        config: ServiceConfig,
+    ) -> None:
         self.config = config.validated()
+        self._tiered = None
+        if self.config.store is not None:
+            if database is not None:
+                raise ValueError(
+                    "pass either a database or config.store, not both"
+                )
+            from ..storage.tiered import TieredDatabase
+
+            self._tiered = TieredDatabase.open(
+                self.config.store, pool_pages=self.config.store_pool_pages
+            )
+            database = self._tiered.database
+        elif database is None:
+            raise ValueError("a database (or config.store) is required")
+        self.database = database
         self.metrics = MetricsRegistry(config.latency_window)
         self.cache = ResultCache(config.cache_size)
         self._executor = ThreadPoolExecutor(
@@ -132,19 +150,30 @@ class TrajectoryService:
         self._pruner_chain(spec)
         report["pruner_chain"] = time.perf_counter() - start - sum(report.values())
         if self.config.shards > 1 and self._sharded is None:
-            from ..core.sharding import ShardedDatabase
-
             shard_start = time.perf_counter()
             refine = self.config.refine_batch_size
             kwargs = {} if refine is None else {"refine_batch_size": refine}
-            self._sharded = ShardedDatabase(
-                self.database,
-                self.config.shards,
-                specs=[spec],
-                mode="process",
-                workers=self.config.shard_workers,
-                **kwargs,
-            )
+            if self._tiered is not None:
+                # Mmap-attach mode: shard workers map the store's own
+                # files instead of packing artifact copies into shm.
+                self._sharded = self._tiered.sharded(
+                    self.config.shards,
+                    specs=[spec],
+                    mode="process",
+                    workers=self.config.shard_workers,
+                    **kwargs,
+                )
+            else:
+                from ..core.sharding import ShardedDatabase
+
+                self._sharded = ShardedDatabase(
+                    self.database,
+                    self.config.shards,
+                    specs=[spec],
+                    mode="process",
+                    workers=self.config.shard_workers,
+                    **kwargs,
+                )
             report["sharding"] = time.perf_counter() - shard_start
         return report
 
@@ -181,6 +210,9 @@ class TrajectoryService:
         if self._sharded is not None:
             self._sharded.close()
             self._sharded = None
+        if self._tiered is not None:
+            self._tiered.close()
+            self._tiered = None
 
     # ------------------------------------------------------------------
     # HTTP-facing entry point
@@ -293,6 +325,10 @@ class TrajectoryService:
             sharding["start_method"] = self._sharded.start_method
             sharding["boundaries"] = self._sharded.boundaries
             sharding["resilience"] = self._sharded.resilience()
+        storage = snapshot.setdefault("storage", {})
+        storage["enabled"] = self._tiered is not None
+        if self._tiered is not None:
+            storage.update(self._tiered.storage_stats())
         return snapshot
 
     # ------------------------------------------------------------------
@@ -598,13 +634,18 @@ def _neighbors_payload(neighbors: Sequence[Neighbor]) -> List[dict]:
 
 
 def _stats_payload(stats: SearchStats) -> dict:
-    return {
+    payload = {
         "database_size": stats.database_size,
         "true_distance_computations": stats.true_distance_computations,
         "pruning_power": round(stats.pruning_power, 6),
         "pruned_by": dict(stats.pruned_by),
         "elapsed_seconds": round(stats.elapsed_seconds, 6),
     }
+    if stats.bytes_touched or stats.pages_read:
+        payload["bytes_touched"] = stats.bytes_touched
+        payload["pages_read"] = stats.pages_read
+        payload["pool_hit_rate"] = round(stats.pool_hit_rate, 6)
+    return payload
 
 
 def _compute_distance(

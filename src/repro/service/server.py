@@ -215,7 +215,7 @@ async def _serve(
     if started is not None:
         started.set()
     if announce:
-        print(f"serving {len(database)} trajectories on "
+        print(f"serving {len(service.database)} trajectories on "
               f"http://{config.host}:{port} (Ctrl-C or SIGTERM to drain)")
     try:
         await stop_event.wait()

@@ -1,10 +1,19 @@
-"""Disk-resident storage substrate: page file, buffer pool, trajectory store."""
+"""Disk-resident storage substrate: page file, buffer pool, trajectory
+store, and the tiered mmap store for corpora that do not fit in RAM."""
 
 from .bufferpool import BufferPool
 from .pagefile import DEFAULT_PAGE_SIZE, PageFile
+from .tiered import (
+    FileArrayBlock,
+    StoreError,
+    TieredDatabase,
+    build_store,
+)
 from .trajectorystore import (
     DiskSearchStats,
+    StoreMetaError,
     TrajectoryStore,
+    TrajectoryStoreWriter,
     disk_knn_scan,
     disk_knn_search,
 )
@@ -14,7 +23,13 @@ __all__ = [
     "DEFAULT_PAGE_SIZE",
     "PageFile",
     "DiskSearchStats",
+    "FileArrayBlock",
+    "StoreError",
+    "StoreMetaError",
+    "TieredDatabase",
     "TrajectoryStore",
+    "TrajectoryStoreWriter",
+    "build_store",
     "disk_knn_scan",
     "disk_knn_search",
 ]
