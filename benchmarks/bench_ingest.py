@@ -1,0 +1,192 @@
+"""Benchmark: incremental index maintenance versus full rebuild.
+
+The streaming-ingest subsystem (``repro.ingest``) maintains the pruning
+artifacts — pooled Q-gram means, histogram matrices, NTI reference
+columns — incrementally as trajectories are inserted, instead of
+rebuilding them from scratch.  This benchmark quantifies the payoff for
+the canonical "a delta arrives on a warm base" scenario:
+
+* **full rebuild** — construct a fresh :class:`~repro.TrajectoryDatabase`
+  over the merged corpus (base + delta) and build + warm the pruner
+  chain from nothing;
+* **incremental** — open a :class:`~repro.ingest.MutableDatabase` over
+  the already-warm base, insert the delta, and build + warm the pruner
+  chain over the merged view, which reuses every base-side artifact and
+  computes per-trajectory artifacts only for the delta.
+
+Both paths are oracle-asserted first: the incremental view's k-NN
+answers AND pruning counters must be byte-for-byte the cold rebuild's,
+or the benchmark aborts.  A benchmark that compares different answers
+measures nothing.
+
+Run it directly (it is a script, not a pytest module)::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py
+
+Results are printed as a table and written to ``BENCH_ingest.json`` in
+the repository root (plus ``benchmarks/results/ingest.txt`` for
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Trajectory, TrajectoryDatabase, knn_search
+from repro.core.batch import warm_pruners
+from repro.ingest import MutableDatabase
+from repro.service.pruning import build_pruners
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SPEC = "histogram,qgram,nti"
+EPSILON = 0.5
+
+
+def make_corpus(count: int, seed: int = 0) -> list:
+    rng = np.random.default_rng(seed)
+    return [
+        Trajectory(
+            np.cumsum(rng.normal(size=(int(rng.integers(30, 120)), 2)), axis=0)
+        )
+        for _ in range(count)
+    ]
+
+
+def best_of(repeats: int, function) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _payload(neighbors, stats):
+    return (
+        [(int(n.index), float(n.distance)) for n in neighbors],
+        dict(stats.pruned_by),
+        stats.true_distance_computations,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=600)
+    parser.add_argument(
+        "--delta-fraction",
+        type=float,
+        default=0.10,
+        help="fraction of the corpus that arrives as the streamed delta",
+    )
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless incremental maintenance reaches this speedup "
+        "over the full rebuild (0 disables the gate)",
+    )
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_ingest.json"))
+    args = parser.parse_args()
+
+    corpus = make_corpus(args.count)
+    delta_count = max(1, int(round(args.count * args.delta_fraction)))
+    base_trajectories = corpus[: args.count - delta_count]
+    delta = corpus[args.count - delta_count :]
+
+    rng = np.random.default_rng(999)
+    query = Trajectory(np.cumsum(rng.normal(size=(80, 2)), axis=0))
+
+    # The warm base every repeat starts from: its artifacts exist, as
+    # they would in a long-running service that has already answered
+    # queries against the pre-delta corpus.
+    base = TrajectoryDatabase(base_trajectories, epsilon=EPSILON)
+    warm_pruners(build_pruners(base, SPEC), query)
+
+    def full_rebuild():
+        cold = TrajectoryDatabase(
+            base_trajectories + delta, epsilon=EPSILON
+        )
+        pruners = build_pruners(cold, SPEC)
+        warm_pruners(pruners, query)
+        return cold, pruners
+
+    def incremental():
+        mutable = MutableDatabase(base)
+        for trajectory in delta:
+            mutable.insert(trajectory)
+        view = mutable.view()
+        pruners = build_pruners(view, SPEC)
+        warm_pruners(pruners, query)
+        return view, pruners
+
+    # Oracle first: the incremental view must answer byte-for-byte the
+    # cold rebuild, counters included, before anything is timed.
+    cold, cold_pruners = full_rebuild()
+    view, view_pruners = incremental()
+    want = _payload(*knn_search(cold, query, args.k, cold_pruners))
+    got = _payload(*knn_search(view, query, args.k, view_pruners))
+    assert got == want, f"incremental view diverged from rebuild: {got} != {want}"
+
+    full_seconds = best_of(args.repeats, full_rebuild)
+    incremental_seconds = best_of(args.repeats, incremental)
+    speedup = (
+        full_seconds / incremental_seconds
+        if incremental_seconds
+        else float("inf")
+    )
+
+    lines = [
+        f"corpus {args.count} trajectories, delta {delta_count} "
+        f"({args.delta_fraction:.0%}), spec {SPEC}",
+        f"full rebuild:      {full_seconds * 1e3:>9.1f} ms",
+        f"incremental:       {incremental_seconds * 1e3:>9.1f} ms",
+        f"speedup:           {speedup:>9.2f}x",
+    ]
+    print("\n".join(lines))
+
+    payload = {
+        "dataset": {
+            "count": args.count,
+            "delta": delta_count,
+            "delta_fraction": args.delta_fraction,
+            "epsilon": EPSILON,
+            "lengths": [30, 120],
+            "k": args.k,
+        },
+        "spec": SPEC,
+        "full_rebuild_seconds": full_seconds,
+        "incremental_seconds": incremental_seconds,
+        "incremental_speedup": speedup,
+        "exact": True,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    title = (
+        f"Incremental ingest vs full rebuild ({args.count} trajectories, "
+        f"{args.delta_fraction:.0%} delta, spec {SPEC})"
+    )
+    (results_dir / "ingest.txt").write_text(
+        "\n".join([title, "=" * len(title)] + lines) + "\n"
+    )
+
+    if args.require_speedup > 0.0 and speedup < args.require_speedup:
+        print(
+            f"FAIL: incremental speedup {speedup:.2f}x is below the "
+            f"required {args.require_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

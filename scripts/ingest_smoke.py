@@ -1,0 +1,163 @@
+"""Ingest smoke test: init → insert → compact → serve → query.
+
+Drives the full streaming-ingest lifecycle out of core: initialise an
+ingest root from a synthetic corpus, append inserts and a delete through
+the write-ahead log, compact the delta into a new immutable generation,
+then start the query service *from the root* (``ingest_root`` source)
+and assert over real HTTP that every ``/knn`` answer is byte-for-byte
+what the serial in-memory engine computes over the same logical corpus,
+and that ``/healthz`` reports the ingest section.  A live hot-swap is
+exercised too: mutate + compact while the server runs, trigger
+``reload_if_changed``, and require the post-swap answers to match the
+new corpus's cold oracle.  Exits non-zero on any divergence, so CI and
+``scripts/run_all.sh`` can gate on it.
+
+    PYTHONPATH=src python scripts/ingest_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Trajectory, TrajectoryDatabase, knn_search
+from repro.ingest import IngestRoot, compact
+from repro.service import ServerHandle, ServiceClient, ServiceConfig
+from repro.service.pruning import build_pruners
+
+EPSILON = 0.5
+K = 5
+SPEC = "histogram,qgram"
+
+
+def _trajectories(count: int, seed: int = 11) -> list:
+    rng = np.random.default_rng(seed)
+    return [
+        Trajectory(
+            np.cumsum(rng.normal(size=(int(rng.integers(15, 50)), 2)), axis=0)
+        )
+        for _ in range(count)
+    ]
+
+
+def _oracle(root: IngestRoot, queries) -> list:
+    """Cold-built serial answers for the root's current logical corpus."""
+    mutable = root.open_mutable()
+    try:
+        snapshot, _ = mutable.snapshot()
+        cold = TrajectoryDatabase(
+            [Trajectory(np.array(t.points)) for t in snapshot], EPSILON
+        )
+    finally:
+        mutable.close()
+    pruners = build_pruners(cold, SPEC)
+    answers = []
+    for query in queries:
+        neighbors, _ = knn_search(cold, query, K, pruners)
+        answers.append(
+            [
+                {"index": int(n.index), "distance": float(n.distance)}
+                for n in neighbors
+            ]
+        )
+    return answers
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=120)
+    args = parser.parse_args()
+
+    trajectories = _trajectories(args.count)
+    extra = _trajectories(12, seed=12)
+    queries = [trajectories[index] for index in (0, 41, 87)]
+
+    with tempfile.TemporaryDirectory(prefix="ingest_smoke_") as tmp:
+        root = IngestRoot.init(Path(tmp) / "root", trajectories, EPSILON)
+
+        # Mutate through the WAL, then fold the delta into gen-000001.
+        mutable = root.open_mutable()
+        for trajectory in extra[:6]:
+            mutable.insert(trajectory)
+        mutable.delete(3)
+        mutable.close()
+        compact(root)
+        generation, epoch, _ = root.state_token()
+        print(f"compacted to {generation} (epoch {epoch})")
+        if generation != "gen-000001":
+            print(f"FAIL: unexpected generation {generation}")
+            return 1
+
+        expected = _oracle(root, queries)
+        config = ServiceConfig(
+            port=0,
+            max_batch=1,
+            cache_size=32,
+            ingest_root=str(root.root),
+            pruners=SPEC,
+        )
+        with ServerHandle.start(None, config) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                # Absolute size check: consistency-only comparisons
+                # cannot catch mutations that BOTH sides silently drop.
+                size = client.knn(queries[0], k=K)["stats"]["database_size"]
+                if size != args.count + 6 - 1:
+                    print(f"FAIL: served corpus size {size}, expected "
+                          f"{args.count + 6 - 1}")
+                    return 1
+                for index, query in enumerate(queries):
+                    got = client.knn(query, k=K)["neighbors"]
+                    if got != expected[index]:
+                        print(
+                            f"FAIL: /knn diverged from serial engine at "
+                            f"query {index}: {got} != {expected[index]}"
+                        )
+                        return 1
+                health = client.healthz()
+                ingest = health.get("ingest", {})
+                if ingest.get("generation") != "gen-000001":
+                    print(f"FAIL: /healthz ingest section wrong: {ingest}")
+                    return 1
+
+                # Live mutate + compact + hot swap under the server.
+                mutable = root.open_mutable()
+                for trajectory in extra[6:]:
+                    mutable.insert(trajectory)
+                mutable.close()
+                compact(root)
+                future = handle.service.reload_if_changed()
+                if future is None or not future.result(timeout=120):
+                    print("FAIL: hot swap did not run")
+                    return 1
+                expected = _oracle(root, queries)
+                size = client.knn(queries[0], k=K)["stats"]["database_size"]
+                if size != args.count + 12 - 1:
+                    print(f"FAIL: post-swap corpus size {size}, expected "
+                          f"{args.count + 12 - 1}")
+                    return 1
+                for index, query in enumerate(queries):
+                    got = client.knn(query, k=K)["neighbors"]
+                    if got != expected[index]:
+                        print(
+                            f"FAIL: post-swap /knn diverged at query "
+                            f"{index}: {got} != {expected[index]}"
+                        )
+                        return 1
+                if client.healthz()["ingest"]["swaps"] != 1:
+                    print("FAIL: /healthz did not record the swap")
+                    return 1
+
+    print(
+        f"ingest smoke ok: init → insert → compact → serve → hot swap, "
+        f"{len(queries)} served answers identical to the serial engine "
+        f"before and after the swap"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,8 @@ from .core.lcss_search import knn_lcss_scan, knn_lcss_search
 from .core.qgram import mean_value_qgrams
 from .core.faults import FaultPlan, FaultRule
 from .core.rangequery import range_scan, range_search
+from .ingest import DeltaLog, IngestRoot, MutableDatabase
+from .ingest import compact as compact_ingest_root
 from .core.sharding import ShardedDatabase, ShardedSearchStats
 from .core.trajectory import Trajectory
 from .distances.base import available_distances, get_distance
@@ -106,6 +108,10 @@ __all__ = [
     "ShardedSearchStats",
     "FaultPlan",
     "FaultRule",
+    "DeltaLog",
+    "IngestRoot",
+    "MutableDatabase",
+    "compact_ingest_root",
     "knn_lcss_scan",
     "knn_lcss_search",
     "edr_alignment",

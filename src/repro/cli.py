@@ -113,11 +113,19 @@ def _open_store(path: str):
 
 
 def _require_source(args: argparse.Namespace) -> None:
-    store = getattr(args, "store", None)
-    if store and args.file:
-        raise SystemExit("provide a trajectory file or --store, not both")
-    if not store and not args.file:
-        raise SystemExit("provide a trajectory file or --store")
+    sources = [
+        name
+        for name, value in (
+            ("a trajectory file", args.file),
+            ("--store", getattr(args, "store", None)),
+            ("--ingest-root", getattr(args, "ingest_root", None)),
+        )
+        if value
+    ]
+    if len(sources) > 1:
+        raise SystemExit(f"provide only one of: {', '.join(sources)}")
+    if not sources:
+        raise SystemExit("provide a trajectory file, --store, or --ingest-root")
 
 
 # ----------------------------------------------------------------------
@@ -436,7 +444,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     _require_source(args)
-    if args.store:
+    if args.store or args.ingest_root:
         database = None
     else:
         trajectories = _load(args.file)
@@ -460,6 +468,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             shard_workers=args.shard_workers,
             edr_kernel=args.edr_kernel,
             store=args.store,
+            ingest_root=args.ingest_root,
+            follow=args.follow,
+            follow_poll_s=args.follow_poll_s,
         ).validated()
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -467,6 +478,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"store = {args.store}; pruners = {config.pruners or 'none'}; "
             f"kernel = {config.edr_kernel}"
+        )
+    elif args.ingest_root:
+        print(
+            f"ingest root = {args.ingest_root}; "
+            f"follow = {'on' if config.follow else 'off'}; "
+            f"pruners = {config.pruners or 'none'}"
         )
     else:
         print(
@@ -538,6 +555,69 @@ def cmd_build_store(args: argparse.Namespace) -> int:
         f"trajectories/s), peak RSS {peak_mb:.0f} MB"
     )
     return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from .ingest import IngestError, IngestRoot
+
+    try:
+        if args.init:
+            trajectories = _load(args.init)
+            epsilon = _epsilon(args.epsilon, trajectories)
+            kind = "store" if args.tiered else "memory"
+            IngestRoot.init(args.root, trajectories, epsilon, kind=kind)
+            print(
+                f"initialised {args.root} with {len(trajectories)} "
+                f"trajectories (epsilon {epsilon:.4f}, kind {kind})"
+            )
+            return 0
+        root = IngestRoot(args.root)
+        if args.add:
+            mutable = root.open_mutable()
+            try:
+                added = [mutable.insert(t) for t in _load(args.add)]
+            finally:
+                mutable.close()
+            print(f"inserted {len(added)} trajectories (uids {added[0]}..{added[-1]})")
+            return 0
+        if args.delete is not None:
+            mutable = root.open_mutable()
+            try:
+                mutable.delete(args.delete)
+            except KeyError as error:
+                raise SystemExit(str(error.args[0])) from None
+            finally:
+                mutable.close()
+            print(f"deleted trajectory {args.delete}")
+            return 0
+        # --status (the default): read-only, never repairs
+        pointer = root.current()
+        mutable = root.open_mutable(repair=False)
+        try:
+            print(f"generation: {pointer['generation']} (epoch {pointer.get('epoch', 0)})")
+            print(f"live trajectories: {len(mutable.view())}")
+            print(f"delta (WAL) mutations: {mutable.delta_size}")
+            print(f"applied seq: {mutable.applied_seq}")
+        finally:
+            mutable.close()
+        return 0
+    except IngestError as error:
+        raise SystemExit(str(error)) from None
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    from .ingest import IngestError, IngestRoot, compact
+
+    try:
+        root = IngestRoot(args.root)
+        start = time.perf_counter()
+        kind = "store" if args.tiered else None
+        name = compact(root, kind=kind)
+        elapsed = time.perf_counter() - start
+        print(f"compacted {args.root} -> {name} in {elapsed:.2f}s")
+        return 0
+    except IngestError as error:
+        raise SystemExit(str(error)) from None
 
 
 def cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -804,7 +884,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="refine-phase EDR kernel (auto = per-bucket autotune at warm "
         "time; every choice returns identical answers)",
     )
+    serve.add_argument(
+        "--ingest-root",
+        default=None,
+        help="serve a live ingest root (current generation merged with "
+        "the WAL delta) instead of a static corpus",
+    )
+    serve.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll the ingest root and hot-swap to newly compacted "
+        "generations without dropping in-flight queries",
+    )
+    serve.add_argument(
+        "--follow-poll-s",
+        type=float,
+        default=0.25,
+        help="ingest-root poll interval for --follow",
+    )
     serve.set_defaults(handler=cmd_serve)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="initialise or mutate a live ingest root "
+        "(write-ahead delta log over immutable generations)",
+    )
+    ingest.add_argument("root", help="ingest root directory")
+    ingest.add_argument(
+        "--init",
+        default=None,
+        metavar="FILE",
+        help="create the root with generation 0 from a trajectory file",
+    )
+    ingest.add_argument(
+        "--add",
+        default=None,
+        metavar="FILE",
+        help="append every trajectory in FILE to the delta log",
+    )
+    ingest.add_argument(
+        "--delete", type=int, default=None, metavar="UID",
+        help="log the deletion of one live trajectory id",
+    )
+    ingest.add_argument("--epsilon", type=float, default=None)
+    ingest.add_argument(
+        "--tiered",
+        action="store_true",
+        help="with --init: back generation 0 with a tiered mmap store "
+        "instead of an in-memory archive",
+    )
+    ingest.set_defaults(handler=cmd_ingest)
+
+    compact_command = commands.add_parser(
+        "compact",
+        help="fold an ingest root's delta log into a new immutable "
+        "generation and publish it atomically",
+    )
+    compact_command.add_argument("root", help="ingest root directory")
+    compact_command.add_argument(
+        "--tiered",
+        action="store_true",
+        help="write the new generation as a tiered mmap store",
+    )
+    compact_command.set_defaults(handler=cmd_compact)
 
     build_store_command = commands.add_parser(
         "build-store",

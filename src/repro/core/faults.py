@@ -47,6 +47,7 @@ import numpy as np
 __all__ = [
     "FAULT_KINDS",
     "FAULT_POINTS",
+    "SWAP_POINTS",
     "COUNTER_BY_KIND",
     "Fault",
     "FaultRule",
@@ -66,6 +67,21 @@ FAULT_KINDS = ("crash", "slow", "attach_fail", "pipe_eof", "corrupt")
 
 #: Dispatch sites a rule may address ("any" matches both).
 FAULT_POINTS = ("filter", "refine")
+
+#: Dispatch sites of the ingest/compaction pipeline
+#: (:mod:`repro.ingest`).  Each is crossed exactly once per operation,
+#: in order: a WAL append, then compaction's fold -> artifact/manifest
+#: write -> CURRENT publish, and finally the serving layer's
+#: generation attach.  A ``crash`` rule at any of them simulates dying
+#: with every earlier effect durable and every later one absent — the
+#: torn-generation windows the recovery protocol must close.
+SWAP_POINTS = (
+    "wal:append",
+    "compact:fold",
+    "compact:manifest",
+    "compact:publish",
+    "swap:attach",
+)
 
 #: Which :class:`~repro.core.sharding.ShardedSearchStats` recovery
 #: counter each fault class lands in when the coordinator detects it.
@@ -133,7 +149,7 @@ class FaultRule:
     delay_s: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.point not in FAULT_POINTS + ("any",):
+        if self.point not in FAULT_POINTS + SWAP_POINTS + ("any",):
             raise ValueError(f"unknown fault point {self.point!r}")
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")

@@ -1,0 +1,33 @@
+"""Streaming ingest and live reindex (PR 8).
+
+The paper's stack assumes a warm-once, immutable corpus; this package
+adds the live axis on top of it without giving up exactness:
+
+* :class:`~repro.ingest.wal.DeltaLog` — checksummed write-ahead log of
+  inserts/deletes; torn tails are truncated, committed records never.
+* :class:`~repro.ingest.mutable.MutableDatabase` — a mutable overlay on
+  an immutable base generation whose merged view answers every query
+  byte-for-byte like a cold build over the same logical corpus, with
+  Q-gram stores, histogram matrices, and NTI reference columns
+  maintained incrementally for the delta only.
+* :class:`~repro.ingest.generation.IngestRoot` /
+  :func:`~repro.ingest.generation.compact` — immutable generations with
+  atomic epoch-based publish; the compactor folds the delta into a new
+  generation (reusing the tiered store builder for the out-of-core
+  path) while readers keep serving the pinned epoch.
+"""
+
+from .generation import Generation, IngestError, IngestRoot, compact
+from .mutable import MutableDatabase
+from .wal import WAL_OPS, DeltaLog, WalError
+
+__all__ = [
+    "DeltaLog",
+    "WalError",
+    "WAL_OPS",
+    "MutableDatabase",
+    "IngestRoot",
+    "Generation",
+    "IngestError",
+    "compact",
+]

@@ -1,0 +1,228 @@
+"""Write-ahead delta log for the streaming ingest subsystem.
+
+Every mutation (insert / delete) is appended to ``wal.jsonl`` *before*
+it is applied in memory, one JSON object per line:
+
+    ``{"body": {"seq": n, "op": ..., ...}, "crc": "<sha1 prefix>"}``
+
+* ``seq`` is strictly increasing and never reused, so replay after a
+  generation fold can skip everything the generation's ``last_seq``
+  already covers — replay is idempotent no matter when a crash hit.
+* ``crc`` is a checksum of the canonical body JSON.  A crash mid-append
+  leaves a torn final line (no newline, or bytes that fail the parse or
+  the checksum); :meth:`DeltaLog.read` detects it and
+  :meth:`DeltaLog.recover` truncates it, which loses exactly the one
+  record that was never acknowledged.  A checksum failure *before* the
+  final line is real corruption and raises :class:`WalError` instead of
+  being silently dropped.
+
+Trajectory points round-trip exactly: ``repr``-based JSON floats parse
+back to the identical float64 bits, so a replayed insert is
+byte-for-byte the inserted trajectory.
+
+Fault injection: a :class:`~repro.core.faults.FaultPlan` attached to the
+log fires at the ``wal:append`` dispatch point.  A ``crash`` directive
+writes a torn prefix of the record (exactly what dying mid-``write``
+leaves behind) and raises
+:class:`~repro.core.faults.WorkerCrash` — the chaos suite's way of
+proving recovery truncates the tail instead of replaying garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core import faults as _faults
+
+__all__ = ["DeltaLog", "WalError", "WAL_OPS"]
+
+#: Operations a delta record may carry.
+WAL_OPS = ("insert", "delete")
+
+
+class WalError(RuntimeError):
+    """The delta log is structurally corrupt (not just torn at the tail)."""
+
+
+def _canonical(body: Dict[str, object]) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _crc(canonical_body: str) -> str:
+    return hashlib.sha1(canonical_body.encode("utf-8")).hexdigest()[:16]
+
+
+def _encode(body: Dict[str, object]) -> str:
+    canonical = _canonical(body)
+    return json.dumps(
+        {"body": json.loads(canonical), "crc": _crc(canonical)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+class DeltaLog:
+    """An append-only, checksummed JSONL mutation log.
+
+    Parameters
+    ----------
+    path:
+        The log file; created empty on first append if missing.
+    sync:
+        fsync after every append.  Off by default — the tests and the
+        bench don't need physical durability, only the format.
+    fault_plan:
+        Optional deterministic fault schedule; consulted at the
+        ``wal:append`` point before each record is written.
+    last_folded:
+        The highest ``seq`` already folded into a generation.  Seqs are
+        never reused, but compaction trims the log — a fresh log file
+        must keep counting *above* the generation fence, or replay
+        would silently skip every post-compaction mutation as already
+        applied.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        sync: bool = False,
+        fault_plan: Optional[_faults.FaultPlan] = None,
+        last_folded: int = 0,
+    ) -> None:
+        self.path = Path(path)
+        self.sync = bool(sync)
+        self.fault_plan = fault_plan
+        records, torn = self.read(self.path)
+        if torn:
+            raise WalError(
+                f"{self.path} has a torn tail; run recovery before appending"
+            )
+        derived = (records[-1]["seq"] + 1) if records else 1
+        self._next_seq = max(int(derived), int(last_folded) + 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def append(self, record: Dict[str, object]) -> Dict[str, object]:
+        """Durably append one mutation; returns the record with its seq.
+
+        The record must carry ``op`` (one of :data:`WAL_OPS`) and
+        ``uid``; ``seq`` is assigned here.
+        """
+        op = record.get("op")
+        if op not in WAL_OPS:
+            raise ValueError(f"unknown WAL op {op!r}")
+        body = dict(record)
+        body["seq"] = self._next_seq
+        line = _encode(body) + "\n"
+        directives = ()
+        if self.fault_plan is not None:
+            directives = self.fault_plan.directives("wal:append", 0)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if any(d.kind == "crash" for d in directives):
+                # A crash mid-write leaves a prefix of the line behind;
+                # write exactly that, make it durable, then die.
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                _faults.apply(directives, inline=True)
+            _faults.apply(directives, inline=True)
+            handle.write(line)
+            handle.flush()
+            if self.sync:
+                os.fsync(handle.fileno())
+        self._next_seq += 1
+        return body
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read(path: Union[str, Path]) -> Tuple[List[Dict[str, object]], bool]:
+        """All intact records plus whether a torn tail was detected.
+
+        A final line that is unparseable, checksum-mismatched, or
+        missing its newline is a torn tail (reported, not raised); the
+        same defect anywhere earlier raises :class:`WalError`.
+        """
+        path = Path(path)
+        if not path.exists():
+            return [], False
+        raw = path.read_bytes()
+        if not raw:
+            return [], False
+        lines = raw.split(b"\n")
+        unterminated = lines[-1] != b""
+        lines = [line for line in lines[:-1] if line] + (
+            [lines[-1]] if unterminated else []
+        )
+        records: List[Dict[str, object]] = []
+        last_seq = 0
+        for position, line in enumerate(lines):
+            is_last = position == len(lines) - 1
+            body = _decode_line(line)
+            if body is None or (is_last and unterminated):
+                if is_last:
+                    return records, True
+                raise WalError(
+                    f"{path}: corrupt record at line {position + 1} "
+                    "(not the tail — refusing to drop committed data)"
+                )
+            seq = body.get("seq")
+            if not isinstance(seq, int) or seq <= last_seq:
+                raise WalError(
+                    f"{path}: non-monotonic seq {seq!r} at line {position + 1}"
+                )
+            last_seq = seq
+            records.append(body)
+        return records, False
+
+    @staticmethod
+    def recover(path: Union[str, Path]) -> Tuple[List[Dict[str, object]], bool]:
+        """Truncate a torn tail in place; returns ``(records, truncated)``."""
+        path = Path(path)
+        records, torn = DeltaLog.read(path)
+        if torn:
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for body in records:
+                    handle.write(_encode(body) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        return records, torn
+
+    @staticmethod
+    def rewrite(
+        path: Union[str, Path], records: List[Dict[str, object]]
+    ) -> None:
+        """Atomically replace the log's contents (compaction trim)."""
+        path = Path(path)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for body in records:
+                handle.write(_encode(body) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+
+def _decode_line(line: bytes) -> Optional[Dict[str, object]]:
+    try:
+        envelope = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(envelope, dict):
+        return None
+    body = envelope.get("body")
+    crc = envelope.get("crc")
+    if not isinstance(body, dict) or not isinstance(crc, str):
+        return None
+    if _crc(_canonical(body)) != crc:
+        return None
+    return body

@@ -77,6 +77,15 @@ class ServiceConfig:
     store: Optional[str] = None
     store_pool_pages: int = 256
 
+    # Live ingest: when set, the service serves an ingest root
+    # (``repro-trajectory ingest ROOT --init ...``) — the corpus is the
+    # current generation merged with the WAL delta, and ``follow`` makes
+    # the server poll the root and hot-swap to newly compacted
+    # generations without dropping in-flight queries.
+    ingest_root: Optional[str] = None
+    follow: bool = False
+    follow_poll_s: float = 0.25
+
     # Micro-batching
     max_batch: int = 16
     max_delay_ms: float = 5.0
@@ -121,6 +130,12 @@ class ServiceConfig:
             raise ValueError("shard_workers must be at least 1 (or None)")
         if self.store_pool_pages < 1:
             raise ValueError("store_pool_pages must be at least 1")
+        if self.ingest_root is not None and self.store is not None:
+            raise ValueError("ingest_root and store are mutually exclusive")
+        if self.follow and self.ingest_root is None:
+            raise ValueError("follow requires ingest_root")
+        if self.follow_poll_s <= 0.0:
+            raise ValueError("follow_poll_s must be positive")
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if self.max_delay_ms < 0.0:

@@ -95,6 +95,8 @@ class TrajectoryService:
     ) -> None:
         self.config = config.validated()
         self._tiered = None
+        self._ingest = None
+        self._mutable = None
         if self.config.store is not None:
             if database is not None:
                 raise ValueError(
@@ -106,9 +108,38 @@ class TrajectoryService:
                 self.config.store, pool_pages=self.config.store_pool_pages
             )
             database = self._tiered.database
+        elif self.config.ingest_root is not None:
+            if database is not None:
+                raise ValueError(
+                    "pass either a database or config.ingest_root, not both"
+                )
+            from ..ingest import IngestRoot
+
+            self._ingest = IngestRoot(self.config.ingest_root)
+            # Reader role: the service must never repair the WAL or
+            # prune "orphan" directories — a concurrent mutator's
+            # in-flight append / mid-build generation looks identical
+            # to crash debris.
+            self._mutable = self._ingest.open_mutable(
+                pool_pages=self.config.store_pool_pages, repair=False
+            )
+            database = self._mutable.view()
         elif database is None:
             raise ValueError("a database (or config.store) is required")
         self.database = database
+        # Epoch token: part of every result-cache key, so a hot swap can
+        # never serve a pre-swap answer even if a stale entry survived
+        # the flush.  Static corpora keep a constant token.
+        self._epoch_token = (
+            self._mutable.token if self._mutable is not None else "static:0"
+        )
+        self._disk_token = (
+            self._ingest.state_token() if self._ingest is not None else None
+        )
+        self._swap_pending = False
+        self._swaps = 0
+        self._swap_failures = 0
+        self._swap_fault_plan = None  # chaos-suite hook (swap:attach)
         self.metrics = MetricsRegistry(config.latency_window)
         self.cache = ResultCache(config.cache_size)
         self._executor = ThreadPoolExecutor(
@@ -193,6 +224,84 @@ class TrajectoryService:
             self._pruner_chains[spec] = chain
         return chain
 
+    # ------------------------------------------------------------------
+    # Live ingest: generation hot-swap
+    # ------------------------------------------------------------------
+    def reload_if_changed(self):
+        """Schedule a hot swap if the ingest root changed on disk.
+
+        Called from the event loop (the ``--follow`` poller) or directly
+        from tests.  The swap itself runs on the single dispatch worker,
+        so it is serialized with every batch and range computation: a
+        query executes wholly against the pre-swap state or wholly
+        against the post-swap state, never a mix.  Returns the swap
+        future, or ``None`` when nothing changed (or not serving an
+        ingest root).
+        """
+        if self._ingest is None or self._swap_pending:
+            return None
+        if self._ingest.state_token() == self._disk_token:
+            return None
+        self._swap_pending = True
+        return self._executor.submit(self._hot_swap)
+
+    def _hot_swap(self) -> bool:
+        """Dispatch-thread body: attach the new generation atomically."""
+        try:
+            token = self._ingest.state_token()
+            if self._swap_fault_plan is not None:
+                from ..core import faults as _faults
+
+                _faults.apply(
+                    self._swap_fault_plan.directives("swap:attach", 0),
+                    inline=True,
+                )
+            mutable = self._ingest.open_mutable(
+                pool_pages=self.config.store_pool_pages, repair=False
+            )
+            view = mutable.view()
+            spec = canonical_pruner_spec(self.config.pruners)
+            chain = build_pruners(
+                view, spec, matrix_workers=self.config.matrix_workers
+            )
+            warm_pruners(chain, view.trajectories[0])
+            sharded = None
+            if self.config.shards > 1:
+                from ..core.sharding import ShardedDatabase
+
+                refine = self.config.refine_batch_size
+                kwargs = {} if refine is None else {"refine_batch_size": refine}
+                sharded = ShardedDatabase(
+                    view,
+                    self.config.shards,
+                    specs=[spec],
+                    mode="process",
+                    workers=self.config.shard_workers,
+                    **kwargs,
+                )
+        except Exception:
+            self._swap_failures += 1
+            self._swap_pending = False
+            raise
+        # Publish: plain attribute assignments on the only thread that
+        # reads them during compute, so the swap is atomic with respect
+        # to every query.
+        old_mutable, old_sharded = self._mutable, self._sharded
+        self._mutable = mutable
+        self.database = view
+        self._pruner_chains = {spec: chain}
+        self._sharded = sharded
+        self._epoch_token = mutable.token
+        self.cache.clear()  # stale pre-swap answers must not survive
+        self._disk_token = token
+        self._swaps += 1
+        self._swap_pending = False
+        if old_sharded is not None:
+            old_sharded.close()
+        if old_mutable is not None:
+            old_mutable.close()
+        return True
+
     def begin_drain(self) -> None:
         """Stop admitting compute requests (healthz/stats keep answering)."""
         self._draining = True
@@ -213,6 +322,9 @@ class TrajectoryService:
         if self._tiered is not None:
             self._tiered.close()
             self._tiered = None
+        if self._mutable is not None:
+            self._mutable.close()
+            self._mutable = None
 
     # ------------------------------------------------------------------
     # HTTP-facing entry point
@@ -283,6 +395,14 @@ class TrajectoryService:
             "database_size": len(self.database),
             "epsilon": self.database.epsilon,
         }
+        if self._ingest is not None:
+            payload["ingest"] = {
+                "generation": self._mutable.generation,
+                "epoch": self._epoch_token,
+                "delta_size": self._mutable.delta_size,
+                "swaps": self._swaps,
+                "swap_failures": self._swap_failures,
+            }
         if self._sharded is not None:
             payload["sharding"] = {
                 "degraded": degraded,
@@ -329,6 +449,21 @@ class TrajectoryService:
         storage["enabled"] = self._tiered is not None
         if self._tiered is not None:
             storage.update(self._tiered.storage_stats())
+        ingest = snapshot.setdefault("ingest", {})
+        ingest["enabled"] = self._ingest is not None
+        if self._ingest is not None:
+            ingest.update(
+                {
+                    "root": str(self._ingest.root),
+                    "generation": self._mutable.generation,
+                    "epoch_token": self._epoch_token,
+                    "applied_seq": self._mutable.applied_seq,
+                    "delta_size": self._mutable.delta_size,
+                    "swaps": self._swaps,
+                    "swap_failures": self._swap_failures,
+                    "follow": self.config.follow,
+                }
+            )
         return snapshot
 
     # ------------------------------------------------------------------
@@ -341,6 +476,7 @@ class TrajectoryService:
         refine = self.config.refine_batch_size
         cache_key = (
             "knn",
+            self._epoch_token,
             query_digest(query.points),
             k,
             spec,
@@ -356,7 +492,7 @@ class TrajectoryService:
         try:
             result, meta = await asyncio.wait_for(
                 self.batcher.submit(
-                    key=cache_key[2:],  # every answer-shaping parameter
+                    key=cache_key[3:],  # every answer-shaping parameter
                     digest=cache_key,
                     payload=query,
                     runner=partial(self._run_knn_batch, spec, k),
@@ -432,6 +568,7 @@ class TrajectoryService:
         spec = self._spec(request)
         cache_key = (
             "range",
+            self._epoch_token,
             query_digest(query.points),
             radius,
             spec,

@@ -217,9 +217,29 @@ async def _serve(
     if announce:
         print(f"serving {len(service.database)} trajectories on "
               f"http://{config.host}:{port} (Ctrl-C or SIGTERM to drain)")
+    follow_task = None
+    if config.follow:
+
+        async def follow() -> None:
+            # Poll the ingest root; a detected change schedules a hot
+            # swap on the dispatch worker (serialized with queries).
+            while not stop_event.is_set():
+                try:
+                    service.reload_if_changed()
+                except Exception:  # noqa: BLE001 - keep polling
+                    pass
+                await asyncio.sleep(config.follow_poll_s)
+
+        follow_task = asyncio.ensure_future(follow())
     try:
         await stop_event.wait()
     finally:
+        if follow_task is not None:
+            follow_task.cancel()
+            try:
+                await follow_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
         # Graceful drain: stop accepting, then flush and wait out work.
         service.begin_drain()
         server.close()

@@ -1586,8 +1586,19 @@ class TieredDatabase:
         )
 
     def range_search(
-        self, query: Trajectory, radius: float, pruners: Sequence[Pruner], **kwargs
+        self,
+        query: Trajectory,
+        radius: float,
+        pruners: Sequence[Pruner],
+        block_skip: bool = True,
+        **kwargs,
     ) -> SearchResult:
+        if block_skip and pruners:
+            summaries = self._block_summaries_for(pruners[0])
+            if summaries is not None:
+                return self._blocked_range_search(
+                    query, radius, pruners[0], pruners[1:], summaries, **kwargs
+                )
         from ..core.rangequery import range_search as _range_search
 
         return self._accounted(
@@ -1595,6 +1606,196 @@ class TieredDatabase:
             query,
             pruners,
         )
+
+    def _blocked_range_search(
+        self,
+        query: Trajectory,
+        radius: float,
+        primary: HistogramPruner,
+        secondary: Sequence[Pruner],
+        summaries: List[Dict[str, object]],
+        early_abandon: bool = False,
+        refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
+        edr_kernel: Optional[str] = None,
+    ) -> SearchResult:
+        """Range query that skips summary blocks instead of scanning N.
+
+        Semantics-preserving replica of
+        :func:`~repro.core.rangequery.range_search`: the radius is fixed
+        up front, so a block whose summary bound exceeds it cannot hold
+        a qualifying candidate — the summary lower-bounds every member's
+        quick bound, which is exactly the primary's stage-1 prune test,
+        so the serial engine would have pruned each member there and
+        credited the primary.  Skipping the block and crediting the
+        primary once per member is therefore byte-equal, and the
+        two-stage exact bound is never consulted for skipped members
+        (the serial engine short-circuits it the same way).  Opened
+        blocks walk their rows in index order with byte-identical sliced
+        quick bounds, so candidate visit order — and with it the refine
+        batch composition and every dynamic pruner's record stream —
+        matches the serial scan exactly.  Answers, ``pruned_by``
+        counters, and ``true_distance_computations`` are byte-for-byte
+        serial; ``bytes_touched`` shrinks from Θ(N) to summaries +
+        opened blocks + per-visited-candidate scalar bounds.
+        """
+        from ..core.kernels import (
+            length_bucket,
+            run_kernel,
+            scalar_kernel,
+        )
+        from ..core.search import Neighbor
+
+        if radius < 0.0:
+            raise ValueError("radius must be non-negative")
+        database = self.database
+        pool = self._store.pool
+        hits0, misses0, evictions0 = pool.hits, pool.misses, pool.evictions
+        start = time.perf_counter()
+        stats = SearchStats(database_size=len(database))
+        plan = resolve_kernel_plan(database, edr_kernel)
+        stats.kernel = plan.requested
+        primary_query = primary.for_query(query)
+        secondary_queries = [pruner.for_query(query) for pruner in secondary]
+        all_queries = [primary_query, *secondary_queries]
+        count = len(database)
+        block_rows = int(summaries[0]["block"])
+        nblocks = (count + block_rows - 1) // block_rows
+        filter_bytes = 0
+
+        block_bounds: Optional[np.ndarray] = None
+        for store, query_histogram, summary in zip(
+            primary._stores, primary_query._query, summaries
+        ):
+            piece, touched = _summary_block_bounds(
+                store, query_histogram, summary["smax"], summary["stmin"]
+            )
+            filter_bytes += touched
+            block_bounds = (
+                piece
+                if block_bounds is None
+                else np.maximum(block_bounds, piece)
+            )
+        block_bounds = block_bounds.astype(np.float64)
+
+        primary_cost, fixed = self._per_candidate_bytes(primary)
+        filter_bytes += fixed
+        secondary_costs: List[Optional[np.ndarray]] = []
+        for pruner in secondary:
+            cost, fixed = self._per_candidate_bytes(pruner)
+            filter_bytes += fixed
+            secondary_costs.append(cost)
+
+        results: List[Neighbor] = []
+        batch_size = _normalized_batch_size(refine_batch_size)
+        pending = _PendingBatches(batch_size) if batch_size is not None else None
+
+        def verify_batch(candidate_indices: List[int]) -> None:
+            bound = radius if early_abandon else None
+            bucket = length_bucket(int(database.lengths[candidate_indices[0]]))
+            kernel = plan.kernel_for_bucket(bucket)
+            stats.kernel_buckets[str(bucket)] = kernel
+            candidates = [database.trajectories[i] for i in candidate_indices]
+            kernel_start = time.perf_counter()
+            distances = run_kernel(
+                kernel, query, candidates, database.epsilon, bounds=bound
+            )
+            stats.note_kernel(
+                kernel,
+                len(query) * int(sum(len(c) for c in candidates)),
+                time.perf_counter() - kernel_start,
+            )
+            stats.true_distance_computations += len(candidate_indices)
+            for candidate_index, distance in zip(candidate_indices, distances):
+                distance = float(distance)
+                if np.isfinite(distance):
+                    for query_pruner in all_queries:
+                        query_pruner.record(candidate_index, distance)
+                    if distance <= radius:
+                        results.append(Neighbor(candidate_index, distance))
+
+        opened = 0
+        for block_id in range(nblocks):
+            row_lo = block_id * block_rows
+            row_hi = min(row_lo + block_rows, count)
+            if float(block_bounds[block_id]) > radius:
+                # Every member's quick bound is at least the summary
+                # bound, so the serial scan prunes each at the primary's
+                # quick stage — same counter, no rows faulted.
+                stats.pruned_by[primary_query.name] = (
+                    stats.pruned_by.get(primary_query.name, 0)
+                    + (row_hi - row_lo)
+                )
+                continue
+            opened += 1
+            quick: Optional[np.ndarray] = None
+            for store, query_histogram in zip(
+                primary._stores, primary_query._query
+            ):
+                piece, touched = _sliced_quick_bounds(
+                    store, query_histogram, row_lo, row_hi
+                )
+                filter_bytes += touched
+                quick = piece if quick is None else np.maximum(quick, piece)
+            quick = quick.astype(np.float64)
+            for offset in range(row_hi - row_lo):
+                index = row_lo + offset
+                pruned = False
+                if quick[offset] > radius:
+                    pruned = True
+                elif primary_query.two_stage:
+                    if primary_cost is not None:
+                        filter_bytes += int(primary_cost[index])
+                    pruned = primary_query.exact_lower_bound(index) > radius
+                if pruned:
+                    stats.credit(primary_query.name)
+                    continue
+                for query_pruner, cost in zip(
+                    secondary_queries, secondary_costs
+                ):
+                    if cost is not None:
+                        filter_bytes += int(cost[index])
+                    # Scalar bounds equal the bulk arrays bit for bit
+                    # (property-tested), so the prune decision — and
+                    # every counter — matches the serial engine without
+                    # materializing Θ(N) arrays.
+                    if _prunes_candidate(query_pruner, None, index, radius):
+                        stats.credit(query_pruner.name)
+                        pruned = True
+                        break
+                if pruned:
+                    continue
+                if pending is None:
+                    stats.true_distance_computations += 1
+                    bound = radius if early_abandon else None
+                    candidate = database.trajectories[index]
+                    kernel_fn = scalar_kernel(
+                        plan.kernel_for_length(len(candidate))
+                    )
+                    distance = kernel_fn(
+                        query, candidate, database.epsilon, bound=bound
+                    )
+                    if np.isfinite(distance):
+                        for query_pruner in all_queries:
+                            query_pruner.record(index, distance)
+                        if distance <= radius:
+                            results.append(Neighbor(index, distance))
+                    continue
+                full_bucket = pending.add(index, int(database.lengths[index]))
+                if full_bucket is not None:
+                    verify_batch(full_bucket)
+        if pending is not None:
+            for bucket in pending.drain():
+                verify_batch(bucket)
+            results.sort(key=lambda neighbor: neighbor.index)
+        stats.blocks_total = nblocks
+        stats.blocks_opened = opened
+        stats.elapsed_seconds = time.perf_counter() - start
+        stats.pool_hits = pool.hits - hits0
+        stats.pool_misses = pool.misses - misses0
+        stats.pool_evictions = pool.evictions - evictions0
+        stats.pages_read = stats.pool_misses
+        stats.bytes_touched = filter_bytes + stats.pages_read * self.page_size
+        return results, stats
 
     # ------------------------------------------------------------------
     # Sharded mmap-attach mode

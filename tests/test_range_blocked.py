@@ -1,0 +1,146 @@
+"""Summary-aware range search over the tiered store (PR-8 satellite).
+
+``TieredDatabase.range_search`` routes through the per-block skip
+summaries PR 7 built for sorted access.  The bar is the usual one:
+byte-equal answers AND counters versus the serial engine, with
+``blocks_opened < blocks_total`` on clustered data.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Trajectory
+from repro.service.pruning import build_pruners
+from repro.storage.tiered import TieredDatabase, build_store
+
+EPSILON = 1.0
+
+
+def _clustered_corpus(seed=19, clusters=6, per_cluster=40):
+    """Widely separated spatial clusters: summary blocks separate well."""
+    rng = np.random.default_rng(seed)
+    trajectories = []
+    for _ in range(clusters):
+        center = rng.normal(scale=200.0, size=2)
+        for _ in range(per_cluster):
+            steps = rng.normal(scale=0.5, size=(int(rng.integers(15, 45)), 2))
+            trajectories.append(Trajectory(center + np.cumsum(steps, axis=0)))
+    return trajectories
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("blocked-range") / "store"
+    trajectories = _clustered_corpus()
+    build_store(trajectories, directory, EPSILON, summary_block=32)
+    tiered = TieredDatabase.open(directory)
+    yield tiered, trajectories
+    tiered.close()
+
+
+def _query(trajectories, seed=20):
+    rng = np.random.default_rng(seed)
+    base = trajectories[5].points
+    return Trajectory(base + rng.normal(scale=0.1, size=base.shape))
+
+
+def _answers(neighbors):
+    return [(int(n.index), float(n.distance)) for n in neighbors]
+
+
+class TestBlockedRangeSearch:
+    @pytest.mark.parametrize(
+        "spec", ["histogram", "histogram,qgram", "histogram,qgram,nti"]
+    )
+    def test_byte_equal_answers_and_counters(self, store, spec):
+        tiered, trajectories = store
+        query = _query(trajectories)
+        blocked, blocked_stats = tiered.range_search(
+            query, 10.0, build_pruners(tiered.database, spec)
+        )
+        serial, serial_stats = tiered.range_search(
+            query, 10.0, build_pruners(tiered.database, spec), block_skip=False
+        )
+        assert _answers(blocked) == _answers(serial)
+        assert dict(blocked_stats.pruned_by) == dict(serial_stats.pruned_by)
+        assert (
+            blocked_stats.true_distance_computations
+            == serial_stats.true_distance_computations
+        )
+
+    def test_skips_blocks_on_clustered_data(self, store):
+        tiered, trajectories = store
+        query = _query(trajectories)
+        _, stats = tiered.range_search(
+            query, 10.0, build_pruners(tiered.database, "histogram,qgram")
+        )
+        assert stats.blocks_total > 1
+        assert stats.blocks_opened < stats.blocks_total
+
+    def test_blocked_touches_fewer_bytes(self, store):
+        tiered, trajectories = store
+        query = _query(trajectories)
+        _, blocked_stats = tiered.range_search(
+            query, 10.0, build_pruners(tiered.database, "histogram")
+        )
+        _, serial_stats = tiered.range_search(
+            query,
+            10.0,
+            build_pruners(tiered.database, "histogram"),
+            block_skip=False,
+        )
+        assert blocked_stats.bytes_touched < serial_stats.bytes_touched
+
+    @pytest.mark.parametrize("radius", [0.0, 1000.0])
+    def test_extreme_radii(self, store, radius):
+        tiered, trajectories = store
+        query = _query(trajectories)
+        blocked, blocked_stats = tiered.range_search(
+            query, radius, build_pruners(tiered.database, "histogram,qgram")
+        )
+        serial, serial_stats = tiered.range_search(
+            query,
+            radius,
+            build_pruners(tiered.database, "histogram,qgram"),
+            block_skip=False,
+        )
+        assert _answers(blocked) == _answers(serial)
+        assert dict(blocked_stats.pruned_by) == dict(serial_stats.pruned_by)
+
+    def test_scalar_refine_and_early_abandon(self, store):
+        tiered, trajectories = store
+        query = _query(trajectories)
+        kwargs = {"refine_batch_size": None, "early_abandon": True}
+        blocked, blocked_stats = tiered.range_search(
+            query, 10.0, build_pruners(tiered.database, "histogram,qgram"), **kwargs
+        )
+        serial, serial_stats = tiered.range_search(
+            query,
+            10.0,
+            build_pruners(tiered.database, "histogram,qgram"),
+            block_skip=False,
+            **kwargs,
+        )
+        assert _answers(blocked) == _answers(serial)
+        assert dict(blocked_stats.pruned_by) == dict(serial_stats.pruned_by)
+
+    def test_negative_radius_rejected(self, store):
+        tiered, trajectories = store
+        with pytest.raises(ValueError, match="non-negative"):
+            tiered.range_search(
+                _query(trajectories),
+                -1.0,
+                build_pruners(tiered.database, "histogram"),
+            )
+
+    def test_non_histogram_primary_falls_back_to_serial(self, store):
+        tiered, trajectories = store
+        query = _query(trajectories)
+        results, stats = tiered.range_search(
+            query, 10.0, build_pruners(tiered.database, "qgram")
+        )
+        serial, _ = tiered.range_search(
+            query, 10.0, build_pruners(tiered.database, "qgram"), block_skip=False
+        )
+        assert _answers(results) == _answers(serial)
+        assert stats.blocks_total == 0  # serial path: no block accounting
