@@ -261,6 +261,27 @@ SECTIONS = [
         "`BENCH_shards.json`).",
     ),
     (
+        "replicas",
+        "Engineering — replicated serving tier (fleet-wide cache)",
+        "Not a paper experiment: the replica fleet "
+        "(`repro-trajectory serve --replicas N`, docs/REPLICATION.md) "
+        "measured by the same zipf closed-loop client population as the "
+        "service benchmark, 4 replicas versus the single-process "
+        "service, served `/knn` answers oracle-asserted equal to direct "
+        "`knn_search` on both the compute and the cache path.  "
+        "Consistent-hash routing on the full request signature makes "
+        "the per-replica LRU caches compose into one fleet-wide cache "
+        "(aggregate capacity `replicas x cache_size`, no duplicated "
+        "entries), so with a hot-query pool larger than one engine's "
+        "cache the single engine thrashes while the fleet holds the "
+        "whole pool — the committed single-core numbers isolate that "
+        "cache effect (`cpu_count` is in the JSON); multi-core hosts "
+        "add miss-path parallelism on top.  Generated by "
+        "`python benchmarks/bench_replicas.py` (also writes "
+        "`BENCH_replicas.json`, gated in CI with "
+        "`--require-speedup 2.5`).",
+    ),
+    (
         "tiered",
         "Engineering — tiered storage scaling (out-of-core build, "
         "sublinear bytes touched)",

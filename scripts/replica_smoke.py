@@ -1,0 +1,158 @@
+"""Replica smoke test: a 4-replica fleet must answer like one engine.
+
+Starts the query service twice over the same synthetic database — once
+single-process, once with ``replicas=4`` (the consistent-hash routed
+fleet) — and asserts over real HTTP that every ``/knn`` answer is
+byte-for-byte identical.  Then the chaos leg: SIGKILL one replica (the
+pid comes from ``/stats``'s ``per_replica`` section, like an operator
+would) and assert the fleet keeps returning exact answers while the
+slot respawns and the resilience counters account for the recovery.
+Exits non-zero on any divergence, so CI and ``scripts/run_all.sh`` can
+gate on it.
+
+    PYTHONPATH=src python scripts/replica_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import time
+
+import numpy as np
+
+from smoke_utils import preflight_or_exit
+
+from repro import Trajectory, TrajectoryDatabase
+from repro.service import (
+    PortInUseError,
+    ServerHandle,
+    ServiceClient,
+    ServiceConfig,
+)
+
+
+def _database(count: int = 160, seed: int = 5) -> TrajectoryDatabase:
+    rng = np.random.default_rng(seed)
+    trajectories = [
+        Trajectory(
+            np.cumsum(rng.normal(size=(int(rng.integers(15, 50)), 2)), axis=0)
+        )
+        for _ in range(count)
+    ]
+    return TrajectoryDatabase(trajectories, epsilon=0.5)
+
+
+def _serve_answers(database, replicas: int, query_indices, k: int, port=0):
+    config = ServiceConfig(
+        port=port, max_batch=1, cache_size=32, replicas=replicas,
+        replica_retries=3,
+    )
+    with ServerHandle.start(database, config) as handle:
+        with ServiceClient(handle.host, handle.port) as client:
+            answers = {
+                index: client.knn(database.trajectories[index], k=k)[
+                    "neighbors"
+                ]
+                for index in query_indices
+            }
+    return answers
+
+
+def smoke_equivalence(database, query_indices, port: int) -> int:
+    single = _serve_answers(database, 1, query_indices, k=5, port=port)
+    fleet = _serve_answers(database, 4, query_indices, k=5, port=port)
+    for index in query_indices:
+        if fleet[index] != single[index]:
+            print(
+                f"FAIL: /knn diverged on query {index}: "
+                f"{fleet[index]} != {single[index]}"
+            )
+            return 1
+    print(
+        f"equivalence ok: {len(query_indices)} queries identical across "
+        "1 engine and a 4-replica fleet"
+    )
+    return 0
+
+
+def smoke_kill_recovery(database, query_indices, port: int) -> int:
+    config = ServiceConfig(
+        port=port, cache_size=32, replicas=4, replica_retries=3
+    )
+    with ServerHandle.start(database, config) as handle:
+        with ServiceClient(handle.host, handle.port, retries=3) as client:
+            expected = {
+                index: client.knn(database.trajectories[index], k=5)[
+                    "neighbors"
+                ]
+                for index in query_indices
+            }
+            stats = client.stats()["replicas"]
+            victim = stats["per_replica"][0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            # Exactness through the outage: the victim's partition is
+            # retried on siblings while the slot respawns behind us.
+            for index in query_indices:
+                served = client.knn(database.trajectories[index], k=5)[
+                    "neighbors"
+                ]
+                if served != expected[index]:
+                    print(
+                        f"FAIL: post-kill /knn diverged on query {index}: "
+                        f"{served} != {expected[index]}"
+                    )
+                    return 1
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                stats = client.stats()["replicas"]
+                if (
+                    stats["alive"] == stats["count"]
+                    and stats["resilience"]["respawns"] >= 1
+                ):
+                    break
+                time.sleep(0.1)
+            else:
+                print(f"FAIL: fleet never recovered: {stats}")
+                return 1
+            resilience = stats["resilience"]
+            if resilience["replica_crashes"] < 1:
+                print(f"FAIL: crash not counted: {resilience}")
+                return 1
+    print(
+        f"kill-recovery ok: pid {victim} SIGKILLed, answers stayed exact, "
+        f"resilience = {resilience}"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="fixed service port (default 0: ephemeral, never conflicts)",
+    )
+    args = parser.parse_args()
+    preflight_or_exit("127.0.0.1", args.port)
+    database = _database()
+    query_indices = (0, 27, 88, 131)
+    try:
+        status = smoke_equivalence(database, query_indices, args.port)
+        if status:
+            return status
+        status = smoke_kill_recovery(database, query_indices, args.port)
+        if status:
+            return status
+    except PortInUseError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 2
+    print("replica smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

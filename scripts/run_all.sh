@@ -10,10 +10,12 @@ python -m pytest tests/ -x -q 2>&1 | tee test_output.txt
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 python scripts/service_smoke.py
 python scripts/shard_smoke.py
+python scripts/replica_smoke.py
 python scripts/store_smoke.py
 python scripts/ingest_smoke.py
 python benchmarks/bench_service.py --count 400 --clients 8 --requests 4 \
     --pool 16 --max-batch 8 --epsilon 1.0
+python benchmarks/bench_replicas.py --require-speedup 2.5
 python benchmarks/bench_shards.py --count 2000 --require-speedup 1.5
 python benchmarks/bench_tiered.py --sizes 10000,100000 --require-sublinear
 python benchmarks/bench_ingest.py --require-speedup 3

@@ -12,11 +12,12 @@ divergence, so CI and ``scripts/run_all.sh`` can gate on it.
 from __future__ import annotations
 
 import argparse
-import socket
 import sys
 import threading
 
 import numpy as np
+
+from smoke_utils import preflight_or_exit
 
 from repro import Trajectory, TrajectoryDatabase, knn_search, range_search
 from repro.core.batch import warm_pruners
@@ -28,19 +29,6 @@ from repro.service import (
     ServiceError,
 )
 from repro.service.pruning import build_pruners
-
-
-def preflight_port(host: str, port: int) -> bool:
-    """True when ``port`` is bindable (always true for ephemeral 0)."""
-    if port == 0:
-        return True
-    try:
-        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
-            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            probe.bind((host, port))
-    except OSError:
-        return False
-    return True
 
 
 def _database(count: int = 120, seed: int = 2) -> TrajectoryDatabase:
@@ -140,13 +128,7 @@ def main() -> int:
         help="fixed service port (default 0: ephemeral, never conflicts)",
     )
     args = parser.parse_args()
-    if not preflight_port("127.0.0.1", args.port):
-        print(
-            f"FAIL: port {args.port} is already bound by another process; "
-            "free it or rerun with --port 0",
-            file=sys.stderr,
-        )
-        return 2
+    preflight_or_exit("127.0.0.1", args.port)
     database = _database()
     try:
         smoke_round_trip(database, port=args.port)

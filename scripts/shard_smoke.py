@@ -13,10 +13,11 @@ and ``scripts/run_all.sh`` can gate on it.
 from __future__ import annotations
 
 import argparse
-import socket
 import sys
 
 import numpy as np
+
+from smoke_utils import preflight_or_exit
 
 from repro import Trajectory, TrajectoryDatabase
 from repro.service import (
@@ -25,19 +26,6 @@ from repro.service import (
     ServiceClient,
     ServiceConfig,
 )
-
-
-def preflight_port(host: str, port: int) -> bool:
-    """True when ``port`` is bindable (always true for ephemeral 0)."""
-    if port == 0:
-        return True
-    try:
-        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
-            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            probe.bind((host, port))
-    except OSError:
-        return False
-    return True
 
 
 def _database(count: int = 160, seed: int = 4) -> TrajectoryDatabase:
@@ -76,13 +64,7 @@ def main() -> int:
         help="fixed service port (default 0: ephemeral, never conflicts)",
     )
     args = parser.parse_args()
-    if not preflight_port("127.0.0.1", args.port):
-        print(
-            f"FAIL: port {args.port} is already bound by another process; "
-            "free it or rerun with --port 0",
-            file=sys.stderr,
-        )
-        return 2
+    preflight_or_exit("127.0.0.1", args.port)
     database = _database()
     query_indices = (0, 33, 92, 141)
     try:

@@ -1,0 +1,35 @@
+"""Shared helpers for the smoke scripts in this directory.
+
+The smoke scripts each start real servers on a configurable port; the
+port preflight lived copy-pasted in every one of them until the replica
+smoke made it three copies.  It lives here now.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+
+
+def preflight_port(host: str, port: int) -> bool:
+    """True when ``port`` is bindable (always true for ephemeral 0)."""
+    if port == 0:
+        return True
+    try:
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind((host, port))
+    except OSError:
+        return False
+    return True
+
+
+def preflight_or_exit(host: str, port: int) -> None:
+    """Exit with status 2 and the standard message when the port is taken."""
+    if not preflight_port(host, port):
+        print(
+            f"FAIL: port {port} is already bound by another process; "
+            "free it or rerun with --port 0",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)

@@ -466,6 +466,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             refine_batch_size=args.refine_batch_size,
             shards=args.shards,
             shard_workers=args.shard_workers,
+            replicas=args.replicas,
+            replica_queue_depth=args.replica_queue_depth,
+            replica_spillover_depth=args.replica_spillover_depth,
+            replica_rpc_timeout_s=args.replica_rpc_timeout,
+            replica_retries=args.replica_retries,
             edr_kernel=args.edr_kernel,
             store=args.store,
             ingest_root=args.ingest_root,
@@ -876,6 +881,42 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="shard worker pool size (default: one per shard)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="run N resident engine replica processes behind a "
+        "consistent-hash router (>1 enables; answers are unchanged, the "
+        "per-replica caches compose into one fleet-wide cache)",
+    )
+    serve.add_argument(
+        "--replica-queue-depth",
+        type=int,
+        default=8,
+        help="max outstanding RPCs per replica before the router sheds "
+        "with 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--replica-spillover-depth",
+        type=int,
+        default=4,
+        help="queue depth at which the router abandons hash affinity "
+        "and spills to the least-loaded replica",
+    )
+    serve.add_argument(
+        "--replica-rpc-timeout",
+        type=float,
+        default=30.0,
+        help="per-RPC timeout before a replica is condemned and the "
+        "query retried on a sibling",
+    )
+    serve.add_argument(
+        "--replica-retries",
+        type=int,
+        default=2,
+        help="sibling retries a failed replica RPC gets before the "
+        "request errors out",
     )
     serve.add_argument(
         "--edr-kernel",

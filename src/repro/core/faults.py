@@ -48,6 +48,7 @@ __all__ = [
     "FAULT_KINDS",
     "FAULT_POINTS",
     "SWAP_POINTS",
+    "REPLICA_POINTS",
     "COUNTER_BY_KIND",
     "Fault",
     "FaultRule",
@@ -82,6 +83,15 @@ SWAP_POINTS = (
     "compact:publish",
     "swap:attach",
 )
+
+#: Dispatch sites of the replicated serving tier
+#: (:mod:`repro.service.replicas`).  The router draws directives once
+#: per RPC it sends to a replica (``shard`` addresses the replica
+#: slot), so a rule here makes one replica crash, hang, drop its pipe,
+#: or corrupt its result mid-query — the failures the
+#: retry-on-sibling + respawn path must absorb without changing one
+#: byte of the served answer.
+REPLICA_POINTS = ("replica:rpc",)
 
 #: Which :class:`~repro.core.sharding.ShardedSearchStats` recovery
 #: counter each fault class lands in when the coordinator detects it.
@@ -149,7 +159,9 @@ class FaultRule:
     delay_s: float = 0.05
 
     def __post_init__(self) -> None:
-        if self.point not in FAULT_POINTS + SWAP_POINTS + ("any",):
+        if self.point not in FAULT_POINTS + SWAP_POINTS + REPLICA_POINTS + (
+            "any",
+        ):
             raise ValueError(f"unknown fault point {self.point!r}")
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")

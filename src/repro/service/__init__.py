@@ -21,6 +21,10 @@ stdlib-only HTTP/JSON protocol:
 * :mod:`~repro.service.server` — asyncio HTTP framing,
   :func:`run_server` (blocking, signal-aware) and :class:`ServerHandle`
   (in-process server for tests and benchmarks).
+* :mod:`~repro.service.replicas` — the replicated serving tier:
+  :class:`ReplicaFleet`, a consistent-hash router over N resident
+  engine replica processes whose per-replica caches compose into one
+  fleet-wide result cache, with rolling deploys and fault recovery.
 * :mod:`~repro.service.client` — :class:`ServiceClient`, a thin
   synchronous client over ``http.client``.
 * :mod:`~repro.service.bench` — the closed-loop load generator behind
@@ -33,6 +37,7 @@ from .config import ServiceConfig
 from .handlers import TrajectoryService
 from .metrics import MetricsRegistry
 from .pruning import PRUNER_CHOICES, build_pruners, canonical_pruner_spec
+from .replicas import FleetRejection, FleetSpec, ReplicaFleet, ReplicaSpawnError
 from .server import PortInUseError, ServerHandle, run_server
 
 __all__ = [
@@ -49,4 +54,8 @@ __all__ = [
     "build_pruners",
     "canonical_pruner_spec",
     "PRUNER_CHOICES",
+    "ReplicaFleet",
+    "FleetSpec",
+    "FleetRejection",
+    "ReplicaSpawnError",
 ]

@@ -14,6 +14,14 @@ errors, socket timeouts, dropped keep-alives, and 503 admission refusals
 — with exponential backoff (capped), honouring the server's
 ``Retry-After`` hint when one is present.  The default stays ``0``: the
 load benchmark must observe rejections, not paper over them.
+
+Against a replicated server the client also tracks **epochs**: fleet
+responses carry the answering replica's deploy epoch in ``meta``, the
+client remembers the largest epoch it has seen, and echoes it back as
+``min_epoch`` so the router never routes it to a not-yet-swapped
+replica during a rolling deploy — one client never observes answers
+from mixed epochs.  Single-process servers carry no epoch and are
+unaffected.
 """
 
 from __future__ import annotations
@@ -73,6 +81,7 @@ class ServiceClient:
         retries: int = 0,
         backoff_s: float = 0.05,
         backoff_cap_s: float = 2.0,
+        track_epoch: bool = True,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
@@ -82,6 +91,10 @@ class ServiceClient:
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
         self.backoff_cap_s = float(backoff_cap_s)
+        self.track_epoch = bool(track_epoch)
+        #: Largest fleet epoch observed in a response ``meta`` (0 until
+        #: a replicated server answers).
+        self.last_epoch = 0
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -177,6 +190,12 @@ class ServiceClient:
                 except ValueError:
                     pass
             raise ServiceError(response.status, decoded, retry_after)
+        if self.track_epoch and isinstance(decoded, dict):
+            meta = decoded.get("meta")
+            if isinstance(meta, dict):
+                epoch = meta.get("epoch")
+                if isinstance(epoch, int) and not isinstance(epoch, bool):
+                    self.last_epoch = max(self.last_epoch, epoch)
         return decoded
 
     # ------------------------------------------------------------------
@@ -199,6 +218,8 @@ class ServiceClient:
             payload["k"] = k
         if pruners is not None:
             payload["pruners"] = pruners
+        if self.track_epoch and self.last_epoch:
+            payload["min_epoch"] = self.last_epoch
         return self._request("POST", "/knn", payload)
 
     def range_query(
@@ -210,6 +231,8 @@ class ServiceClient:
         payload: dict = {"query": _query_value(query), "radius": radius}
         if pruners is not None:
             payload["pruners"] = pruners
+        if self.track_epoch and self.last_epoch:
+            payload["min_epoch"] = self.last_epoch
         return self._request("POST", "/range", payload)
 
     def distance(

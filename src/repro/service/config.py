@@ -69,6 +69,25 @@ class ServiceConfig:
     shards: int = 1
     shard_workers: Optional[int] = None
 
+    # Replicated serving tier (``replicas > 1`` puts an asyncio router
+    # in front of N resident engine replica processes; answers are
+    # unchanged — requests are consistent-hash routed on their full
+    # signature so duplicates land on the same replica and its
+    # epoch-keyed result cache; the union of the per-replica caches is
+    # the fleet-wide cache, with aggregate capacity
+    # ``replicas * cache_size``).  ``replica_queue_depth`` bounds each
+    # replica's outstanding RPCs (beyond it the router sheds with 503 +
+    # Retry-After); ``replica_spillover_depth`` is the queue depth at
+    # which the router abandons hash affinity and spills to the
+    # least-loaded replica; ``replica_retries`` is how many sibling
+    # retries a failed RPC gets before the request errors out.
+    replicas: int = 1
+    replica_queue_depth: int = 8
+    replica_spillover_depth: int = 4
+    replica_rpc_timeout_s: float = 30.0
+    replica_retries: int = 2
+    replica_spawn_timeout_s: float = 60.0
+
     # Tiered storage: when set, the service serves a store directory
     # built by ``repro-trajectory build-store`` — artifacts attach as
     # read-only mmaps, candidates page in through the buffer pool, and
@@ -128,6 +147,18 @@ class ServiceConfig:
             raise ValueError("shards must be at least 1")
         if self.shard_workers is not None and self.shard_workers < 1:
             raise ValueError("shard_workers must be at least 1 (or None)")
+        if self.replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        if self.replica_queue_depth < 1:
+            raise ValueError("replica_queue_depth must be at least 1")
+        if self.replica_spillover_depth < 1:
+            raise ValueError("replica_spillover_depth must be at least 1")
+        if self.replica_rpc_timeout_s <= 0.0:
+            raise ValueError("replica_rpc_timeout_s must be positive")
+        if self.replica_retries < 0:
+            raise ValueError("replica_retries must be non-negative")
+        if self.replica_spawn_timeout_s <= 0.0:
+            raise ValueError("replica_spawn_timeout_s must be positive")
         if self.store_pool_pages < 1:
             raise ValueError("store_pool_pages must be at least 1")
         if self.ingest_root is not None and self.store is not None:

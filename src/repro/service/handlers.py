@@ -67,6 +67,7 @@ from .cache import ResultCache, query_digest
 from .config import ServiceConfig
 from .metrics import MetricsRegistry
 from .pruning import build_pruners, canonical_pruner_spec
+from .replicas import FleetRejection, FleetSpec, ReplicaFleet
 
 __all__ = ["TrajectoryService", "RequestError"]
 
@@ -153,6 +154,7 @@ class TrajectoryService:
         )
         self._pruner_chains: Dict[str, List[Pruner]] = {}
         self._sharded = None  # resident ShardedDatabase when config.shards > 1
+        self._fleet: Optional[ReplicaFleet] = None  # when config.replicas > 1
         self._inflight = 0
         self._draining = False
 
@@ -168,19 +170,16 @@ class TrajectoryService:
         """
         start = time.perf_counter()
         spec = canonical_pruner_spec(self.config.pruners)
-        report = self.database.warm(
-            q=1 if "qgram" in spec else None,
-            histogram_bins=1.0 if "histogram" in spec else None,
-            per_axis="histogram-1d" in spec,
-            references=50 if "nti" in spec else 0,
-            workers=self.config.matrix_workers,
-            # "auto" autotunes the refine kernel table now, off the
-            # request path (fixed kernels need no timing at all).
-            kernels=self.config.edr_kernel == "auto",
-        )
+        report = self._warm_database(self.database)
         self._pruner_chain(spec)
         report["pruner_chain"] = time.perf_counter() - start - sum(report.values())
-        if self.config.shards > 1 and self._sharded is None:
+        if (
+            self.config.shards > 1
+            and self._sharded is None
+            # In fleet mode each replica runs its own sharded engine;
+            # the parent never computes, so it keeps no shard pool.
+            and self.config.replicas == 1
+        ):
             shard_start = time.perf_counter()
             refine = self.config.refine_batch_size
             kwargs = {} if refine is None else {"refine_batch_size": refine}
@@ -206,7 +205,38 @@ class TrajectoryService:
                     **kwargs,
                 )
             report["sharding"] = time.perf_counter() - shard_start
+        if self.config.replicas > 1 and self._fleet is None:
+            fleet_start = time.perf_counter()
+            self._fleet = ReplicaFleet(
+                FleetSpec(self.database, self.config, self._epoch_token)
+            )
+            self._fleet.start()
+            report["replicas"] = time.perf_counter() - fleet_start
         return report
+
+    def _warm_database(self, database: TrajectoryDatabase) -> Dict[str, float]:
+        """Build the artifacts the configured pruner chain needs.
+
+        Shared by startup warm-up and fleet deploys: a new generation is
+        warmed once in the parent so every replica forks the built
+        artifacts copy-on-write.
+        """
+        spec = canonical_pruner_spec(self.config.pruners)
+        return database.warm(
+            q=1 if "qgram" in spec else None,
+            histogram_bins=1.0 if "histogram" in spec else None,
+            per_axis="histogram-1d" in spec,
+            references=50 if "nti" in spec else 0,
+            workers=self.config.matrix_workers,
+            # "auto" autotunes the refine kernel table now, off the
+            # request path (fixed kernels need no timing at all).
+            kernels=self.config.edr_kernel == "auto",
+        )
+
+    @property
+    def fleet(self) -> Optional[ReplicaFleet]:
+        """The replica fleet, when serving with ``replicas > 1``."""
+        return self._fleet
 
     def _pruner_chain(self, spec: str) -> List[Pruner]:
         """The built, warmed pruner chain for a canonical spec (cached).
@@ -243,7 +273,75 @@ class TrajectoryService:
         if self._ingest.state_token() == self._disk_token:
             return None
         self._swap_pending = True
+        if self._fleet is not None:
+            # Fleet mode: a generation change is a rolling deploy — the
+            # fleet swaps replicas one at a time onto the new view, so
+            # capacity never dips and epochs fence per-client answers.
+            return self._executor.submit(self._fleet_redeploy)
         return self._executor.submit(self._hot_swap)
+
+    def _fleet_redeploy(self) -> bool:
+        """Dispatch-thread body: roll the fleet onto the new generation."""
+        try:
+            token = self._ingest.state_token()
+            if self._swap_fault_plan is not None:
+                from ..core import faults as _faults
+
+                _faults.apply(
+                    self._swap_fault_plan.directives("swap:attach", 0),
+                    inline=True,
+                )
+            mutable = self._ingest.open_mutable(
+                pool_pages=self.config.store_pool_pages, repair=False
+            )
+            view = mutable.view()
+            self._warm_database(view)
+            self._fleet.rolling_deploy(
+                FleetSpec(view, self.config, mutable.token)
+            )
+        except Exception:
+            self._swap_failures += 1
+            self._swap_pending = False
+            raise
+        old_mutable = self._mutable
+        self._mutable = mutable
+        self.database = view
+        self._pruner_chains = {}
+        self._epoch_token = mutable.token
+        self.cache.clear()
+        self._disk_token = token
+        self._swaps += 1
+        self._swap_pending = False
+        if old_mutable is not None:
+            old_mutable.close()
+        return True
+
+    def deploy_database(self, database: TrajectoryDatabase, epoch_token=None):
+        """Roll the fleet onto a new corpus (fleet mode only).
+
+        Returns the dispatch-executor future; ``.result()`` is the new
+        fleet epoch.  The old corpus keeps serving until each slot's
+        replacement is ready, exactly like an ingest-driven deploy.
+        """
+        if self._fleet is None:
+            raise RuntimeError("deploy_database requires replicas > 1")
+        token = (
+            epoch_token
+            if epoch_token is not None
+            else f"deploy:{self._fleet.epoch + 1}"
+        )
+        return self._executor.submit(
+            self._deploy_spec, FleetSpec(database, self.config, token)
+        )
+
+    def _deploy_spec(self, spec: FleetSpec) -> int:
+        self._warm_database(spec.database)
+        self._fleet.rolling_deploy(spec)
+        self.database = spec.database
+        self._pruner_chains = {}
+        self._epoch_token = spec.epoch_token
+        self.cache.clear()
+        return self._fleet.epoch
 
     def _hot_swap(self) -> bool:
         """Dispatch-thread body: attach the new generation atomically."""
@@ -310,11 +408,21 @@ class TrajectoryService:
         """Flush pending batches and wait out in-flight work (bounded)."""
         deadline = time.monotonic() + self.config.drain_timeout_s
         completed = await self.batcher.drain(timeout=self.config.drain_timeout_s)
+        if self._fleet is not None:
+            # Every admitted request must come back from its replica
+            # before the fleet is reaped: drain each backlog too.
+            completed = (
+                await self._fleet.drain(self.config.drain_timeout_s)
+                and completed
+            )
         while self._inflight > 0 and time.monotonic() < deadline:
             await asyncio.sleep(0.02)
         return completed and self._inflight == 0
 
     def close(self) -> None:
+        if self._fleet is not None:
+            self._fleet.close()
+            self._fleet = None
         self._executor.shutdown(wait=False)
         if self._sharded is not None:
             self._sharded.close()
@@ -366,7 +474,14 @@ class TrajectoryService:
             return 200, self._healthz(), {}
         if route == "/stats":
             self._require_method(method, "GET")
-            return 200, self._stats(), {}
+            payload = self._stats()
+            if self._fleet is not None:
+                fleet_section = await self._fleet.stats_async()
+                payload["replicas"] = fleet_section
+                # The fleet's engine-side totals are the service's
+                # search stats — the router itself computes nothing.
+                payload["search"] = fleet_section["fleet"]["search"]
+            return 200, payload, {}
         if route == "/knn":
             self._require_method(method, "POST")
             return await self._handle_knn(self._json_body(body))
@@ -383,6 +498,13 @@ class TrajectoryService:
     # ------------------------------------------------------------------
     def _healthz(self) -> dict:
         degraded = self._sharded is not None and self._sharded.degraded
+        fleet_snapshot = (
+            self._fleet.snapshot() if self._fleet is not None else None
+        )
+        if fleet_snapshot is not None:
+            degraded = degraded or (
+                fleet_snapshot["alive"] < fleet_snapshot["count"]
+            )
         if self._draining:
             status = "draining"
         elif degraded:
@@ -402,6 +524,12 @@ class TrajectoryService:
                 "delta_size": self._mutable.delta_size,
                 "swaps": self._swaps,
                 "swap_failures": self._swap_failures,
+            }
+        if fleet_snapshot is not None:
+            payload["replicas"] = {
+                "count": fleet_snapshot["count"],
+                "alive": fleet_snapshot["alive"],
+                "epoch": fleet_snapshot["epoch"],
             }
         if self._sharded is not None:
             payload["sharding"] = {
@@ -436,6 +564,9 @@ class TrajectoryService:
         snapshot["kernels"] = kernel_report(
             self.database, self.config.edr_kernel
         )
+        snapshot.setdefault("replicas", {})["enabled"] = (
+            self._fleet is not None
+        )
         sharding = snapshot.setdefault("sharding", {})
         sharding["enabled"] = self._sharded is not None
         if self._sharded is not None:
@@ -469,11 +600,63 @@ class TrajectoryService:
     # ------------------------------------------------------------------
     # Query endpoints
     # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # Fleet dispatch (replicas > 1)
+    # ------------------------------------------------------------------
+    def _min_epoch(self, request: dict) -> int:
+        value = request.get("min_epoch", 0)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise RequestError(400, "min_epoch must be a non-negative integer")
+        return value
+
+    async def _fleet_submit(
+        self, op: str, signature: Tuple, payload: dict, min_epoch: int
+    ) -> Tuple[dict, dict]:
+        """Route one request through the replica fleet (admission on)."""
+        self._admit()
+        try:
+            result, meta = await asyncio.wait_for(
+                self._fleet.submit(
+                    op, signature, payload, min_epoch=min_epoch
+                ),
+                timeout=self.config.request_timeout_s,
+            )
+        except FleetRejection as rejection:
+            retry_after = str(max(1, math.ceil(self.config.retry_after_s)))
+            raise RequestError(
+                503, rejection.message, {"Retry-After": retry_after}
+            ) from None
+        finally:
+            self._release()
+        return result, meta
+
     async def _handle_knn(self, request: dict) -> Tuple[int, dict, dict]:
         query = self._trajectory(request, "query")
         k = self._positive_int(request.get("k", self.config.k_default), "k")
         spec = self._spec(request)
         refine = self.config.refine_batch_size
+        if self._fleet is not None:
+            signature = (
+                "knn",
+                query_digest(query.points),
+                k,
+                spec,
+                self.config.engine,
+                self.config.early_abandon,
+                refine,
+                self.config.edr_kernel,
+            )
+            result, meta = await self._fleet_submit(
+                "knn",
+                signature,
+                {"points": query.points, "k": k, "spec": spec},
+                self._min_epoch(request),
+            )
+            payload = {
+                **result,
+                "meta": {**meta, "engine": self.config.engine},
+            }
+            return 200, payload, {}
         cache_key = (
             "knn",
             self._epoch_token,
@@ -566,6 +749,23 @@ class TrajectoryService:
         query = self._trajectory(request, "query")
         radius = self._radius(request)
         spec = self._spec(request)
+        if self._fleet is not None:
+            signature = (
+                "range",
+                query_digest(query.points),
+                radius,
+                spec,
+                self.config.early_abandon,
+                self.config.refine_batch_size,
+                self.config.edr_kernel,
+            )
+            result, meta = await self._fleet_submit(
+                "range",
+                signature,
+                {"points": query.points, "radius": radius, "spec": spec},
+                self._min_epoch(request),
+            )
+            return 200, {**result, "meta": meta}, {}
         cache_key = (
             "range",
             self._epoch_token,
@@ -630,6 +830,26 @@ class TrajectoryService:
                 raise RequestError(400, "epsilon must be a number") from None
             if epsilon < 0.0 or not math.isfinite(epsilon):
                 raise RequestError(400, "epsilon must be non-negative and finite")
+        if self._fleet is not None:
+            signature = (
+                "distance",
+                query_digest(first.points),
+                query_digest(second.points),
+                name,
+                epsilon,
+            )
+            result, meta = await self._fleet_submit(
+                "distance",
+                signature,
+                {
+                    "first": first.points,
+                    "second": second.points,
+                    "function": name,
+                    "epsilon": epsilon,
+                },
+                self._min_epoch(request),
+            )
+            return 200, {**result, "meta": meta}, {}
         self._admit()
         try:
             loop = asyncio.get_running_loop()

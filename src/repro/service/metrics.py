@@ -25,7 +25,36 @@ from typing import Dict, Iterable, Optional
 from ..core.search import SearchStats
 from ..core.sharding import RECOVERY_FIELDS
 
-__all__ = ["LatencyWindow", "MetricsRegistry"]
+__all__ = ["LatencyWindow", "MetricsRegistry", "summarize_samples"]
+
+
+def summarize_samples(samples: Iterable[float], count: Optional[int] = None) -> dict:
+    """A :meth:`LatencyWindow.summary`-shaped dict from raw samples.
+
+    The replicated serving tier ships each replica's ring-buffer
+    *samples* (seconds) over the stats RPC and merges them router-side;
+    this computes the same count/mean/percentile summary over the merged
+    window so fleet totals and single-process ``/stats`` read alike.
+    ``count`` is the lifetime observation count when it exceeds the
+    window (rings drop old samples; counters do not).
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        return {"count": count or 0, "window": 0}
+
+    def at(fraction: float) -> float:
+        rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return round(ordered[rank] * 1000.0, 3)
+
+    return {
+        "count": count if count is not None else len(ordered),
+        "window": len(ordered),
+        "mean_ms": round(sum(ordered) / len(ordered) * 1000.0, 3),
+        "p50_ms": at(0.50),
+        "p90_ms": at(0.90),
+        "p99_ms": at(0.99),
+        "max_ms": round(ordered[-1] * 1000.0, 3),
+    }
 
 
 class LatencyWindow:
@@ -42,6 +71,10 @@ class LatencyWindow:
         self._window.append(seconds)
         self.count += 1
         self.total_seconds += seconds
+
+    def samples(self) -> list:
+        """The current window contents (seconds), oldest first."""
+        return list(self._window)
 
     def percentile(self, fraction: float) -> float:
         """The ``fraction``-quantile (nearest-rank) of the current window."""

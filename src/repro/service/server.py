@@ -202,6 +202,10 @@ async def _serve(
     stop_event = asyncio.Event()
     loop = asyncio.get_running_loop()
     port = server.sockets[0].getsockname()[1]
+    if service.fleet is not None:
+        # Respawns are scheduled onto the serving loop; tell the fleet
+        # which loop that is before the first failure can happen.
+        service.fleet.bind_loop(loop)
     if install_signals:
         for signum in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -215,7 +219,10 @@ async def _serve(
     if started is not None:
         started.set()
     if announce:
-        print(f"serving {len(service.database)} trajectories on "
+        fleet_note = (
+            f" across {config.replicas} replicas" if config.replicas > 1 else ""
+        )
+        print(f"serving {len(service.database)} trajectories{fleet_note} on "
               f"http://{config.host}:{port} (Ctrl-C or SIGTERM to drain)")
     follow_task = None
     if config.follow:
