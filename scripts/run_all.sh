@@ -17,6 +17,7 @@ python benchmarks/bench_service.py --count 400 --clients 8 --requests 4 \
     --pool 16 --max-batch 8 --epsilon 1.0
 python benchmarks/bench_replicas.py --require-speedup 2.5
 python benchmarks/bench_shards.py --count 2000 --require-speedup 1.5
+python benchmarks/bench_subknn.py --require-speedup 3
 python benchmarks/bench_tiered.py --sizes 10000,100000 --require-sublinear
 python benchmarks/bench_ingest.py --require-speedup 3
 python benchmarks/make_experiments_md.py

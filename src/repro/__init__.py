@@ -52,6 +52,14 @@ from .core.lcss_search import knn_lcss_scan, knn_lcss_search
 from .core.qgram import mean_value_qgrams
 from .core.faults import FaultPlan, FaultRule
 from .core.rangequery import range_scan, range_search
+from .core.subtrajectory import (
+    DEFAULT_WINDOW_ALPHA,
+    WindowMatch,
+    edr_windows,
+    edr_windows_many,
+    resolve_window_range,
+    subknn_search,
+)
 from .ingest import DeltaLog, IngestRoot, MutableDatabase
 from .ingest import compact as compact_ingest_root
 from .core.sharding import ShardedDatabase, ShardedSearchStats
@@ -116,6 +124,12 @@ __all__ = [
     "knn_lcss_search",
     "edr_alignment",
     "subtrajectory_edr",
+    "DEFAULT_WINDOW_ALPHA",
+    "WindowMatch",
+    "edr_windows",
+    "edr_windows_many",
+    "resolve_window_range",
+    "subknn_search",
     "similarity_join",
     "range_scan",
     "range_search",

@@ -34,6 +34,7 @@ from .core.join import similarity_join
 from .core.kernels import KERNEL_CHOICES
 from .core.rangequery import range_search
 from .core.search import Pruner, knn_search
+from .core.subtrajectory import DEFAULT_WINDOW_ALPHA, subknn_search
 from .core.matching import suggest_epsilon
 from .core.trajectory import Trajectory
 from .data import (
@@ -194,6 +195,43 @@ def cmd_knn(args: argparse.Namespace) -> int:
         database = TrajectoryDatabase(trajectories, epsilon)
     query = trajectories[args.query_index]
     pruners = _build_pruners(args.pruners, database, args.matrix_workers)
+    if args.sub:
+        engine = tiered.subknn_search if tiered is not None else (
+            lambda *a, **kw: subknn_search(database, *a, **kw)
+        )
+        matches, stats = engine(
+            query,
+            args.k,
+            pruners,
+            alpha=args.sub_alpha,
+            refine_batch_size=args.refine_batch_size,
+            edr_kernel=args.edr_kernel,
+        )
+        print(
+            f"epsilon = {epsilon:.4f}; kernel = {_kernel_note(stats)}; "
+            f"pruning power = {stats.pruning_power:.3f}"
+        )
+        print(
+            f"windows: {stats.windows_total} total, "
+            f"{stats.windows_evaluated} evaluated, "
+            f"{stats.windows_pruned} pruned, "
+            f"{stats.windows_abandoned} abandoned"
+        )
+        if tiered is not None:
+            print(
+                f"bytes touched = {stats.bytes_touched}; "
+                f"pages read = {stats.pages_read}; "
+                f"pool hit rate = {stats.pool_hit_rate:.3f}"
+            )
+        for match in matches:
+            label = trajectories[match.index].label or ""
+            print(
+                f"  {match.index:>6}  [{match.start:>4}, {match.end:>4})  "
+                f"EDR = {match.distance:<8.1f} {label}"
+            )
+        if tiered is not None:
+            tiered.close()
+        return 0
     if tiered is not None:
         neighbors, stats = tiered.knn_search(
             query,
@@ -274,6 +312,8 @@ def cmd_knn_batch(args: argparse.Namespace) -> int:
         shard_workers=args.shard_workers,
         sharded=sharded_engine,
         edr_kernel=args.edr_kernel,
+        sub=args.sub,
+        alpha=args.sub_alpha,
     )
     if sharded_engine is not None:
         sharded_engine.close()
@@ -292,10 +332,23 @@ def cmd_knn_batch(args: argparse.Namespace) -> int:
         f"true distance computations: {total_computed}/{total_candidates} "
         f"(pruning power {1.0 - total_computed / max(total_candidates, 1):.3f})"
     )
-    for query_index, neighbors in zip(indices, batch.neighbors):
-        summary = ", ".join(
-            f"{n.index}:{n.distance:.0f}" for n in neighbors[: args.limit]
+    if args.sub:
+        total_windows = sum(s.windows_total for s in batch.stats)
+        evaluated_windows = sum(s.windows_evaluated for s in batch.stats)
+        print(
+            f"windows evaluated: {evaluated_windows}/{total_windows} "
+            f"(alpha {args.sub_alpha})"
         )
+    for query_index, neighbors in zip(indices, batch.neighbors):
+        if args.sub:
+            summary = ", ".join(
+                f"{m.index}[{m.start}:{m.end}]:{m.distance:.0f}"
+                for m in neighbors[: args.limit]
+            )
+        else:
+            summary = ", ".join(
+                f"{n.index}:{n.distance:.0f}" for n in neighbors[: args.limit]
+            )
         print(f"  query {query_index:>6} -> {summary}")
     if tiered is not None:
         tiered.close()
@@ -698,6 +751,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="refine-phase EDR kernel (auto = per-bucket autotune; "
         "every choice returns identical answers)",
     )
+    knn.add_argument(
+        "--sub",
+        action="store_true",
+        help="subtrajectory mode: return each trajectory's best-matching "
+        "window (banded by --sub-alpha) instead of whole-trajectory EDR",
+    )
+    knn.add_argument(
+        "--sub-alpha",
+        type=float,
+        default=DEFAULT_WINDOW_ALPHA,
+        help="window length band around the query length m: "
+        "[m*(1-alpha), m*(1+alpha)]",
+    )
     knn.set_defaults(handler=cmd_knn)
 
     knn_batch_command = commands.add_parser(
@@ -761,6 +827,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="refine-phase EDR kernel (auto = per-bucket autotune; "
         "every choice returns identical answers)",
+    )
+    knn_batch_command.add_argument(
+        "--sub",
+        action="store_true",
+        help="subtrajectory mode: every query returns its top-k "
+        "best-matching windows instead of whole-trajectory neighbors",
+    )
+    knn_batch_command.add_argument(
+        "--sub-alpha",
+        type=float,
+        default=DEFAULT_WINDOW_ALPHA,
+        help="window length band around the query length m: "
+        "[m*(1-alpha), m*(1+alpha)]",
     )
     knn_batch_command.set_defaults(handler=cmd_knn_batch)
 

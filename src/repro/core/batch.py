@@ -52,6 +52,7 @@ from .search import (
     knn_search,
     knn_sorted_search,
 )
+from .subtrajectory import DEFAULT_WINDOW_ALPHA, subknn_search
 from .trajectory import Trajectory
 
 __all__ = ["knn_batch", "warm_pruners", "BatchResult", "BATCH_ENGINES"]
@@ -90,7 +91,27 @@ def _run_engine(
     early_abandon: bool,
     refine_batch_size: Optional[int] = DEFAULT_REFINE_BATCH_SIZE,
     edr_kernel: Optional[str] = None,
-) -> SearchResult:
+    sub: bool = False,
+    alpha: float = DEFAULT_WINDOW_ALPHA,
+    min_window: Optional[int] = None,
+    max_window: Optional[int] = None,
+):
+    if sub:
+        # One engine family serves every ``engine`` label: the window
+        # scan is already the sorted pipeline, and with no pruners it
+        # degenerates to the full scan.
+        return subknn_search(
+            database,
+            query,
+            k,
+            pruners,
+            alpha=alpha,
+            min_window=min_window,
+            max_window=max_window,
+            early_abandon=early_abandon,
+            refine_batch_size=refine_batch_size,
+            edr_kernel=edr_kernel,
+        )
     if engine == "scan" or not pruners:
         return knn_scan(database, query, k, edr_kernel=edr_kernel)
     if engine == "search":
@@ -150,6 +171,10 @@ def _process_task(query_position: int) -> SearchResult:
         state["early_abandon"],
         state["refine_batch_size"],
         state["edr_kernel"],
+        state["sub"],
+        state["alpha"],
+        state["min_window"],
+        state["max_window"],
     )
 
 
@@ -180,6 +205,10 @@ def knn_batch(
     shard_workers: Optional[int] = None,
     sharded=None,
     edr_kernel: Optional[str] = None,
+    sub: bool = False,
+    alpha: float = DEFAULT_WINDOW_ALPHA,
+    min_window: Optional[int] = None,
+    max_window: Optional[int] = None,
 ) -> BatchResult:
     """Answer many k-NN queries against one database.
 
@@ -223,6 +252,18 @@ def knn_batch(
         byte-for-byte those of the serial engines either way; the
         pruner chain must map onto the spec families
         (histogram/histogram-1d/qgram/nti).
+    sub / alpha / min_window / max_window:
+        ``sub=True`` switches every query to the subtrajectory engine
+        (:func:`repro.core.subtrajectory.subknn_search`): each result
+        row is a :class:`~repro.core.subtrajectory.WindowMatch` — the
+        best banded window per corpus trajectory, top-k across the
+        corpus — instead of a :class:`Neighbor`.  ``alpha`` bands the
+        window lengths to ``[m·(1−α), m·(1+α)]`` around each query's
+        length ``m``; ``min_window``/``max_window`` override the band
+        edges explicitly.  The ``engine`` label is accepted unchanged
+        (the window scan *is* the sorted pipeline; with no pruners it
+        degenerates to a scan), and every executor — serial, thread,
+        process, sharded — answers byte-for-byte identically.
     """
     if engine not in BATCH_ENGINES:
         raise ValueError(
@@ -232,13 +273,14 @@ def knn_batch(
     queries = list(queries)
     pruners = list(pruners)
     if sharded is not None or (shards is not None and shards > 1):
-        if engine == "scan":
+        if engine == "scan" and not sub:
             raise ValueError(
                 "sharded execution applies to the pruned engines, not 'scan'"
             )
         return _knn_batch_sharded(
             database, queries, k, pruners, engine, early_abandon,
             refine_batch_size, shards, shard_workers, sharded, edr_kernel,
+            sub, alpha, min_window, max_window,
         )
     if workers is None:
         workers = os.cpu_count() or 1
@@ -261,7 +303,8 @@ def knn_batch(
         results = [
             _run_engine(
                 database, query, k, pruners, engine, early_abandon,
-                refine_batch_size, edr_kernel,
+                refine_batch_size, edr_kernel, sub, alpha,
+                min_window, max_window,
             )
             for query in queries
         ]
@@ -271,7 +314,8 @@ def knn_batch(
                 pool.map(
                     lambda query: _run_engine(
                         database, query, k, pruners, engine, early_abandon,
-                        refine_batch_size, edr_kernel,
+                        refine_batch_size, edr_kernel, sub, alpha,
+                        min_window, max_window,
                     ),
                     queries,
                 )
@@ -286,6 +330,10 @@ def knn_batch(
             "early_abandon": early_abandon,
             "refine_batch_size": refine_batch_size,
             "edr_kernel": edr_kernel,
+            "sub": sub,
+            "alpha": alpha,
+            "min_window": min_window,
+            "max_window": max_window,
         }
         context, start_method = process_context("fork")
         with ProcessPoolExecutor(
@@ -300,6 +348,9 @@ def knn_batch(
 
     elapsed = time.perf_counter() - start
     extra = {"warm_seconds": warm_seconds, "engine": engine}
+    if sub:
+        extra["sub"] = True
+        extra["alpha"] = alpha
     if chosen == "process":
         extra["start_method"] = start_method
     return BatchResult(
@@ -324,6 +375,10 @@ def _knn_batch_sharded(
     shard_workers: Optional[int],
     sharded,
     edr_kernel: Optional[str] = None,
+    sub: bool = False,
+    alpha: float = DEFAULT_WINDOW_ALPHA,
+    min_window: Optional[int] = None,
+    max_window: Optional[int] = None,
 ) -> BatchResult:
     """Run the batch through the sharded intra-query engine.
 
@@ -348,27 +403,43 @@ def _knn_batch_sharded(
         )
     start = time.perf_counter()
     try:
-        results = [
-            sharded.knn_search(
-                query, k, spec=spec, early_abandon=early_abandon,
-                refine_batch_size=refine_batch_size, edr_kernel=edr_kernel,
-            )
-            for query in queries
-        ]
+        if sub:
+            results = [
+                sharded.subknn_search(
+                    query, k, spec=spec, alpha=alpha,
+                    min_window=min_window, max_window=max_window,
+                    early_abandon=early_abandon,
+                    refine_batch_size=refine_batch_size,
+                    edr_kernel=edr_kernel,
+                )
+                for query in queries
+            ]
+        else:
+            results = [
+                sharded.knn_search(
+                    query, k, spec=spec, early_abandon=early_abandon,
+                    refine_batch_size=refine_batch_size, edr_kernel=edr_kernel,
+                )
+                for query in queries
+            ]
     finally:
         if owned:
             sharded.close()
     elapsed = time.perf_counter() - start
+    extra = {
+        "engine": engine,
+        "shards": sharded.shards,
+        "shard_mode": sharded.mode,
+        "start_method": sharded.start_method,
+    }
+    if sub:
+        extra["sub"] = True
+        extra["alpha"] = alpha
     return BatchResult(
         neighbors=[neighbors for neighbors, _ in results],
         stats=[stats for _, stats in results],
         elapsed_seconds=elapsed,
         executor="sharded",
         workers=sharded.workers,
-        extra={
-            "engine": engine,
-            "shards": sharded.shards,
-            "shard_mode": sharded.mode,
-            "start_method": sharded.start_method,
-        },
+        extra=extra,
     )

@@ -44,6 +44,7 @@ __all__ = [
     "histogram_distance",
     "histogram_distance_quick",
     "histogram_match_capacity",
+    "histogram_window_bound",
     "TrajectoryHistogram",
 ]
 
@@ -378,6 +379,40 @@ def histogram_distance_quick(
     return max(total_first, total_second) - upper
 
 
+def histogram_window_bound(
+    query_histogram: TrajectoryHistogram,
+    candidate_histogram: TrajectoryHistogram,
+) -> int:
+    """A lower bound of EDR valid for *every* window of the candidate.
+
+    Only the query-side matchable-mass cap of
+    :func:`histogram_distance_quick` survives restriction to windows: a
+    window's histogram is elementwise dominated by its trajectory's, so
+    the candidate mass reachable from each query bin can only shrink,
+    giving for every window ``w``
+
+        ``EDR(Q, w) >= HD(Q, w) >= |Q| - matchable_upper(Q -> T)``.
+
+    The ``max(m, n)`` term and the candidate-side cap both depend on the
+    window's own size and content, so they are dropped.  Equals the
+    corresponding entry of
+    :meth:`HistogramArrayStore.bulk_window_bounds` bit for bit.
+    """
+    total_query = sum(query_histogram.values())
+    if not query_histogram:
+        return 0
+    upper = 0
+    for bin_index, amount in query_histogram.items():
+        neighborhood = 0
+        for neighbor in _approximate_neighbors(bin_index):
+            neighborhood += candidate_histogram.get(neighbor, 0)
+            if neighborhood >= amount:
+                neighborhood = amount
+                break
+        upper += neighborhood
+    return max(0, total_query - upper)
+
+
 # ----------------------------------------------------------------------
 # Array-backed histogram store (bulk filter kernels)
 # ----------------------------------------------------------------------
@@ -562,3 +597,47 @@ class HistogramArrayStore:
 
         upper = np.minimum(upper_query, upper_candidate)
         return np.maximum(query_total, self.totals) - upper
+
+    def bulk_window_bounds(
+        self, query_histogram: TrajectoryHistogram
+    ) -> np.ndarray:
+        """:func:`histogram_window_bound` against every database row.
+
+        Only the query-side cap of :meth:`bulk_quick_bounds` is
+        window-sound (see :func:`histogram_window_bound`), so this is
+        the same neighborhood gather with the candidate-side cap and the
+        ``max(m, n)`` term dropped:
+        ``max(0, m_query - upper_query[i])`` per candidate.  Query bins
+        outside the padded grid contribute zero matchable mass on both
+        paths, so the bulk values equal the scalar ones bit for bit.
+        """
+        query_total = int(sum(query_histogram.values()))
+        if not query_histogram:
+            return np.zeros(self.count, dtype=np.int64)
+        query_keys = np.asarray(list(query_histogram), dtype=np.int64).reshape(
+            len(query_histogram), -1
+        )
+        amounts = np.fromiter(query_histogram.values(), dtype=np.int64)
+        offsets = np.array(
+            list(product((-1, 0, 1), repeat=self.ndim)), dtype=np.int64
+        )
+        neighbor_bins = (query_keys[:, None, :] + offsets[None, :, :]).reshape(
+            -1, self.ndim
+        )
+        bin_of_pair = np.repeat(np.arange(len(query_keys)), len(offsets))
+        in_grid = self._in_grid(neighbor_bins)
+        pair_bins = bin_of_pair[in_grid]
+        pair_columns = self._ravel(neighbor_bins[in_grid])
+        if pair_columns.size == 0:
+            # Every query bin sits outside the database grid: nothing in
+            # any trajectory (or window) can match.
+            return np.full(self.count, query_total, dtype=np.int64)
+        unique_columns, column_slot = np.unique(pair_columns, return_inverse=True)
+        indicator = np.zeros((len(unique_columns), len(query_keys)), dtype=np.int64)
+        indicator[column_slot, pair_bins] = 1
+        candidate_neighborhood = self._counts[:, unique_columns] @ indicator
+        candidate_neighborhood = np.asarray(candidate_neighborhood)
+        upper_query = np.minimum(amounts[None, :], candidate_neighborhood).sum(
+            axis=1
+        )
+        return np.maximum(0, query_total - upper_query)

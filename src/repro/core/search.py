@@ -40,7 +40,11 @@ from .database import TrajectoryDatabase
 from .edr import edr
 from .edr_batch import DEFAULT_REFINE_BATCH_SIZE
 from .edr_bitparallel import edr_bitparallel
-from .histogram import histogram_distance, histogram_distance_quick
+from .histogram import (
+    histogram_distance,
+    histogram_distance_quick,
+    histogram_window_bound,
+)
 from .kernels import KernelPlan, length_bucket, resolve_kernel_plan, run_kernel
 from .neartriangle import NearTrianglePruner as _NearTriangleState
 from .qgram import mean_value_qgrams
@@ -108,6 +112,18 @@ class SearchStats:
     # summary bound was evaluated vs. blocks whose rows were faulted in.
     blocks_total: int = 0
     blocks_opened: int = 0
+    # Subtrajectory (windowed) search accounting: how many banded
+    # windows the query defined over the database, how many had their
+    # exact distance computed, how many a window-sound pruner bound
+    # retired wholesale, and how many the row DP proved farther than the
+    # frozen threshold.  The four satisfy
+    # ``evaluated + pruned + abandoned == total`` and are byte-identical
+    # across the serial/sharded/tiered engines (frozen-round thresholds,
+    # batch-independent row DP).  All zero for whole-trajectory queries.
+    windows_total: int = 0
+    windows_evaluated: int = 0
+    windows_pruned: int = 0
+    windows_abandoned: int = 0
 
     @property
     def pool_hit_rate(self) -> float:
@@ -288,6 +304,30 @@ class QueryPruner:
             dtype=np.float64,
         )
 
+    def window_lower_bound(self, candidate_index: int) -> float:
+        """A bound on ``EDR(query, w)`` valid for *every* window ``w``.
+
+        Whole-trajectory lower bounds do not transfer to windows (a
+        window can be far closer than its trajectory), so the
+        subtrajectory engine consults this dedicated bound instead: one
+        value per trajectory proven to undercut the distance of each of
+        its contiguous windows, making a single comparison against the
+        k-th best window distance prune all windows at once.  The
+        default is the trivial (always sound) zero; families with a
+        window-monotone summary override it.
+        """
+        return 0.0
+
+    def bulk_window_lower_bounds(self) -> np.ndarray:
+        """:meth:`window_lower_bound` for every candidate, vectorized."""
+        return np.array(
+            [
+                self.window_lower_bound(candidate_index)
+                for candidate_index in range(self.database_size)
+            ],
+            dtype=np.float64,
+        )
+
 
 class Pruner:
     """A pruning method bound to a database.
@@ -375,6 +415,30 @@ class _HistogramQuery(QueryPruner):
             bounds[candidate_index] = self.exact_lower_bound(candidate_index)
         return bounds
 
+    def window_lower_bound(self, candidate_index: int) -> float:
+        # A window's histogram is elementwise dominated by its
+        # trajectory's, so the query-side matchable-mass cap against the
+        # whole trajectory upper-bounds matches against any window — and
+        # each axis bounds alone, so the per-axis max stays sound.
+        return float(
+            max(
+                histogram_window_bound(
+                    query_histogram, per_axis[candidate_index]
+                )
+                for query_histogram, per_axis in zip(self._query, self._database)
+            )
+        )
+
+    def bulk_window_lower_bounds(self) -> np.ndarray:
+        if self._stores is None:
+            return super().bulk_window_lower_bounds()
+        bounds = self._stores[0].bulk_window_bounds(self._query[0])
+        for query_histogram, store in zip(self._query[1:], self._stores[1:]):
+            np.maximum(
+                bounds, store.bulk_window_bounds(query_histogram), out=bounds
+            )
+        return bounds.astype(np.float64)
+
 
 class HistogramPruner(Pruner):
     """Trajectory-histogram pruning (Section 4.3).
@@ -443,23 +507,39 @@ class _QgramMergeJoinQuery(QueryPruner):
         self._two_dimensional = two_dimensional
         self._flat_pool = flat_pool
         self._bulk_bounds: Optional[np.ndarray] = None
+        self._bulk_common: Optional[np.ndarray] = None
         self.database_size = len(candidates_sorted)
+
+    def _common(self, candidate_index: int) -> int:
+        candidate = self._candidates[candidate_index]
+        if self._two_dimensional:
+            return count_common_sorted_2d(
+                self._query_sorted, candidate, self._epsilon
+            )
+        return count_common_sorted_1d(
+            self._query_sorted, candidate, self._epsilon
+        )
 
     def lower_bound(
         self, candidate_index: int, threshold: float = float("inf")
     ) -> float:
-        candidate = self._candidates[candidate_index]
-        if self._two_dimensional:
-            common = count_common_sorted_2d(
-                self._query_sorted, candidate, self._epsilon
-            )
-        else:
-            common = count_common_sorted_1d(
-                self._query_sorted, candidate, self._epsilon
-            )
+        common = self._common(candidate_index)
         longest = max(self._query_length, int(self._lengths[candidate_index]))
         # Theorem 1 rearranged: EDR >= (max(m, n) - q + 1 - common) / q.
         return max(0.0, (longest - self._q + 1 - common) / self._q)
+
+    def _common_counts(self) -> np.ndarray:
+        """Merge-join common counts against the whole pool, cached."""
+        if self._bulk_common is None:
+            pool_values, pool_owners = self._flat_pool
+            self._bulk_common = bulk_count_common(
+                self._query_sorted,
+                pool_values,
+                pool_owners,
+                self.database_size,
+                self._epsilon,
+            )
+        return self._bulk_common
 
     def bulk_lower_bounds(self, threshold: float = float("inf")) -> np.ndarray:
         if self._bulk_bounds is not None:
@@ -468,14 +548,7 @@ class _QgramMergeJoinQuery(QueryPruner):
             bounds = super().bulk_lower_bounds(threshold)
             self._bulk_bounds = bounds.copy()
             return bounds
-        pool_values, pool_owners = self._flat_pool
-        common = bulk_count_common(
-            self._query_sorted,
-            pool_values,
-            pool_owners,
-            self.database_size,
-            self._epsilon,
-        )
+        common = self._common_counts()
         longest = np.maximum(self._query_length, self._lengths.astype(np.int64))
         bounds = np.maximum(0.0, (longest - self._q + 1 - common) / self._q)
         self._bulk_bounds = bounds
@@ -483,6 +556,24 @@ class _QgramMergeJoinQuery(QueryPruner):
 
     def bulk_quick_lower_bounds(self) -> np.ndarray:
         return self.bulk_lower_bounds()
+
+    def window_lower_bound(self, candidate_index: int) -> float:
+        # A window's Q-grams are a sub-multiset of its trajectory's, so
+        # ``common(query, window) <= common(query, trajectory)``; with
+        # ``max(m, |window|) >= m`` Theorem 1 becomes a bound every
+        # window of the candidate satisfies.
+        common = self._common(candidate_index)
+        return max(
+            0.0, (self._query_length - self._q + 1 - common) / self._q
+        )
+
+    def bulk_window_lower_bounds(self) -> np.ndarray:
+        if self._flat_pool is None:
+            return super().bulk_window_lower_bounds()
+        common = self._common_counts()
+        return np.maximum(
+            0.0, (self._query_length - self._q + 1 - common) / self._q
+        )
 
 
 class QgramMergeJoinPruner(Pruner):
@@ -560,6 +651,22 @@ class _QgramIndexQuery(QueryPruner):
 
     def bulk_quick_lower_bounds(self) -> np.ndarray:
         return self.bulk_lower_bounds()
+
+    def window_lower_bound(self, candidate_index: int) -> float:
+        # The probe counters count query Q-grams matched anywhere in the
+        # trajectory, an upper bound on matches inside any window — the
+        # same sub-multiset argument as the merge-join family.
+        common = int(self.counters[candidate_index])
+        return max(
+            0.0, (self._query_length - self._q + 1 - common) / self._q
+        )
+
+    def bulk_window_lower_bounds(self) -> np.ndarray:
+        return np.maximum(
+            0.0,
+            (self._query_length - self._q + 1 - self.counters.astype(np.int64))
+            / self._q,
+        )
 
 
 class QgramIndexPruner(Pruner):

@@ -81,6 +81,16 @@ from .search import (
     knn_search,
 )
 from .shm import SharedArrayBlock
+from .subtrajectory import (
+    DEFAULT_WINDOW_ALPHA,
+    WINDOW_KERNEL,
+    WindowMatch,
+    _WindowResultList,
+    edr_windows_many,
+    resolve_window_range,
+    window_counts,
+)
+from .subtrajectory import subknn_search as _serial_subknn_search
 from .trajectory import Trajectory
 
 __all__ = [
@@ -579,6 +589,49 @@ class _ShardRuntime:
                     outcomes[survivor_slots[int(position)]] = ("d", float(distance))
         return outcomes  # type: ignore[return-value]
 
+    def subknn(
+        self,
+        query_points: np.ndarray,
+        members: List[int],
+        bound: float,
+        lo: int,
+        hi: int,
+        batch_size: int,
+    ) -> List[Tuple[float, int, int, int, int]]:
+        """Best banded window of each member, against the shard view.
+
+        No pruner state is involved — the coordinator evaluates the
+        (single-stage, static) window bounds itself, so the task needs
+        only the corpus rows.  ``bound`` is the frozen round threshold
+        folded with the early-abandon flag (non-finite disables row
+        abandoning); there is deliberately no cooperative mid-round
+        tightening, which is what keeps the window counters byte-equal
+        to the serial engine's.  Outcomes align with ``members``:
+        ``(distance, start, end, evaluated, abandoned)`` per member,
+        with ``inf`` distance when every window was abandoned.
+        """
+        outcomes: List[Optional[Tuple[float, int, int, int, int]]] = (
+            [None] * len(members)
+        )
+        limit = float(bound) if np.isfinite(bound) else None
+        lengths = self.database.lengths[members]
+        for bucket in iter_length_buckets(lengths, batch_size):
+            indices = [members[int(position)] for position in bucket]
+            candidates = [self.database.trajectories[i] for i in indices]
+            distances, starts, ends, evaluated, abandoned = edr_windows_many(
+                query_points, candidates, self.database.epsilon, lo, hi,
+                bounds=limit,
+            )
+            for slot, position in enumerate(bucket):
+                outcomes[int(position)] = (
+                    float(distances[slot]),
+                    int(starts[slot]),
+                    int(ends[slot]),
+                    int(evaluated[slot]),
+                    int(abandoned[slot]),
+                )
+        return outcomes  # type: ignore[return-value]
+
     def close(self) -> None:
         self.block.close()
 
@@ -646,6 +699,18 @@ def _pool_refine(
         spec, digest, query_points, members, threshold,
         early_abandon, exact_positions, batch_size, kernel_spec,
         _POOL_STATE.shared_value,
+    )
+    return _faults.wrap_result(payload, directives)
+
+
+def _pool_subknn(
+    shard_id, query_points, members, bound, lo, hi, batch_size, directives=(),
+):
+    _faults.apply(
+        directives, inline=False, drop=lambda: _POOL_STATE.drop(shard_id)
+    )
+    payload = _POOL_STATE.runtime(shard_id).subknn(
+        query_points, members, bound, lo, hi, batch_size
     )
     return _faults.wrap_result(payload, directives)
 
@@ -1028,6 +1093,55 @@ class ShardedDatabase:
             edr_kernel=edr_kernel,
         )
 
+    def subknn_search(
+        self,
+        query: Trajectory,
+        k: int,
+        spec: Optional[str] = None,
+        alpha: float = DEFAULT_WINDOW_ALPHA,
+        min_window: Optional[int] = None,
+        max_window: Optional[int] = None,
+        early_abandon: bool = False,
+        refine_batch_size: Optional[int] = None,
+        edr_kernel: Optional[str] = None,
+    ) -> Tuple[List[WindowMatch], ShardedSearchStats]:
+        """Exact top-k banded-window search, byte-equal to the serial
+        :func:`repro.core.subtrajectory.subknn_search` — answers and the
+        window counters alike (the round engine never tightens a
+        worker's bound mid-round, so abandonment decisions match)."""
+        start_time = time.perf_counter()
+        self._ensure_ready()
+        spec = canonical_pruner_spec(spec if spec is not None else self.specs[0])
+        if not self.supports(spec):
+            raise ValueError(
+                f"spec {spec!r} needs artifact families outside the packed set "
+                f"{self._packed_parts}"
+            )
+        round_size = (
+            self._round_size
+            if refine_batch_size is None
+            else max(2, int(refine_batch_size))
+        )
+        recovery = {name: 0 for name in RECOVERY_FIELDS}
+        try:
+            answer, stats = self._run_subknn(
+                query, spec, k, alpha, min_window, max_window,
+                early_abandon, round_size, recovery, edr_kernel,
+            )
+            self._degraded = False
+        except _ShardFailure:
+            answer, stats = self._degrade_subknn(
+                query, spec, k, alpha, min_window, max_window,
+                early_abandon, round_size, edr_kernel,
+            )
+        for name in RECOVERY_FIELDS:
+            setattr(stats, name, recovery[name])
+            self._lifetime[name] += recovery[name]
+        if stats.degraded:
+            self._lifetime["degraded_queries"] += 1
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return answer, stats
+
     # ------------------------------------------------------------------
     # The frozen-bound round engine
     # ------------------------------------------------------------------
@@ -1121,6 +1235,48 @@ class ShardedDatabase:
         stats.kernel_buckets = dict(serial.kernel_buckets)
         stats.kernel_cells = dict(serial.kernel_cells)
         stats.kernel_seconds = dict(serial.kernel_seconds)
+        return answer, stats
+
+    def _degrade_subknn(
+        self,
+        query: Trajectory,
+        spec: str,
+        k: int,
+        alpha: float,
+        min_window: Optional[int],
+        max_window: Optional[int],
+        early_abandon: bool,
+        round_size: int,
+        edr_kernel: Optional[str] = None,
+    ) -> Tuple[List[WindowMatch], ShardedSearchStats]:
+        """Serial rerun of a failed sharded window query (see
+        :meth:`_degrade`); the window counters carry over verbatim."""
+        chain = self._parent_chain(spec)
+        answer, serial = _serial_subknn_search(
+            self._database, query, k, chain, alpha=alpha,
+            min_window=min_window, max_window=max_window,
+            early_abandon=early_abandon, refine_batch_size=round_size,
+            edr_kernel=edr_kernel,
+        )
+        self._degraded = True
+        stats = ShardedSearchStats(
+            database_size=serial.database_size,
+            true_distance_computations=serial.true_distance_computations,
+            pruned_by=dict(serial.pruned_by),
+            per_shard=[],
+            rounds=0,
+            shards=self.shards,
+            start_method=self._start_method if self.mode == "process" else None,
+            degraded=True,
+        )
+        stats.kernel = serial.kernel
+        stats.kernel_buckets = dict(serial.kernel_buckets)
+        stats.kernel_cells = dict(serial.kernel_cells)
+        stats.kernel_seconds = dict(serial.kernel_seconds)
+        stats.windows_total = serial.windows_total
+        stats.windows_evaluated = serial.windows_evaluated
+        stats.windows_pruned = serial.windows_pruned
+        stats.windows_abandoned = serial.windows_abandoned
         return answer, stats
 
     def _run_sharded(
@@ -1288,6 +1444,150 @@ class ShardedDatabase:
         range_hits.sort(key=lambda neighbor: neighbor.index)
         return range_hits, stats
 
+    def _run_subknn(
+        self,
+        query: Trajectory,
+        spec: str,
+        k: int,
+        alpha: float,
+        min_window: Optional[int],
+        max_window: Optional[int],
+        early_abandon: bool,
+        round_size: int,
+        recovery: Dict[str, int],
+        edr_kernel: Optional[str] = None,
+    ) -> Tuple[List[WindowMatch], ShardedSearchStats]:
+        result = _WindowResultList(k)
+        if edr_kernel is not None:
+            # Validation only — the windowed DP has a single batched
+            # implementation (see the serial engine's note).
+            resolve_kernel_plan(self._database, edr_kernel)
+        total = len(self._database)
+        query_points = np.ascontiguousarray(query.points)
+        lo, hi = resolve_window_range(
+            int(query_points.shape[0]), alpha, min_window, max_window
+        )
+        lengths = np.asarray(self._database.lengths, dtype=np.int64)
+        counts = window_counts(lengths, lo, hi)
+        per_shard: List[SearchStats] = []
+        for s in range(self.shards):
+            shard_stats = SearchStats(
+                database_size=int(self._starts[s + 1] - self._starts[s])
+            )
+            shard_stats.windows_total = int(
+                counts[self._starts[s]:self._starts[s + 1]].sum()
+            )
+            shard_stats.kernel = WINDOW_KERNEL
+            per_shard.append(shard_stats)
+
+        # The window bounds are single-stage static arrays, so the
+        # coordinator prices them against the parent chain directly —
+        # no filter wave, and the subknn task ships no pruner state.
+        chain = self._parent_chain(spec)
+        query_pruners = [pruner.for_query(query) for pruner in chain]
+        names = [query_pruner.name for query_pruner in query_pruners]
+        window_bounds = [
+            np.asarray(
+                query_pruner.bulk_window_lower_bounds(), dtype=np.float64
+            )
+            for query_pruner in query_pruners
+        ]
+        order_keys = (
+            window_bounds[0] if window_bounds else np.zeros(total, dtype=np.float64)
+        )
+        order = np.argsort(order_keys, kind="stable")
+
+        position_in_order = 0
+        rounds = 0
+        while position_in_order < total:
+            threshold = result.best_so_far
+            finite = np.isfinite(threshold)
+            chunk: List[int] = []
+            while position_in_order < total and len(chunk) < round_size:
+                candidate = int(order[position_in_order])
+                if finite and query_pruners:
+                    if order_keys[candidate] > threshold:
+                        # Sorted break: the primary window bound only
+                        # grows from here, retiring every remaining
+                        # candidate — and all of their windows.
+                        remaining = order[position_in_order:]
+                        trajectory_tallies = np.bincount(
+                            self._shard_ids[remaining], minlength=self.shards
+                        )
+                        window_tallies = np.bincount(
+                            self._shard_ids[remaining],
+                            weights=counts[remaining].astype(np.float64),
+                            minlength=self.shards,
+                        )
+                        for shard_id, count in enumerate(
+                            trajectory_tallies.tolist()
+                        ):
+                            if count:
+                                per_shard[shard_id].pruned_by[names[0]] = (
+                                    per_shard[shard_id].pruned_by.get(names[0], 0)
+                                    + count
+                                )
+                                per_shard[shard_id].windows_pruned += int(
+                                    window_tallies[shard_id]
+                                )
+                        position_in_order = total
+                        break
+                    pruned = False
+                    for p in range(1, len(query_pruners)):
+                        if window_bounds[p][candidate] > threshold:
+                            shard_id = int(self._shard_ids[candidate])
+                            per_shard[shard_id].credit(names[p])
+                            per_shard[shard_id].windows_pruned += int(
+                                counts[candidate]
+                            )
+                            pruned = True
+                            break
+                    if pruned:
+                        position_in_order += 1
+                        continue
+                chunk.append(candidate)
+                position_in_order += 1
+            if not chunk:
+                continue
+            rounds += 1
+            bound = float(threshold) if (early_abandon and finite) else float("inf")
+
+            groups: Dict[int, List[int]] = {}
+            for candidate in chunk:
+                groups.setdefault(int(self._shard_ids[candidate]), []).append(candidate)
+            outcomes = self._dispatch_subknn(
+                groups, query_points, bound, lo, hi, round_size, result, recovery,
+            )
+            cursors = {shard_id: 0 for shard_id in groups}
+            for candidate in chunk:
+                shard_id = int(self._shard_ids[candidate])
+                outcome = outcomes[shard_id][cursors[shard_id]]
+                cursors[shard_id] += 1
+                per_shard[shard_id].true_distance_computations += 1
+                per_shard[shard_id].windows_evaluated += int(outcome[3])
+                per_shard[shard_id].windows_abandoned += int(outcome[4])
+
+        stats = ShardedSearchStats(
+            database_size=total,
+            per_shard=per_shard,
+            rounds=rounds,
+            shards=self.shards,
+            start_method=self._start_method if self.mode == "process" else None,
+        )
+        stats.kernel = WINDOW_KERNEL
+        stats.windows_total = int(counts.sum())
+        for shard_stats in per_shard:
+            shard_stats.start_method = stats.start_method
+            stats.true_distance_computations += (
+                shard_stats.true_distance_computations
+            )
+            stats.windows_evaluated += shard_stats.windows_evaluated
+            stats.windows_pruned += shard_stats.windows_pruned
+            stats.windows_abandoned += shard_stats.windows_abandoned
+            for name, count in shard_stats.pruned_by.items():
+                stats.pruned_by[name] = stats.pruned_by.get(name, 0) + count
+        return result.matches(), stats
+
     # ------------------------------------------------------------------
     # Dispatch (process pool or inline), with bounded recovery
     # ------------------------------------------------------------------
@@ -1297,7 +1597,11 @@ class ShardedDatabase:
         return self.fault_plan.directives(point, shard_id)
 
     def _submit(self, point: str, shard_id: int, args: tuple, directives):
-        fn = _pool_filter if point == "filter" else _pool_refine
+        fn = {
+            "filter": _pool_filter,
+            "refine": _pool_refine,
+            "subknn": _pool_subknn,
+        }[point]
         return self._pool_for(shard_id).submit(fn, shard_id, *args, directives)
 
     def _inline_execute(
@@ -1321,6 +1625,8 @@ class ShardedDatabase:
         runtime = state.runtime(shard_id)
         if point == "filter":
             payload = runtime.filter(*args)
+        elif point == "subknn":
+            payload = runtime.subknn(*args)
         else:
             payload = runtime.refine(*args, self._value)
         return _faults.wrap_result(payload, directives)
@@ -1514,6 +1820,52 @@ class ShardedDatabase:
             for shard_id, members in local_groups.items()
         }
         return self._dispatch("refine", tasks, recovery, merge=merge)
+
+    def _dispatch_subknn(
+        self,
+        groups: Dict[int, List[int]],
+        query_points: np.ndarray,
+        bound: float,
+        lo: int,
+        hi: int,
+        batch_size: int,
+        result: _WindowResultList,
+        recovery: Dict[str, int],
+    ) -> Dict[int, List[Tuple[float, int, int, int, int]]]:
+        """Run one round's shard window groups; merge offers eagerly.
+
+        Offers into the window result list are commutative, so they
+        land as each shard's verified payload arrives.  Unlike
+        :meth:`_dispatch_refine` there is deliberately no shared-bound
+        republish: workers abandon against the frozen round threshold
+        only, which is what keeps ``windows_abandoned`` byte-equal to
+        the serial engine's.  Stats wait for the caller's deterministic
+        pass in global chunk order.
+        """
+        local_groups = {
+            shard_id: [c - int(self._starts[shard_id]) for c in members]
+            for shard_id, members in groups.items()
+        }
+
+        def merge(shard_id: int, shard_outcomes) -> None:
+            base = int(self._starts[shard_id])
+            for local_index, outcome in zip(
+                local_groups[shard_id], shard_outcomes
+            ):
+                distance = float(outcome[0])
+                if np.isfinite(distance):
+                    result.offer(
+                        base + local_index,
+                        int(outcome[1]),
+                        int(outcome[2]),
+                        distance,
+                    )
+
+        tasks = {
+            shard_id: (query_points, members, bound, lo, hi, batch_size)
+            for shard_id, members in local_groups.items()
+        }
+        return self._dispatch("subknn", tasks, recovery, merge=merge)
 
     # ------------------------------------------------------------------
     # Lifecycle

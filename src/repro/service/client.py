@@ -222,6 +222,24 @@ class ServiceClient:
             payload["min_epoch"] = self.last_epoch
         return self._request("POST", "/knn", payload)
 
+    def subknn(
+        self,
+        query: QueryLike,
+        k: Optional[int] = None,
+        pruners: Optional[str] = None,
+        alpha: Optional[float] = None,
+    ) -> dict:
+        payload: dict = {"query": _query_value(query)}
+        if k is not None:
+            payload["k"] = k
+        if pruners is not None:
+            payload["pruners"] = pruners
+        if alpha is not None:
+            payload["alpha"] = alpha
+        if self.track_epoch and self.last_epoch:
+            payload["min_epoch"] = self.last_epoch
+        return self._request("POST", "/subknn", payload)
+
     def range_query(
         self,
         query: QueryLike,

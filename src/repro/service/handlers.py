@@ -22,6 +22,12 @@ Endpoints
     :func:`repro.knn_batch` path.  Responses are exactly (ids,
     distances, tie order) what :func:`repro.knn_search` returns for the
     same parameters.
+``POST /subknn``
+    ``{"query": ..., "k": 10, "alpha": 0.25, "pruners": "..."}`` — exact
+    top-k subtrajectory search: each hit is the best banded window of a
+    corpus trajectory (``[start, end)`` plus its EDR), answered through
+    the same cached, micro-batched, replica-routable path as ``/knn``
+    via :func:`repro.subknn_search`.
 ``POST /range``
     ``{"query": ..., "radius": r, "pruners": "..."}`` — exact range
     query via :func:`repro.range_search`.
@@ -60,6 +66,7 @@ from ..core.database import TrajectoryDatabase
 from ..core.kernels import kernel_report
 from ..core.rangequery import range_search
 from ..core.search import Neighbor, Pruner, SearchStats
+from ..core.subtrajectory import DEFAULT_WINDOW_ALPHA, WindowMatch
 from ..core.trajectory import Trajectory
 from ..distances.base import EPSILON_FUNCTIONS, available_distances, get_distance
 from .batcher import MicroBatcher
@@ -485,6 +492,9 @@ class TrajectoryService:
         if route == "/knn":
             self._require_method(method, "POST")
             return await self._handle_knn(self._json_body(body))
+        if route == "/subknn":
+            self._require_method(method, "POST")
+            return await self._handle_subknn(self._json_body(body))
         if route == "/range":
             self._require_method(method, "POST")
             return await self._handle_range(self._json_body(body))
@@ -745,6 +755,119 @@ class TrajectoryService:
             for neighbors, stats in batch
         ]
 
+    async def _handle_subknn(self, request: dict) -> Tuple[int, dict, dict]:
+        query = self._trajectory(request, "query")
+        k = self._positive_int(request.get("k", self.config.k_default), "k")
+        spec = self._spec(request)
+        alpha = self._alpha(request)
+        refine = self.config.refine_batch_size
+        if self._fleet is not None:
+            signature = (
+                "subknn",
+                query_digest(query.points),
+                k,
+                alpha,
+                spec,
+                self.config.early_abandon,
+                refine,
+                self.config.edr_kernel,
+            )
+            result, meta = await self._fleet_submit(
+                "subknn",
+                signature,
+                {"points": query.points, "k": k, "alpha": alpha, "spec": spec},
+                self._min_epoch(request),
+            )
+            payload = {
+                **result,
+                "meta": {**meta, "engine": "subknn"},
+            }
+            return 200, payload, {}
+        cache_key = (
+            "subknn",
+            self._epoch_token,
+            query_digest(query.points),
+            k,
+            alpha,
+            spec,
+            self.config.early_abandon,
+            refine,
+            self.config.edr_kernel,
+        )
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            return 200, {**cached, "meta": {"cached": True}}, {}
+        self._admit()
+        try:
+            result, meta = await asyncio.wait_for(
+                self.batcher.submit(
+                    key=cache_key[3:],  # every answer-shaping parameter
+                    digest=cache_key,
+                    payload=query,
+                    runner=partial(self._run_subknn_batch, spec, k, alpha),
+                ),
+                timeout=self.config.request_timeout_s,
+            )
+        finally:
+            self._release()
+        self.cache.put(cache_key, result)
+        payload = {
+            **result,
+            "meta": {
+                "cached": False,
+                "engine": "subknn",
+                "batch_size": meta["batch_size"],
+                "coalesced": meta["coalesced"],
+            },
+        }
+        return 200, payload, {}
+
+    def _run_subknn_batch(
+        self, spec: str, k: int, alpha: float, queries: Sequence[Trajectory]
+    ) -> List[dict]:
+        """Dispatch-thread body: one window-mode ``knn_batch`` call."""
+        pruners = self._pruner_chain(spec)
+        sharded = self._sharded
+        if sharded is not None and sharded.supports(spec):
+            batch = knn_batch(
+                self.database,
+                queries,
+                k,
+                pruners,
+                engine=self.config.engine,
+                early_abandon=self.config.early_abandon,
+                refine_batch_size=self.config.refine_batch_size,
+                sharded=sharded,
+                edr_kernel=self.config.edr_kernel,
+                sub=True,
+                alpha=alpha,
+            )
+        else:
+            batch = knn_batch(
+                self.database,
+                queries,
+                k,
+                pruners,
+                engine=self.config.engine,
+                workers=self.config.batch_workers,
+                executor=self.config.batch_executor,
+                early_abandon=self.config.early_abandon,
+                refine_batch_size=self.config.refine_batch_size,
+                edr_kernel=self.config.edr_kernel,
+                sub=True,
+                alpha=alpha,
+            )
+        self.metrics.record_search_stats(
+            batch.stats, seconds=batch.elapsed_seconds
+        )
+        return [
+            {
+                "matches": _windows_payload(matches),
+                "stats": _stats_payload(stats),
+            }
+            for matches, stats in batch
+        ]
+
     async def _handle_range(self, request: dict) -> Tuple[int, dict, dict]:
         query = self._trajectory(request, "query")
         radius = self._radius(request)
@@ -968,6 +1091,16 @@ class TrajectoryService:
             raise RequestError(400, f"{field} must be at least 1")
         return value
 
+    @staticmethod
+    def _alpha(request: dict) -> float:
+        value = request.get("alpha", DEFAULT_WINDOW_ALPHA)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise RequestError(400, "alpha must be a number")
+        alpha = float(value)
+        if alpha < 0.0 or not math.isfinite(alpha):
+            raise RequestError(400, "alpha must be non-negative and finite")
+        return alpha
+
     def _radius(self, request: dict) -> float:
         value = request.get("radius")
         if value is None:
@@ -990,6 +1123,18 @@ def _neighbors_payload(neighbors: Sequence[Neighbor]) -> List[dict]:
     ]
 
 
+def _windows_payload(matches: Sequence[WindowMatch]) -> List[dict]:
+    return [
+        {
+            "index": int(match.index),
+            "start": int(match.start),
+            "end": int(match.end),
+            "distance": float(match.distance),
+        }
+        for match in matches
+    ]
+
+
 def _stats_payload(stats: SearchStats) -> dict:
     payload = {
         "database_size": stats.database_size,
@@ -998,6 +1143,11 @@ def _stats_payload(stats: SearchStats) -> dict:
         "pruned_by": dict(stats.pruned_by),
         "elapsed_seconds": round(stats.elapsed_seconds, 6),
     }
+    if stats.windows_total:
+        payload["windows_total"] = stats.windows_total
+        payload["windows_evaluated"] = stats.windows_evaluated
+        payload["windows_pruned"] = stats.windows_pruned
+        payload["windows_abandoned"] = stats.windows_abandoned
     if stats.bytes_touched or stats.pages_read:
         payload["bytes_touched"] = stats.bytes_touched
         payload["pages_read"] = stats.pages_read

@@ -137,6 +137,14 @@ class MetricsRegistry:
         self.search_true_distance_computations = 0
         self.search_seconds = 0.0
         self.pruned_by: Counter = Counter()
+        # Subtrajectory (windowed) search counters: zero until the first
+        # ``/subknn`` query, at which point ``/stats`` reports how many
+        # candidate windows the banded range admitted and how the bounds
+        # disposed of them.
+        self.windows_total = 0
+        self.windows_evaluated = 0
+        self.windows_pruned = 0
+        self.windows_abandoned = 0
 
         # Sharded-execution accounting: queries answered by the
         # partition-parallel engine, their bound-republish rounds, and
@@ -194,6 +202,14 @@ class MetricsRegistry:
                     per_query.true_distance_computations
                 )
                 self.pruned_by.update(per_query.pruned_by)
+                self.windows_total += getattr(per_query, "windows_total", 0)
+                self.windows_evaluated += getattr(
+                    per_query, "windows_evaluated", 0
+                )
+                self.windows_pruned += getattr(per_query, "windows_pruned", 0)
+                self.windows_abandoned += getattr(
+                    per_query, "windows_abandoned", 0
+                )
                 method = getattr(per_query, "start_method", None)
                 if method:
                     self.start_methods[method] += 1
@@ -274,6 +290,12 @@ class MetricsRegistry:
                     else 0.0,
                     "pruned_by": dict(self.pruned_by),
                     "engine_seconds": round(self.search_seconds, 6),
+                    "windows": {
+                        "total": self.windows_total,
+                        "evaluated": self.windows_evaluated,
+                        "pruned": self.windows_pruned,
+                        "abandoned": self.windows_abandoned,
+                    },
                 },
                 "multiprocessing": {
                     "start_methods": dict(self.start_methods),

@@ -216,6 +216,10 @@ class _ReplicaEngine:
         self.search_true = 0
         self.search_seconds = 0.0
         self.pruned_by: Counter = Counter()
+        self.windows_total = 0
+        self.windows_evaluated = 0
+        self.windows_pruned = 0
+        self.windows_abandoned = 0
         self.rpcs = 0
 
     def _chain(self, spec: str) -> list:
@@ -234,6 +238,10 @@ class _ReplicaEngine:
             self.search_candidates += stats.database_size
             self.search_true += stats.true_distance_computations
             self.pruned_by.update(stats.pruned_by)
+            self.windows_total += getattr(stats, "windows_total", 0)
+            self.windows_evaluated += getattr(stats, "windows_evaluated", 0)
+            self.windows_pruned += getattr(stats, "windows_pruned", 0)
+            self.windows_abandoned += getattr(stats, "windows_abandoned", 0)
         self.search_seconds += seconds
 
     def execute(self, op: str, payload: dict) -> Tuple[dict, bool]:
@@ -244,6 +252,8 @@ class _ReplicaEngine:
             return self.stats_snapshot(), False
         if op == "knn":
             return self._knn(payload)
+        if op == "subknn":
+            return self._subknn(payload)
         if op == "range":
             return self._range(payload)
         if op == "distance":
@@ -282,6 +292,46 @@ class _ReplicaEngine:
         ((neighbors, stats),) = list(batch)
         result = {
             "neighbors": _neighbors_payload(neighbors),
+            "stats": _stats_payload(stats),
+        }
+        self._record_search(batch.stats, batch.elapsed_seconds)
+        self.cache.put(key, result)
+        return result, False
+
+    def _subknn(self, payload: dict) -> Tuple[dict, bool]:
+        points = np.asarray(payload["points"], dtype=np.float64)
+        k = int(payload["k"])
+        alpha = float(payload["alpha"])
+        spec = payload["spec"]
+        key = ("subknn", query_digest(points), k, alpha, spec)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached, True
+        chain = self._chain(spec)
+        sharded = self._sharded
+        kwargs = {}
+        # Window mode ignores the whole-trajectory engine choice (the
+        # banded DP is its own engine), so the sharded gate matches the
+        # single-process handlers: partition-parallel whenever the
+        # coordinator can price the spec's window bounds.
+        if sharded is not None and sharded.supports(spec):
+            kwargs["sharded"] = sharded
+        batch = knn_batch(
+            self.database,
+            [Trajectory(points)],
+            k,
+            chain,
+            engine=self.config.engine,
+            early_abandon=self.config.early_abandon,
+            refine_batch_size=self.config.refine_batch_size,
+            edr_kernel=self.config.edr_kernel,
+            sub=True,
+            alpha=alpha,
+            **kwargs,
+        )
+        ((matches, stats),) = list(batch)
+        result = {
+            "matches": _windows_payload(matches),
             "stats": _stats_payload(stats),
         }
         self._record_search(batch.stats, batch.elapsed_seconds)
@@ -353,6 +403,12 @@ class _ReplicaEngine:
                 "true_distance_computations": self.search_true,
                 "pruned_by": dict(self.pruned_by),
                 "engine_seconds": round(self.search_seconds, 6),
+                "windows": {
+                    "total": self.windows_total,
+                    "evaluated": self.windows_evaluated,
+                    "pruned": self.windows_pruned,
+                    "abandoned": self.windows_abandoned,
+                },
             },
             "latency": {
                 op: {
@@ -1023,6 +1079,7 @@ class ReplicaFleet:
         # sample-by-sample so fleet percentiles are over the union.
         search_totals = Counter()
         pruned_by = Counter()
+        window_totals = Counter()
         cache_totals = Counter()
         samples_by_op: Dict[str, list] = {}
         counts_by_op: Counter = Counter()
@@ -1036,6 +1093,7 @@ class ReplicaFleet:
                 ):
                     search_totals[name] += search[name]
                 pruned_by.update(search["pruned_by"])
+                window_totals.update(search.get("windows", {}))
                 search_totals["engine_seconds"] += search["engine_seconds"]
             cache = entry.get("cache")
             if cache:
@@ -1065,6 +1123,10 @@ class ReplicaFleet:
                 else 0.0,
                 "pruned_by": dict(pruned_by),
                 "engine_seconds": round(search_totals["engine_seconds"], 6),
+                "windows": {
+                    name: window_totals[name]
+                    for name in ("total", "evaluated", "pruned", "abandoned")
+                },
             },
             "latency": {
                 op: summarize_samples(samples, counts_by_op[op])
@@ -1120,6 +1182,18 @@ def _neighbors_payload(neighbors) -> List[dict]:
     ]
 
 
+def _windows_payload(matches) -> List[dict]:
+    return [
+        {
+            "index": int(match.index),
+            "start": int(match.start),
+            "end": int(match.end),
+            "distance": float(match.distance),
+        }
+        for match in matches
+    ]
+
+
 def _stats_payload(stats) -> dict:
     payload = {
         "database_size": stats.database_size,
@@ -1128,6 +1202,11 @@ def _stats_payload(stats) -> dict:
         "pruned_by": dict(stats.pruned_by),
         "elapsed_seconds": round(stats.elapsed_seconds, 6),
     }
+    if stats.windows_total:
+        payload["windows_total"] = stats.windows_total
+        payload["windows_evaluated"] = stats.windows_evaluated
+        payload["windows_pruned"] = stats.windows_pruned
+        payload["windows_abandoned"] = stats.windows_abandoned
     if stats.bytes_touched or stats.pages_read:
         payload["bytes_touched"] = stats.bytes_touched
         payload["pages_read"] = stats.pages_read

@@ -95,6 +95,10 @@ from ..core.search import (
     knn_sorted_search as _knn_sorted_search,
     resolve_kernel_plan,
 )
+from ..core.subtrajectory import (
+    subknn_search as _subknn_search,
+    WindowSearchResult,
+)
 from ..core.trajectory import Trajectory
 from ..index.mergejoin import _windows, sort_means_2d
 from .pagefile import DEFAULT_PAGE_SIZE
@@ -1287,6 +1291,24 @@ class TieredDatabase:
     ) -> SearchResult:
         return self._accounted(
             lambda: _knn_search(self.database, query, k, pruners, **kwargs),
+            query,
+            pruners,
+        )
+
+    def subknn_search(
+        self, query: Trajectory, k: int, pruners: Sequence[Pruner] = (), **kwargs
+    ) -> WindowSearchResult:
+        """Top-k banded-window search over the paged store.
+
+        The engine is the unmodified serial
+        :func:`~repro.core.subtrajectory.subknn_search` — it pulls
+        survivor rows through the store's ``fetch_many`` readahead, so
+        the storage accounting (pool hits/misses, pages read, bytes
+        touched) lands on the same counters as the whole-trajectory
+        engines.
+        """
+        return self._accounted(
+            lambda: _subknn_search(self.database, query, k, pruners, **kwargs),
             query,
             pruners,
         )

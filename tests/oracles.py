@@ -1,0 +1,144 @@
+"""Brute-force EDR oracles shared by every engine suite.
+
+Each engine family (serial, sorted-scan, sharded, tiered, replicated
+service, subtrajectory) is accepted on byte-equality against a naive
+reference that shares **no code** with the engines: plain
+:func:`repro.edr` per candidate, plain Python sorts for ranking.  The
+per-suite inline scans that used to live in test_search.py,
+test_sharding.py, test_tiered.py, and test_replicas.py are deduplicated
+here so every suite states expectations in the same vocabulary.
+
+Canonical answer shapes
+-----------------------
+``answers``/``window_answers`` flatten engine results into comparable
+tuples; ``payload_answers``/``payload_windows`` produce the JSON shapes
+the HTTP service serves, so served bytes compare against the same
+oracle.  Ordering contracts mirror the engines: k-NN ranks on
+``(distance, index)``, range results arrive in index order, and each
+trajectory's best window resolves ties on ``(distance, start, end)``.
+"""
+
+from repro import Trajectory, edr
+from repro.core.subtrajectory import (
+    DEFAULT_WINDOW_ALPHA,
+    resolve_window_range,
+)
+
+__all__ = [
+    "answers",
+    "payload_answers",
+    "payload_windows",
+    "window_answers",
+    "brute_knn",
+    "brute_range",
+    "brute_subknn",
+]
+
+
+# ----------------------------------------------------------------------
+# Answer shapes
+# ----------------------------------------------------------------------
+def answers(neighbors):
+    """Engine k-NN/range results as comparable ``(index, distance)`` tuples."""
+    return [(n.index, n.distance) for n in neighbors]
+
+
+def payload_answers(neighbors):
+    """The JSON shape ``/knn`` and ``/range`` serve for ``neighbors``."""
+    return [
+        {"index": int(n.index), "distance": float(n.distance)}
+        for n in neighbors
+    ]
+
+
+def window_answers(matches):
+    """Subtrajectory results as ``(index, start, end, distance)`` tuples."""
+    return [(m.index, m.start, m.end, m.distance) for m in matches]
+
+
+def payload_windows(matches):
+    """The JSON shape ``/subknn`` serves for ``matches``."""
+    return [
+        {
+            "index": int(m.index),
+            "start": int(m.start),
+            "end": int(m.end),
+            "distance": float(m.distance),
+        }
+        for m in matches
+    ]
+
+
+# ----------------------------------------------------------------------
+# Brute-force references
+# ----------------------------------------------------------------------
+def brute_knn(database, query, k):
+    """Naive k-NN: EDR against every trajectory, rank on (distance, index)."""
+    ranked = sorted(
+        (float(edr(query, candidate, database.epsilon)), index)
+        for index, candidate in enumerate(database.trajectories)
+    )
+    return [(index, distance) for distance, index in ranked[:k]]
+
+
+def brute_range(database, query, radius):
+    """Naive range query: every trajectory within ``radius``, index order."""
+    return [
+        (index, distance)
+        for index, candidate in enumerate(database.trajectories)
+        for distance in (float(edr(query, candidate, database.epsilon)),)
+        if distance <= radius
+    ]
+
+
+def _brute_best_window(query, candidate, epsilon, lo, hi):
+    """The minimum-EDR window of one candidate, ties on (distance, start, end).
+
+    Mirrors the engine's banded enumeration contract: the global band
+    ``[lo, hi]`` is clamped to the candidate length (a short trajectory
+    contributes its single whole-trajectory window), and an empty
+    candidate prices its one empty window at ``len(query)`` deletions.
+    """
+    points = candidate.points
+    n = int(points.shape[0])
+    if n == 0:
+        return (float(len(query)), 0, 0)
+    lo_e, hi_e = min(lo, n), min(hi, n)
+    best = None
+    for start in range(0, n - lo_e + 1):
+        for end in range(start + lo_e, min(start + hi_e, n) + 1):
+            distance = float(
+                edr(query, Trajectory(points[start:end]), epsilon)
+            )
+            key = (distance, start, end)
+            if best is None or key < best:
+                best = key
+    return best
+
+
+def brute_subknn(
+    database,
+    query,
+    k,
+    alpha=DEFAULT_WINDOW_ALPHA,
+    min_window=None,
+    max_window=None,
+):
+    """Naive subtrajectory k-NN: full EDR per window, one best per trajectory.
+
+    Returns ``(index, start, end, distance)`` tuples ranked on
+    ``(distance, index)`` — the same canonical order
+    :func:`repro.subknn_search` answers in.
+    """
+    lo, hi = resolve_window_range(len(query), alpha, min_window, max_window)
+    ranked = []
+    for index, candidate in enumerate(database.trajectories):
+        distance, start, end = _brute_best_window(
+            query, candidate, database.epsilon, lo, hi
+        )
+        ranked.append((distance, index, start, end))
+    ranked.sort(key=lambda entry: entry[:2])
+    return [
+        (index, start, end, distance)
+        for distance, index, start, end in ranked[:k]
+    ]

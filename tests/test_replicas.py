@@ -39,6 +39,8 @@ from repro.service.replicas import (
     _signature_hash,
 )
 
+from .oracles import payload_answers
+
 SPEC = "histogram,qgram"
 
 
@@ -211,10 +213,7 @@ def _oracle_knn(database, query, k, spec=SPEC):
     chain = build_pruners(database, spec)
     warm_pruners(chain, database.trajectories[0])
     neighbors, _ = knn_search(database, query, k, chain, edr_kernel="auto")
-    return [
-        {"index": int(n.index), "distance": float(n.distance)}
-        for n in neighbors
-    ]
+    return payload_answers(neighbors)
 
 
 def _oracle_range(database, query, radius, spec=SPEC):
@@ -223,10 +222,7 @@ def _oracle_range(database, query, radius, spec=SPEC):
     results, _ = range_search(
         database, query, radius, chain, edr_kernel="auto"
     )
-    return [
-        {"index": int(n.index), "distance": float(n.distance)}
-        for n in results
-    ]
+    return payload_answers(results)
 
 
 def _knn_payload(database, index, k):

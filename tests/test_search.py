@@ -25,6 +25,8 @@ from repro import (
 from repro.core.search import SearchStats, _ResultList
 from repro.eval import same_answers
 
+from .oracles import answers, brute_knn
+
 
 @pytest.fixture(scope="module")
 def workload(search_workload):
@@ -165,6 +167,14 @@ def engine_configurations(database):
 
 
 class TestNoFalseDismissals:
+    def test_scan_matches_brute_force_oracle(self, workload):
+        # Anchors the whole chain: every engine is accepted against the
+        # scan, and the scan itself against the shared naive oracle.
+        database, queries = workload
+        for query in queries:
+            got, _ = knn_scan(database, query, 5)
+            assert answers(got) == brute_knn(database, query, 5)
+
     @pytest.mark.parametrize("k", [1, 5, 20])
     def test_every_engine_matches_scan(self, workload, k):
         database, queries = workload

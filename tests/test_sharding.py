@@ -32,12 +32,10 @@ from repro.service.config import ServiceConfig
 from repro.service.handlers import TrajectoryService
 from repro.service.pruning import build_pruners
 
+from .oracles import answers as _answers
+
 SHARD_COUNTS = (1, 2, 3, 7)
 SPECS = ("histogram,qgram", "qgram", "histogram-1d,qgram", "qgram,nti", "")
-
-
-def _answers(neighbors):
-    return [(n.index, n.distance) for n in neighbors]
 
 
 @pytest.fixture(scope="module")

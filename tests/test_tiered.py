@@ -22,6 +22,7 @@ from repro.storage import StoreError, TieredDatabase, build_store
 from repro.storage.tiered import STORE_VERSION
 
 from .conftest import random_walk_trajectories
+from .oracles import answers as _answers
 
 VARIANTS = ((1.0, None), (1.0, 0), (1.0, 1))
 ALL_PARTS = ("histogram", "histogram-1d", "qgram", "nti")
@@ -57,10 +58,6 @@ def store_dir(corpus, tmp_path_factory):
 def tiered(store_dir):
     with TieredDatabase.open(store_dir) as database:
         yield database
-
-
-def _answers(neighbors):
-    return [(n.index, n.distance) for n in neighbors]
 
 
 class TestOutOfCoreByteIdentity:
